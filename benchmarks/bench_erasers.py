@@ -1,0 +1,39 @@
+"""E6 — Examples 1.7 / 3.13: erasers rescue an inversion.
+
+The paper's flagship subtlety: the same query is PTIME with its
+constant sub-goals (the eraser exists) and #P-hard without them.
+"""
+
+import pytest
+
+from repro.queries import get
+
+
+@pytest.mark.bench_table("E6")
+def test_example_1_7_ptime(benchmark, report):
+    entry = get("example_1_7")
+    result = benchmark(entry.classify)
+    assert result.is_safe
+    assert result.erased_joins
+    report.append(
+        f"E6  example 1.7: PTIME, {len(result.erased_joins)} joins erased "
+        f"(eraser contains U('a',z),V('a',z) as in Example 3.13)"
+    )
+
+
+@pytest.mark.bench_table("E6")
+def test_example_1_7_without_constants_hard(benchmark, report):
+    entry = get("example_1_7_without_constants")
+    result = benchmark(entry.classify)
+    assert not result.is_safe
+    report.append(
+        "E6  example 1.7 minus constant sub-goals: #P-hard "
+        "(eraser disappears, as the paper states)"
+    )
+
+
+@pytest.mark.bench_table("E6")
+def test_example_4_3_hard(benchmark):
+    entry = get("example_4_3")
+    result = benchmark(entry.classify)
+    assert not result.is_safe

@@ -1,0 +1,36 @@
+"""E4 — Figure 1: inversion-free queries, all PTIME.
+
+Classifies each Figure-1 row (and the footnote-1 "challenging PTIME"
+queries), and evaluates the tractable ones exactly with the lifted
+engine against the oracle.
+"""
+
+import pytest
+
+from repro.core import parse
+from repro.db import random_database_for_query
+from repro.engines import LiftedEngine, LineageEngine
+from repro.queries import get
+
+FIG1_ROWS = ["fig1_row1", "fig1_row2", "fig1_row3"]
+
+
+@pytest.mark.bench_table("E4")
+@pytest.mark.parametrize("name", FIG1_ROWS)
+def test_classify_figure1(benchmark, name, report):
+    entry = get(name)
+    result = benchmark(entry.classify)
+    assert result.is_safe
+    report.append(f"E4  {name}: PTIME [{result.reason.name}] as claimed")
+
+
+@pytest.mark.bench_table("E4")
+@pytest.mark.parametrize("name", ["footnote1_4ary", "example_3_5_q1"])
+def test_evaluate_figure1_style_queries(benchmark, name):
+    entry = get(name)
+    db = random_database_for_query(entry.query, 3, density=0.5, seed=1)
+    lifted = LiftedEngine()
+    p = benchmark(lifted.probability, entry.query, db)
+    assert p == pytest.approx(
+        LineageEngine().probability(entry.query, db), abs=1e-9
+    )

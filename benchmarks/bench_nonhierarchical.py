@@ -1,0 +1,66 @@
+"""E2 — Theorem 1.4: non-hierarchical queries are #P-hard.
+
+The classifier rejects them instantly; exact evaluation cost explodes
+on the adversarial (clause-graph) instances while Monte Carlo stays
+flat — the dichotomy's practical footprint.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import classify
+from repro.core import parse
+from repro.engines import LineageEngine, MonteCarloEngine
+from repro.hardness import b5_instance, random_formula
+
+QUERY = parse("R(x), S(x,y), T(y)")
+
+
+@pytest.mark.bench_table("E2")
+def test_classifier_rejects_instantly(benchmark):
+    result = benchmark(classify, QUERY)
+    assert not result.is_safe
+
+
+@pytest.mark.bench_table("E2")
+@pytest.mark.parametrize("size", [6, 9, 12])
+def test_exact_cost_grows(benchmark, size):
+    formula = random_formula(size, size, 2 * size, seed=size)
+    db = b5_instance(QUERY, formula)
+    oracle = LineageEngine()
+    p = benchmark(oracle.probability, QUERY, db)
+    assert 0.0 <= p <= 1.0
+
+
+@pytest.mark.bench_table("E2")
+@pytest.mark.parametrize("size", [6, 12])
+def test_monte_carlo_stays_flat(benchmark, size):
+    formula = random_formula(size, size, 2 * size, seed=size)
+    db = b5_instance(QUERY, formula)
+    mc = MonteCarloEngine(samples=4_000, seed=1)
+    p = benchmark(mc.probability, QUERY, db)
+    assert 0.0 <= p <= 1.0
+
+
+@pytest.mark.bench_table("E2")
+def test_shape_exact_vs_mc(report):
+    """The headline shape: exact blows up with size, MC does not."""
+    exact_times, mc_times = [], []
+    oracle, mc = LineageEngine(), MonteCarloEngine(samples=3_000, seed=2)
+    for size in (6, 12):
+        formula = random_formula(size, size, 2 * size, seed=size)
+        db = b5_instance(QUERY, formula)
+        t0 = time.perf_counter()
+        oracle.probability(QUERY, db)
+        exact_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        mc.probability(QUERY, db)
+        mc_times.append(time.perf_counter() - t0)
+    exact_growth = exact_times[1] / max(exact_times[0], 1e-9)
+    mc_growth = mc_times[1] / max(mc_times[0], 1e-9)
+    report.append(
+        f"E2  exact growth 6->12 vars: {exact_growth:.1f}x; "
+        f"Monte Carlo growth: {mc_growth:.1f}x"
+    )
+    assert exact_growth > mc_growth

@@ -1,0 +1,63 @@
+"""E7 — the MystiQ motivation: safe plans vs Monte Carlo.
+
+Section 1: "The query execution times between the two cases differ by
+one or two orders of magnitude (seconds v.s. minutes)."  We reproduce
+the *shape*: on the same database, unsafe queries answered by Monte
+Carlo cost at least an order of magnitude more than safe queries
+answered by plans, at comparable accuracy.
+"""
+
+import time
+
+import pytest
+
+from repro.core import parse
+from repro.db import random_database
+from repro.engines import RouterEngine
+
+SAFE = parse("R(x), S(x,y)")
+UNSAFE = parse("R(x), S(x,y), T(y)")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return random_database(
+        {"R": 1, "S": 2, "T": 1}, domain_size=60, density=0.2, seed=11
+    )
+
+
+@pytest.mark.bench_table("E7")
+def test_safe_query_latency(benchmark, db):
+    router = RouterEngine(mc_samples=20_000, mc_seed=1)
+    p = benchmark(router.probability, SAFE, db)
+    assert router.history[-1].engine == "safe-plan"
+    assert 0.0 <= p <= 1.0
+
+
+@pytest.mark.bench_table("E7")
+def test_unsafe_query_latency(benchmark, db):
+    router = RouterEngine(mc_samples=20_000, mc_seed=1)
+    p = benchmark(router.probability, UNSAFE, db)
+    assert router.history[-1].engine == "monte-carlo"
+    assert 0.0 <= p <= 1.0
+
+
+@pytest.mark.bench_table("E7")
+def test_order_of_magnitude_gap(report, db):
+    # Accuracy-matched comparison: the Monte Carlo side gets enough
+    # samples for ~1e-3 absolute error, which is what a user would need
+    # to trust the fallback answer.
+    router = RouterEngine(mc_samples=100_000, mc_seed=1)
+    t0 = time.perf_counter()
+    router.probability(SAFE, db)
+    safe_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    router.probability(UNSAFE, db)
+    unsafe_seconds = time.perf_counter() - t0
+    ratio = unsafe_seconds / max(safe_seconds, 1e-9)
+    report.append(
+        f"E7  router latency: safe {safe_seconds*1e3:.1f} ms, "
+        f"unsafe {unsafe_seconds*1e3:.1f} ms -> {ratio:.0f}x gap "
+        f"(paper: one to two orders of magnitude)"
+    )
+    assert ratio > 5.0

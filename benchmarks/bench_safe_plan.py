@@ -1,0 +1,47 @@
+"""E1 — Theorem 1.3 / Equation (3): the safe-plan recurrence.
+
+Regenerates the claim that hierarchical self-join-free queries evaluate
+in PTIME: the safe plan's cost grows polynomially with the instance
+while matching the exact oracle, and stays far below world enumeration.
+"""
+
+import pytest
+
+from repro.core import parse
+from repro.db import star_join_instance
+from repro.engines import BruteForceEngine, LineageEngine, SafePlanEngine
+
+QUERY = parse("R(x), S(x,y)")
+
+
+@pytest.mark.bench_table("E1")
+@pytest.mark.parametrize("fanout", [10, 40, 160])
+def test_safe_plan_scales_linearly(benchmark, fanout):
+    db = star_join_instance(fanout, 8, seed=1)
+    plan = SafePlanEngine()
+    result = benchmark(plan.probability, QUERY, db)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.bench_table("E1")
+def test_safe_plan_matches_oracle(benchmark, report):
+    db = star_join_instance(30, 6, seed=2)
+    plan, oracle = SafePlanEngine(), LineageEngine()
+    p_plan = benchmark(plan.probability, QUERY, db)
+    p_oracle = oracle.probability(QUERY, db)
+    assert p_plan == pytest.approx(p_oracle, abs=1e-9)
+    report.append(
+        f"E1  safe-plan == oracle on R(x),S(x,y): {p_plan:.8f}"
+    )
+
+
+@pytest.mark.bench_table("E1")
+def test_brute_force_reference(benchmark):
+    """World enumeration on the largest instance it can take: the
+    baseline the recurrence replaces."""
+    db = star_join_instance(4, 3, seed=3)  # 16 tuples -> 65536 worlds
+    brute = BruteForceEngine()
+    result = benchmark(brute.probability, QUERY, db)
+    assert result == pytest.approx(
+        SafePlanEngine().probability(QUERY, db), abs=1e-9
+    )

@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures and report helpers.
+
+Every benchmark regenerates one of the paper's artifacts (see the
+per-experiment index in DESIGN.md).  Absolute numbers are machine
+specific; the assertions pin the *shape* of each result — who wins, by
+roughly what factor, and how cost scales.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "bench_table(name): paper artifact id")
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect human-readable result rows; printed at session end."""
+    rows = []
+    yield rows
+    if rows:
+        print("\n" + "=" * 72)
+        print("paper-artifact reproduction summary")
+        print("=" * 72)
+        for row in rows:
+            print(row)

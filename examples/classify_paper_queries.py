@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Regenerate the paper's query tables (Figures 1 and 2 and all examples).
+
+Runs the dichotomy classifier over the full query zoo and prints a
+table comparing the paper's claimed complexity with our verdict —
+the reproduction's headline artifact.
+
+Run:  python examples/classify_paper_queries.py [--fast]
+"""
+
+import sys
+import time
+
+from repro.queries import zoo
+
+
+def main(fast_only: bool = False) -> None:
+    entries = [e for e in zoo() if not (fast_only and e.slow)]
+    print(f"{'query':34s} {'paper':8s} {'ours':22s} {'time':>7s}  source")
+    print("-" * 110)
+    agreements = disputes = 0
+    for entry in entries:
+        claimed = "PTIME" if entry.claimed_ptime else "#P-hard"
+        start = time.perf_counter()
+        try:
+            result = entry.classify()
+            ours = f"{result.verdict.value} [{result.reason.name}]"
+            agree = result.is_safe == entry.claimed_ptime
+        except Exception as error:  # pragma: no cover - report only
+            ours = f"error: {type(error).__name__}"
+            agree = False
+        elapsed = time.perf_counter() - start
+        marker = "  " if agree else ("!? " if entry.disputed else "XX")
+        if agree:
+            agreements += 1
+        elif entry.disputed:
+            disputes += 1
+        print(
+            f"{entry.name:34s} {claimed:8s} {ours:22s} {elapsed:6.2f}s "
+            f"{marker} {entry.source}"
+        )
+    print("-" * 110)
+    print(
+        f"{agreements}/{len(entries)} match the paper"
+        + (f"; {disputes} disputed (see EXPERIMENTS.md)" if disputes else "")
+    )
+
+
+if __name__ == "__main__":
+    main(fast_only="--fast" in sys.argv)

@@ -1,0 +1,50 @@
+"""Dichotomy analysis: inversions and the PTIME/#P classifier."""
+
+from .classifier import (
+    Classification,
+    Reason,
+    Verdict,
+    classify,
+    classify_with_coverage,
+    is_ptime,
+)
+from .counting import count_satisfying_substructures, uniform_database
+from .properties import (
+    Prop,
+    conj,
+    disj,
+    holds,
+    is_inversion_free_property,
+    neg,
+    property_probability,
+)
+from .inversions import (
+    Inversion,
+    analyze_inversions,
+    find_inversion,
+    has_inversion,
+    unification_graph,
+)
+
+__all__ = [
+    "Prop",
+    "classify_with_coverage",
+    "conj",
+    "count_satisfying_substructures",
+    "disj",
+    "holds",
+    "is_inversion_free_property",
+    "neg",
+    "property_probability",
+    "uniform_database",
+    "Classification",
+    "Inversion",
+    "Reason",
+    "Verdict",
+    "analyze_inversions",
+    "classify",
+    "find_inversion",
+    "has_inversion",
+    "is_ptime",
+    "unification_graph",
+]

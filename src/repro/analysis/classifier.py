@@ -1,0 +1,309 @@
+"""The dichotomy classifier (Theorem 1.8).
+
+Given a Boolean conjunctive query, decide PTIME vs #P-complete by the
+paper's pipeline:
+
+1. **Hierarchy** — minimize, test Definition 1.2; non-hierarchical
+   queries are #P-hard (Theorem 1.4).
+2. **Inversions** — build a strict coverage (refined on demand) and
+   search the unification graph (Definition 2.6); no inversion means
+   PTIME (Theorem 1.6).
+3. **Erasers** — close the factors under hierarchical joins
+   (Section 2.6); every inversion-carrying join needs an eraser
+   (Definition 2.21).  All erased: PTIME (Theorem 3.17); otherwise
+   #P-hard (Theorem 4.4).
+
+Every verdict carries a machine-checkable witness: the crossing
+variable pair, the inversion path, or the eraser-free join query.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.hierarchy import (
+    NonHierarchicalWitness,
+    find_non_hierarchical_witness,
+)
+from ..core.homomorphism import minimize
+from ..core.query import ConjunctiveQuery
+from ..coverage.closure import (
+    HierarchicalUnifier,
+    hierarchical_closure,
+    hierarchical_unifiers_of_pair,
+)
+from ..coverage.coverage import Coverage, build_strict_coverage
+from ..coverage.erasers import find_eraser, psi_from_covers
+from .inversions import (
+    Inversion,
+    analyze_inversions,
+    find_inversion,
+    has_inversion,
+)
+
+
+class Verdict(enum.Enum):
+    """The two sides of the dichotomy."""
+
+    PTIME = "PTIME"
+    SHARP_P_HARD = "#P-hard"
+
+
+class Reason(enum.Enum):
+    """Which theorem produced the verdict."""
+
+    UNSATISFIABLE = "unsatisfiable predicates (probability is 0)"
+    NON_HIERARCHICAL = "non-hierarchical (Theorem 1.4)"
+    NO_SELF_JOIN = "hierarchical without self-joins (Theorem 1.3)"
+    INVERSION_FREE = "hierarchical and inversion-free (Theorem 1.6)"
+    ERASABLE = "all inversions have erasers (Theorem 3.17)"
+    ERASER_FREE_INVERSION = "inversion without eraser (Theorem 4.4)"
+
+
+@dataclass
+class Classification:
+    """Full output of the dichotomy decision."""
+
+    query: ConjunctiveQuery
+    minimized: ConjunctiveQuery
+    verdict: Verdict
+    reason: Reason
+    hierarchy_witness: Optional[NonHierarchicalWitness] = None
+    inversion: Optional[Inversion] = None
+    coverage: Optional[Coverage] = None
+    #: For HARD-by-eraser verdicts: the join query lacking an eraser.
+    hard_join: Optional[ConjunctiveQuery] = None
+    #: For PTIME-by-eraser verdicts: (join query, eraser members).
+    erased_joins: List[Tuple[ConjunctiveQuery, Tuple[ConjunctiveQuery, ...]]] = field(
+        default_factory=list
+    )
+    #: Set when the hierarchical closure hit its size cap: a HARD
+    #: verdict may then be due to a missing eraser candidate.
+    closure_truncated: bool = False
+
+    @property
+    def is_safe(self) -> bool:
+        return self.verdict is Verdict.PTIME
+
+    def describe(self) -> str:
+        lines = [f"query: {self.query}", f"verdict: {self.verdict.value}",
+                 f"reason: {self.reason.value}"]
+        if self.hierarchy_witness is not None:
+            lines.append("witness: " + self.hierarchy_witness.describe(self.minimized))
+        if self.inversion is not None and self.verdict is Verdict.SHARP_P_HARD:
+            lines.append("inversion: " + self.inversion.describe())
+        if self.hard_join is not None:
+            lines.append(f"eraser-free join: {self.hard_join}")
+        for join, eraser in self.erased_joins:
+            members = "; ".join(str(e) for e in eraser)
+            lines.append(f"erased join: {join}  by  {members}")
+        return "\n".join(lines)
+
+
+def classify(query: ConjunctiveQuery) -> Classification:
+    """Decide the evaluation complexity of ``query`` (Theorem 1.8).
+
+    Negated sub-goals are handled per Definition 3.9: the analysis runs
+    on the positive part.
+    """
+    positive = query.positive_part()
+    if not positive.is_satisfiable():
+        return Classification(
+            query=query,
+            minimized=positive,
+            verdict=Verdict.PTIME,
+            reason=Reason.UNSATISFIABLE,
+        )
+    minimized = minimize(positive)
+
+    witness = find_non_hierarchical_witness(minimized)
+    if witness is not None:
+        return Classification(
+            query=query,
+            minimized=minimized,
+            verdict=Verdict.SHARP_P_HARD,
+            reason=Reason.NON_HIERARCHICAL,
+            hierarchy_witness=witness,
+        )
+
+    if not minimized.has_self_join():
+        return Classification(
+            query=query,
+            minimized=minimized,
+            verdict=Verdict.PTIME,
+            reason=Reason.NO_SELF_JOIN,
+        )
+
+    # Fast path: an inversion-free strict coverage certifies PTIME
+    # (Definition 2.6 asks for *one* inversion-free coverage).
+    base_coverage = build_strict_coverage(minimized)
+    if find_inversion(base_coverage) is None:
+        return Classification(
+            query=query,
+            minimized=minimized,
+            verdict=Verdict.PTIME,
+            reason=Reason.INVERSION_FREE,
+            coverage=base_coverage,
+        )
+
+    # Refinement path: splitting undetermined pairs on the inversion
+    # path may reveal the inversion as spurious (Figure 1's examples).
+    refined_coverage, inversion = analyze_inversions(minimized)
+    if inversion is None:
+        return Classification(
+            query=query,
+            minimized=minimized,
+            verdict=Verdict.PTIME,
+            reason=Reason.INVERSION_FREE,
+            coverage=refined_coverage,
+        )
+
+    # Eraser phase runs on the lean base coverage (Section 4 applies to
+    # any strict coverage; the lean one keeps H small).
+    return _eraser_phase(query, minimized, base_coverage, inversion)
+
+
+#: Guard for the exponential signature enumeration of the eraser check.
+MAX_HSTAR = 16
+
+
+def _eraser_phase(
+    query: ConjunctiveQuery,
+    minimized: ConjunctiveQuery,
+    coverage: Coverage,
+    inversion: Inversion,
+) -> Classification:
+    inversion_cache: dict = {}
+
+    def cached_has_inversion(candidate: ConjunctiveQuery) -> bool:
+        from ..core.query import canonical_string
+
+        key = canonical_string(candidate)
+        if key not in inversion_cache:
+            inversion_cache[key] = has_inversion(candidate)
+        return inversion_cache[key]
+
+    inversion_free = lambda h: not cached_has_inversion(h)  # noqa: E731
+    closure, hstar, truncated = hierarchical_closure(
+        coverage.factors, is_inversion_free=inversion_free
+    )
+    if truncated:
+        # The full closure is intractable here; fall back to one join
+        # level.  Eraser candidates may be missing, so a HARD verdict is
+        # flagged as truncated.
+        closure, hstar, _ = hierarchical_closure(
+            coverage.factors, is_inversion_free=inversion_free, max_levels=1
+        )
+    psi = psi_from_covers(coverage.cover_factors, closure, hstar)
+    erased: List[Tuple[ConjunctiveQuery, Tuple[ConjunctiveQuery, ...]]] = []
+    seen_joins: set = set()
+    for i in range(len(hstar)):
+        for j in range(i, len(hstar)):
+            qi = closure[hstar[i]].query
+            qj = closure[hstar[j]].query
+            for joined in _all_joins(qi, qj):
+                if not _needs_eraser(joined, cached_has_inversion):
+                    continue
+                from ..core.query import canonical_string
+
+                key = (i, j, canonical_string(joined))
+                if key in seen_joins:
+                    continue
+                seen_joins.add(key)
+                eraser = find_eraser(joined, i, j, closure, hstar, psi)
+                if eraser is None:
+                    return Classification(
+                        query=query,
+                        minimized=minimized,
+                        verdict=Verdict.SHARP_P_HARD,
+                        reason=Reason.ERASER_FREE_INVERSION,
+                        inversion=inversion,
+                        coverage=coverage,
+                        hard_join=joined,
+                        closure_truncated=truncated,
+                    )
+                erased.append(
+                    (joined, tuple(closure[hstar[e]].query for e in eraser))
+                )
+    return Classification(
+        query=query,
+        minimized=minimized,
+        verdict=Verdict.PTIME,
+        reason=Reason.ERASABLE,
+        inversion=inversion,
+        coverage=coverage,
+        erased_joins=erased,
+    )
+
+
+def _all_joins(
+    qi: ConjunctiveQuery, qj: ConjunctiveQuery
+) -> List[ConjunctiveQuery]:
+    """Join queries of every sub-goal unification between two factors.
+
+    Both the *full* MGU joins (whose failure to stay hierarchical is
+    what drives hardness, e.g. for ``H_0``) and the *hierarchical*
+    joins of Definition 2.16 (whose inversions need erasers, e.g.
+    Example 3.13's ``f12``) are produced.
+    """
+    from ..core.unification import all_unifications
+
+    renamed, _ = qj.rename_apart(qi.variables, suffix="_e")
+    joins: List[ConjunctiveQuery] = []
+    for unification in all_unifications(qi, renamed):
+        joins.append(unification.unified)
+    joins.extend(hierarchical_unifiers_of_pair(qi, qj))
+    return joins
+
+
+def _needs_eraser(
+    joined: ConjunctiveQuery, cached_has_inversion
+) -> bool:
+    """A join query needs an eraser unless the PTIME machinery can
+    compute it directly: hierarchical and inversion-free."""
+    from ..core.hierarchy import is_hierarchical
+
+    core = minimize(joined)
+    if not core.is_satisfiable():
+        return False
+    if not is_hierarchical(core):
+        return True
+    return cached_has_inversion(core)
+
+
+def classify_with_coverage(
+    query: ConjunctiveQuery,
+    covers,
+) -> Classification:
+    """Classify using a caller-supplied strict coverage.
+
+    The automatic coverage construction can explode on constant-heavy
+    queries (it mechanically splits every variable–constant pair); the
+    paper itself analyzes such queries with small hand-built coverages
+    (Example 3.13 uses four factors).  This entry point accepts the
+    covers — conjunctive queries whose disjunction is equivalent to
+    ``query`` — exactly as the paper writes them, and runs the
+    inversion + eraser phases on them.  The caller is responsible for
+    the coverage being valid and strict.
+    """
+    from ..coverage.coverage import _assemble  # friend access
+
+    minimized = minimize(query.positive_part())
+    coverage = _assemble(minimized, list(covers))
+    inversion = find_inversion(coverage)
+    if inversion is None:
+        return Classification(
+            query=query,
+            minimized=minimized,
+            verdict=Verdict.PTIME,
+            reason=Reason.INVERSION_FREE,
+            coverage=coverage,
+        )
+    return _eraser_phase(query, minimized, coverage, inversion)
+
+
+def is_ptime(query: ConjunctiveQuery) -> bool:
+    """Shorthand: True iff the dichotomy puts ``query`` in PTIME."""
+    return classify(query).is_safe

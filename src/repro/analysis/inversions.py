@@ -1,0 +1,186 @@
+"""Inversion detection (Section 2.2).
+
+Given a strict coverage with factors ``F``, build the undirected
+*unification graph* ``G``: nodes are triples ``(f, x, y)`` with
+``x, y`` distinct variables of factor ``f``; an edge joins
+``(f, x, y)`` and ``(f', x', y')`` when some sub-goals ``g ∈ f``,
+``g' ∈ f'`` (factors renamed apart, the paper's convention) have an
+admissible MGU ``θ`` with ``θ(x) = θ(x')`` and ``θ(y) = θ(y')``.
+
+An *inversion* is a unification path from a node with ``x ⊐ y`` to a
+node with ``x' ⊏ y'``.  A query is inversion-free when some strict
+coverage has no inversion; by Proposition 2.7 refining a coverage never
+creates inversions that the canonical coverage lacks, so the classifier
+refines until the verdict is stable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.hierarchy import strictly_below
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Variable
+from ..coverage.coverage import Coverage, build_strict_coverage, factor_unifications
+
+#: A node of the unification graph: (factor index, x, y).
+Node = Tuple[int, Variable, Variable]
+
+
+@dataclass(frozen=True)
+class Inversion:
+    """A witnessing unification path for an inversion.
+
+    The first node has ``x ⊐ y``, the last ``x' ⊏ y'``.
+    """
+
+    path: Tuple[Node, ...]
+    coverage: Coverage
+
+    @property
+    def length(self) -> int:
+        """The paper's ``k``: number of edges on the path minus one."""
+        return max(len(self.path) - 2, 0)
+
+    def describe(self) -> str:
+        parts = []
+        for factor_index, x, y in self.path:
+            factor = self.coverage.factors[factor_index]
+            parts.append(f"(f{factor_index}: {factor} | {x},{y})")
+        return " -> ".join(parts)
+
+
+def unification_graph(coverage: Coverage) -> Dict[Node, Set[Node]]:
+    """Adjacency sets of the unification graph of a coverage."""
+    graph: Dict[Node, Set[Node]] = {}
+    for i, factor in enumerate(coverage.factors):
+        variables = factor.variables
+        for x in variables:
+            for y in variables:
+                if x != y:
+                    graph.setdefault((i, x, y), set())
+
+    for i, j, unification in factor_unifications(coverage):
+        left_vars = unification.left.variables
+        right_renamed = unification.right
+        # Map renamed right variables back to the original factor's names.
+        original_right = coverage.factors[j]
+        back = dict(zip(right_renamed.variables, original_right.variables))
+        theta = unification.substitution
+        images_left = {v: theta.apply(v) for v in left_vars}
+        images_right = {v: theta.apply(v) for v in right_renamed.variables}
+        for x in left_vars:
+            for y in left_vars:
+                if x == y:
+                    continue
+                for xr in right_renamed.variables:
+                    for yr in right_renamed.variables:
+                        if xr == yr:
+                            continue
+                        if (
+                            images_left[x] == images_right[xr]
+                            and images_left[y] == images_right[yr]
+                        ):
+                            a: Node = (i, x, y)
+                            b: Node = (j, back[xr], back[yr])
+                            graph.setdefault(a, set()).add(b)
+                            graph.setdefault(b, set()).add(a)
+    return graph
+
+
+def find_inversion(coverage: Coverage) -> Optional[Inversion]:
+    """Search the unification graph for an inversion path (BFS)."""
+    graph = unification_graph(coverage)
+    down_nodes: List[Node] = []
+    up_nodes: Set[Node] = set()
+    for node in graph:
+        factor_index, x, y = node
+        factor = coverage.factors[factor_index]
+        if strictly_below(factor, y, x):  # x ⊐ y
+            down_nodes.append(node)
+        elif strictly_below(factor, x, y):  # x ⊏ y
+            up_nodes.add(node)
+
+    for start in down_nodes:
+        parent: Dict[Node, Optional[Node]] = {start: None}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            if node in up_nodes:
+                path: List[Node] = []
+                cursor: Optional[Node] = node
+                while cursor is not None:
+                    path.append(cursor)
+                    cursor = parent[cursor]
+                path.reverse()
+                return Inversion(path=tuple(path), coverage=coverage)
+            for neighbour in graph.get(node, ()):
+                if neighbour not in parent:
+                    parent[neighbour] = node
+                    queue.append(neighbour)
+    return None
+
+
+def analyze_inversions(
+    query: ConjunctiveQuery,
+    max_rounds: int = 16,
+) -> Tuple[Coverage, Optional[Inversion]]:
+    """Build a strict coverage and decide whether an inversion persists.
+
+    When an inversion is found through a node whose variable pair is
+    not yet order-determined by its factor's predicates, that pair is
+    split (moving the coverage toward the canonical one) and the
+    search repeats; an inversion whose path survives full determination
+    is genuine.
+    """
+    extra: List[Tuple[ConjunctiveQuery, Variable, Variable]] = []
+    for _ in range(max_rounds):
+        coverage = build_strict_coverage(query, extra_split_pairs=extra)
+        inversion = find_inversion(coverage)
+        if inversion is None:
+            return coverage, None
+        pair = _undetermined_node(inversion)
+        if pair is None:
+            return coverage, inversion
+        extra.append(pair)
+    return coverage, inversion  # pragma: no cover - bounded refinement
+
+
+def has_inversion(query: ConjunctiveQuery) -> bool:
+    """True when no (reachable) strict coverage of ``query`` is
+    inversion-free."""
+    _coverage, inversion = analyze_inversions(query)
+    return inversion is not None
+
+
+def _undetermined_node(
+    inversion: Inversion,
+) -> Optional[Tuple[ConjunctiveQuery, Variable, Variable]]:
+    from ..core.predicates import Comparison
+
+    for factor_index, x, y in inversion.path:
+        factor = inversion.coverage.factors[factor_index]
+        if not _cooccur_in_atom(factor, x, y):
+            continue
+        constraints = factor.order_constraints
+        determined = any(
+            constraints.entails(pred)
+            for pred in (
+                Comparison("<", x, y),
+                Comparison("=", x, y),
+                Comparison("<", y, x),
+            )
+        )
+        if not determined:
+            return (factor, x, y)
+    return None
+
+
+def _cooccur_in_atom(factor: ConjunctiveQuery, x: Variable, y: Variable) -> bool:
+    for atom in factor.atoms:
+        variables = set(atom.variables)
+        if x in variables and y in variables:
+            return True
+    return False

@@ -1,0 +1,180 @@
+"""Boolean combinations of conjunctive queries (Theorem 3.11).
+
+Definition 3.10 calls a property *inversion-free* when it is a Boolean
+combination of queries ``q_1..q_m`` whose conjunction ``q_1 q_2 ... q_m``
+is inversion-free; Theorem 3.11 puts such properties in PTIME.  This
+module implements the reduction the proof sketches: expand the Boolean
+structure by inclusion–exclusion into probabilities of *conjunctions of
+positive CQs* (each a single CQ after renaming apart), and evaluate
+those with any engine — the lifted engine for the PTIME path, the
+lineage oracle for ground truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from ..engines.base import Engine
+from ..engines.lineage_engine import LineageEngine
+
+
+@dataclass(frozen=True)
+class Prop:
+    """A node of a Boolean property over CQ leaves.
+
+    ``kind`` is one of ``"cq"``, ``"not"``, ``"and"``, ``"or"``.
+    Build with the module helpers :func:`holds`, :func:`neg`,
+    :func:`conj`, :func:`disj`.
+    """
+
+    kind: str
+    query: Optional[ConjunctiveQuery] = None
+    children: Tuple["Prop", ...] = ()
+
+    def leaves(self) -> List[ConjunctiveQuery]:
+        """Distinct CQ leaves, in first-seen order."""
+        seen: Dict[ConjunctiveQuery, None] = {}
+        self._collect(seen)
+        return list(seen)
+
+    def _collect(self, seen: Dict[ConjunctiveQuery, None]) -> None:
+        if self.kind == "cq":
+            assert self.query is not None
+            seen.setdefault(self.query, None)
+        for child in self.children:
+            child._collect(seen)
+
+    def evaluate(self, truth: Dict[ConjunctiveQuery, bool]) -> bool:
+        """Truth value under an assignment of the leaves."""
+        if self.kind == "cq":
+            assert self.query is not None
+            return truth[self.query]
+        if self.kind == "not":
+            return not self.children[0].evaluate(truth)
+        if self.kind == "and":
+            return all(child.evaluate(truth) for child in self.children)
+        return any(child.evaluate(truth) for child in self.children)
+
+    def __str__(self) -> str:
+        if self.kind == "cq":
+            return f"[{self.query}]"
+        if self.kind == "not":
+            return f"not {self.children[0]}"
+        joiner = " and " if self.kind == "and" else " or "
+        return "(" + joiner.join(str(c) for c in self.children) + ")"
+
+
+def holds(query: ConjunctiveQuery) -> Prop:
+    """Leaf: the query is true."""
+    return Prop("cq", query=query)
+
+
+def neg(prop: Union[Prop, ConjunctiveQuery]) -> Prop:
+    return Prop("not", children=(_coerce(prop),))
+
+
+def conj(*props: Union[Prop, ConjunctiveQuery]) -> Prop:
+    return Prop("and", children=tuple(_coerce(p) for p in props))
+
+
+def disj(*props: Union[Prop, ConjunctiveQuery]) -> Prop:
+    return Prop("or", children=tuple(_coerce(p) for p in props))
+
+
+def _coerce(item: Union[Prop, ConjunctiveQuery]) -> Prop:
+    return item if isinstance(item, Prop) else holds(item)
+
+
+def is_inversion_free_property(prop: Prop) -> bool:
+    """Definition 3.10: the conjunction of all leaves is inversion-free.
+
+    (Checked on positive parts, per Definition 3.9.)
+    """
+    from ..core.hierarchy import is_hierarchical
+    from ..core.homomorphism import minimize
+    from .inversions import has_inversion
+
+    leaves = prop.leaves()
+    if not leaves:
+        return True
+    conjunction = _conjoin_all(leaves).positive_part()
+    core = minimize(conjunction)
+    return is_hierarchical(core) and not has_inversion(core)
+
+
+def property_probability(
+    prop: Prop,
+    db: ProbabilisticDatabase,
+    engine: Optional[Engine] = None,
+) -> float:
+    """Exact probability of a Boolean property of CQs.
+
+    Expands by inclusion–exclusion into conjunction probabilities:
+    for leaves ``Q_1..Q_k``, ``P(f) = Σ_S c_S · P(∧_{i∈S} Q_i)`` where
+    the integer coefficients come from the minterm expansion of ``f``.
+    Each conjunction is one CQ (leaves renamed apart), evaluated by
+    ``engine`` (default: the exact lineage oracle; pass
+    :class:`~repro.engines.lifted.LiftedEngine` for the Theorem-3.11
+    PTIME path on inversion-free properties).
+    """
+    leaves = prop.leaves()
+    evaluator = engine or LineageEngine()
+    if not leaves:
+        return 1.0 if prop.evaluate({}) else 0.0
+    if len(leaves) > 16:
+        raise ValueError(
+            f"{len(leaves)} CQ leaves: the inclusion–exclusion expansion "
+            "would be too large"
+        )
+
+    coefficients = _subset_coefficients(prop, leaves)
+    total = 0.0
+    for subset, coefficient in coefficients.items():
+        if coefficient == 0:
+            continue
+        if not subset:
+            total += coefficient  # P(empty conjunction) = 1
+            continue
+        conjunction = _conjoin_all([leaves[i] for i in sorted(subset)])
+        total += coefficient * evaluator.probability(conjunction, db)
+    return min(max(total, 0.0), 1.0)
+
+
+def _subset_coefficients(
+    prop: Prop, leaves: Sequence[ConjunctiveQuery]
+) -> Dict[FrozenSet[int], int]:
+    """Coefficients ``c_S`` with ``P(f) = Σ_S c_S P(∧_S Q_i)``.
+
+    For each satisfying minterm ``v`` (positives ``pos(v)``), the
+    negated leaves expand by inclusion–exclusion:
+    ``P(minterm) = Σ_{pos(v) ⊆ S} (-1)^{|S| - |pos(v)|} P(∧_S)``.
+    """
+    k = len(leaves)
+    coefficients: Dict[FrozenSet[int], int] = {}
+    for bits in itertools.product((False, True), repeat=k):
+        truth = {leaf: bit for leaf, bit in zip(leaves, bits)}
+        if not prop.evaluate(truth):
+            continue
+        positives = frozenset(i for i in range(k) if bits[i])
+        negatives = [i for i in range(k) if not bits[i]]
+        for size in range(len(negatives) + 1):
+            for extra in itertools.combinations(negatives, size):
+                subset = positives | frozenset(extra)
+                coefficients[subset] = (
+                    coefficients.get(subset, 0) + (-1) ** size
+                )
+    return coefficients
+
+
+def _conjoin_all(queries: Sequence[ConjunctiveQuery]) -> ConjunctiveQuery:
+    result = queries[0]
+    taken = list(result.variables)
+    for query in queries[1:]:
+        renamed, _ = query.rename_apart(taken, suffix="_p")
+        taken.extend(renamed.variables)
+        result = result.conjoin(renamed)
+    return result

@@ -1,0 +1,109 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``classify "R(x), S(x,y)"`` — run the dichotomy classifier, print the
+  verdict with its witness.
+* ``evaluate "R(x), S(x,y)" data.json`` — evaluate over a database
+  given as JSON ``{"R": [[[1], 0.5], ...], ...}``; routes through the
+  MystiQ-style router.
+* ``zoo`` — print the paper's query table with our verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis import classify
+from .core.parser import parse
+from .db.database import ProbabilisticDatabase
+from .engines import RouterEngine
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dalvi-Suciu dichotomy toolkit (PODS 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = sub.add_parser("classify", help="PTIME or #P-hard?")
+    p_classify.add_argument("query", help='e.g. "R(x), S(x,y)"')
+    p_classify.add_argument(
+        "--constants", default="",
+        help="comma-separated identifiers to read as constants",
+    )
+
+    p_eval = sub.add_parser("evaluate", help="compute p(q) over a database")
+    p_eval.add_argument("query")
+    p_eval.add_argument(
+        "database",
+        help='JSON file: {"R": [[[1], 0.5], [[2], 0.3]], "S": ...}',
+    )
+    p_eval.add_argument("--constants", default="")
+    p_eval.add_argument(
+        "--samples", type=int, default=20000,
+        help="Monte Carlo samples for unsafe queries",
+    )
+    p_eval.add_argument(
+        "--exact", action="store_true",
+        help="use the exact oracle instead of Monte Carlo for unsafe queries",
+    )
+
+    sub.add_parser("zoo", help="classify every query named in the paper")
+    return parser
+
+
+def _load_database(path: str) -> ProbabilisticDatabase:
+    with open(path) as handle:
+        raw = json.load(handle)
+    db = ProbabilisticDatabase()
+    for relation, rows in raw.items():
+        for row, probability in rows:
+            db.add(relation, tuple(row), probability)
+    return db
+
+
+def _constants(spec: str) -> tuple:
+    return tuple(token.strip() for token in spec.split(",") if token.strip())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "classify":
+        result = classify(parse(args.query, constants=_constants(args.constants)))
+        print(result.describe())
+        return 0
+
+    if args.command == "evaluate":
+        query = parse(args.query, constants=_constants(args.constants))
+        db = _load_database(args.database)
+        router = RouterEngine(exact_fallback=args.exact, mc_samples=args.samples)
+        probability = router.probability(query, db)
+        decision = router.history[-1]
+        print(f"p(q) = {probability:.10f}")
+        print(f"engine: {decision.engine} ({decision.seconds * 1e3:.1f} ms)")
+        return 0
+
+    if args.command == "zoo":
+        from .queries import zoo
+
+        for entry in zoo():
+            claimed = "PTIME" if entry.claimed_ptime else "#P-hard"
+            try:
+                verdict = entry.classify().verdict.value
+            except Exception as error:  # pragma: no cover
+                verdict = f"error({type(error).__name__})"
+            flag = "" if (verdict == claimed) == (not entry.disputed) else "  [!]"
+            print(f"{entry.name:34s} paper={claimed:8s} ours={verdict}{flag}")
+        return 0
+
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

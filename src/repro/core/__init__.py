@@ -1,0 +1,90 @@
+"""Core conjunctive-query calculus.
+
+Everything the dichotomy analysis needs to talk about queries: terms,
+atoms, arithmetic predicates, order reasoning, substitutions, parsing,
+unification, homomorphisms, and the hierarchy structure.
+"""
+
+from .atoms import Atom, atom
+from .hierarchy import (
+    HierarchyNode,
+    HierarchyTree,
+    NonHierarchicalWitness,
+    below,
+    equivalent_vars,
+    find_non_hierarchical_witness,
+    is_hierarchical,
+    maximal_variables,
+    root_variables,
+    strictly_below,
+    variable_classes,
+)
+from .homomorphism import (
+    contained_in,
+    equivalent,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphisms,
+    is_minimal,
+    minimize,
+)
+from .orders import OrderConstraints, order_type
+from .parser import QueryParseError, parse
+from .predicates import Comparison, comparison, trichotomy
+from .query import ConjunctiveQuery, query
+from .substitution import IDENTITY, Substitution, fresh_renaming
+from .terms import Constant, Term, Variable, const, is_constant, is_variable, var
+from .unification import (
+    Unification,
+    all_unifications,
+    self_unifications,
+    unify_atoms,
+    unify_subgoals,
+)
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "ConjunctiveQuery",
+    "Constant",
+    "HierarchyNode",
+    "HierarchyTree",
+    "IDENTITY",
+    "NonHierarchicalWitness",
+    "OrderConstraints",
+    "QueryParseError",
+    "Substitution",
+    "Term",
+    "Unification",
+    "Variable",
+    "all_unifications",
+    "atom",
+    "below",
+    "comparison",
+    "const",
+    "contained_in",
+    "equivalent",
+    "equivalent_vars",
+    "find_homomorphism",
+    "find_non_hierarchical_witness",
+    "fresh_renaming",
+    "has_homomorphism",
+    "homomorphisms",
+    "is_constant",
+    "is_hierarchical",
+    "is_minimal",
+    "is_variable",
+    "maximal_variables",
+    "minimize",
+    "order_type",
+    "parse",
+    "query",
+    "root_variables",
+    "self_unifications",
+    "strictly_below",
+    "trichotomy",
+    "unify_atoms",
+    "unify_subgoals",
+    "var",
+    "variable_classes",
+]

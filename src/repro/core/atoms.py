@@ -1,0 +1,93 @@
+"""Relational atoms (the paper's *sub-goals*).
+
+An atom is a relation symbol applied to a tuple of terms, optionally
+negated (Section 3.2, "Queries with Negated Subgoals").  Atoms are
+immutable value objects; queries are built from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+from .terms import Constant, Term, Variable, make_term
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A sub-goal ``R(t1, ..., tk)`` or its negation ``not R(t1, ..., tk)``.
+
+    Attributes:
+        relation: relation symbol name.
+        terms: tuple of :class:`Variable` / :class:`Constant`.
+        negated: True for a negative sub-goal.
+    """
+
+    relation: str
+    terms: Tuple[Term, ...]
+    negated: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        coerced = tuple(make_term(t) for t in self.terms)
+        object.__setattr__(self, "terms", coerced)
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.terms)
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """Distinct variables in positional order of first occurrence."""
+        seen: dict[Variable, None] = {}
+        for term in self.terms:
+            if isinstance(term, Variable):
+                seen.setdefault(term, None)
+        return tuple(seen)
+
+    @property
+    def constants(self) -> Tuple[Constant, ...]:
+        """Distinct constants in positional order of first occurrence."""
+        seen: dict[Constant, None] = {}
+        for term in self.terms:
+            if isinstance(term, Constant):
+                seen.setdefault(term, None)
+        return tuple(seen)
+
+    def is_ground(self) -> bool:
+        """True iff the atom contains no variables."""
+        return all(isinstance(t, Constant) for t in self.terms)
+
+    def positions_of(self, term: Term) -> Tuple[int, ...]:
+        """All argument positions at which ``term`` occurs."""
+        return tuple(i for i, t in enumerate(self.terms) if t == term)
+
+    def positive(self) -> "Atom":
+        """The positive version of this atom (identity if not negated)."""
+        if not self.negated:
+            return self
+        return Atom(self.relation, self.terms, negated=False)
+
+    def negate(self) -> "Atom":
+        """The atom with its polarity flipped."""
+        return Atom(self.relation, self.terms, negated=not self.negated)
+
+    def with_terms(self, terms: Iterable[Term]) -> "Atom":
+        """Copy of this atom with a new argument tuple."""
+        return Atom(self.relation, tuple(terms), negated=self.negated)
+
+    def __str__(self) -> str:
+        body = f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+        return f"not {body}" if self.negated else body
+
+    def __repr__(self) -> str:
+        return f"Atom({self})"
+
+
+def atom(relation: str, *terms, negated: bool = False) -> Atom:
+    """Convenience constructor coercing raw tokens into terms.
+
+    >>> atom("R", "x", 3)
+    Atom(R(x, 3))
+    """
+    return Atom(relation, tuple(make_term(t) for t in terms), negated=negated)

@@ -1,0 +1,268 @@
+"""The hierarchy structure of a conjunctive query (Definition 1.2).
+
+For a query ``q`` and variable ``x``, ``sg(x)`` is the set of sub-goals
+containing ``x``.  The query is *hierarchical* when for any two
+variables the sets ``sg(x)``, ``sg(y)`` are disjoint or nested.  This
+module exposes the preorder ``x ⊑ y`` (written ``below``), equivalence
+``x ≡ y``, strict comparison ``x ⊏ y``, maximal variables, the
+hierarchy tree of a connected query (Section 3.4), and a witness object
+explaining non-hierarchicality (used by the classifier and by the
+hardness construction of Corollary B.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .query import ConjunctiveQuery
+from .terms import Variable
+
+
+@dataclass(frozen=True)
+class NonHierarchicalWitness:
+    """Variables ``x, y`` with crossing sub-goal sets, plus witness atoms.
+
+    ``only_x`` contains ``x`` but not ``y``; ``shared`` contains both;
+    ``only_y`` contains ``y`` but not ``x``.  This is exactly the
+    ``R1(v1), R2(v2), R3(v3)`` pattern of Theorem B.5.
+    """
+
+    x: Variable
+    y: Variable
+    only_x: int
+    shared: int
+    only_y: int
+
+    def describe(self, query: ConjunctiveQuery) -> str:
+        return (
+            f"sg({self.x}) and sg({self.y}) cross: "
+            f"{query.atoms[self.only_x]} has {self.x} only, "
+            f"{query.atoms[self.shared]} has both, "
+            f"{query.atoms[self.only_y]} has {self.y} only"
+        )
+
+
+def below(query: ConjunctiveQuery, x: Variable, y: Variable) -> bool:
+    """``x ⊑ y``: every sub-goal containing ``x`` also contains ``y``.
+
+    Note the direction: the paper writes ``x ⊑ y`` for
+    ``sg(x) ⊆ sg(y)``, so ``y`` is the "bigger" (more widely occurring)
+    variable.
+    """
+    return query.subgoal_map[x] <= query.subgoal_map[y]
+
+
+def equivalent_vars(query: ConjunctiveQuery, x: Variable, y: Variable) -> bool:
+    """``x ≡ y``: identical sub-goal sets."""
+    return query.subgoal_map[x] == query.subgoal_map[y]
+
+
+def strictly_below(query: ConjunctiveQuery, x: Variable, y: Variable) -> bool:
+    """``x ⊏ y``: ``sg(x) ⊂ sg(y)`` strictly."""
+    return query.subgoal_map[x] < query.subgoal_map[y]
+
+
+def find_non_hierarchical_witness(
+    query: ConjunctiveQuery,
+) -> Optional[NonHierarchicalWitness]:
+    """A crossing variable pair, or None when the query is hierarchical."""
+    sg = query.subgoal_map
+    variables = query.variables
+    for i, x in enumerate(variables):
+        for y in variables[i + 1:]:
+            sx, sy = sg[x], sg[y]
+            common = sx & sy
+            if not common or sx <= sy or sy <= sx:
+                continue
+            return NonHierarchicalWitness(
+                x=x,
+                y=y,
+                only_x=min(sx - sy),
+                shared=min(common),
+                only_y=min(sy - sx),
+            )
+    return None
+
+
+def is_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Definition 1.2 applied to the query as written.
+
+    The paper's *property*-level notion minimizes first; use
+    ``is_hierarchical(minimize(q))`` for that reading.
+    """
+    return find_non_hierarchical_witness(query) is None
+
+
+def maximal_variables(query: ConjunctiveQuery) -> List[Variable]:
+    """Variables ``x`` maximal under ⊑: ``y ⊒ x`` implies ``x ⊒ y``."""
+    result: List[Variable] = []
+    for x in query.variables:
+        if all(
+            not strictly_below(query, x, y)
+            for y in query.variables
+            if y != x
+        ):
+            result.append(x)
+    return result
+
+
+def root_variables(query: ConjunctiveQuery) -> List[Variable]:
+    """Variables occurring in *every* sub-goal of the query.
+
+    For a connected hierarchical query these are the candidates for the
+    root variable of a unary coverage (Definition 2.10).
+    """
+    if not query.atoms:
+        return []
+    all_goals = frozenset(range(len(query.atoms)))
+    return [v for v in query.variables if query.subgoal_map[v] == all_goals]
+
+
+@dataclass(frozen=True)
+class HierarchyNode:
+    """A node of the hierarchy tree: one ≡-class of variables.
+
+    Attributes:
+        variables: the equivalence class.
+        scope: ``⌈x⌉`` — all variables weakly above the class (ancestors
+            plus the class itself); the arity of the paper's ``S[x]_f``
+            relations.
+        subgoals: indices of sub-goals whose variable set is exactly
+            ``scope``.
+        children: child nodes.
+    """
+
+    variables: Tuple[Variable, ...]
+    scope: Tuple[Variable, ...]
+    subgoals: Tuple[int, ...]
+    children: Tuple["HierarchyNode", ...]
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __str__(self) -> str:
+        names = ",".join(v.name for v in self.variables)
+        return f"[{names}]"
+
+
+class HierarchyTree:
+    """The hierarchy tree of a connected hierarchical query (Sec. 3.4).
+
+    Nodes are ≡-classes; the parent relation is the covering relation of
+    ⊑ (a class sits below the classes occurring in strictly more
+    sub-goals that contain it).  For a connected hierarchical query the
+    maximal classes form a single root; we verify this and raise
+    otherwise.
+    """
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        if not is_hierarchical(query):
+            raise ValueError(f"query is not hierarchical: {query}")
+        if not query.is_connected():
+            raise ValueError(f"hierarchy tree needs a connected query: {query}")
+        self.query = query
+        self.roots: Tuple[HierarchyNode, ...] = tuple(_build_forest(query))
+
+    @property
+    def root(self) -> HierarchyNode:
+        """The unique root class.
+
+        A connected query with at least one variable has one maximal
+        ≡-class only when some class occurs in every sub-goal; queries
+        like ``R(x), S(x, y), S(y, x)`` after ranking do.  When several
+        maximal classes exist, accessing :attr:`root` raises.
+        """
+        if len(self.roots) != 1:
+            raise ValueError(
+                f"query has {len(self.roots)} maximal variable classes, "
+                f"no unique hierarchy root: {self.query}"
+            )
+        return self.roots[0]
+
+    def nodes(self) -> List[HierarchyNode]:
+        result: List[HierarchyNode] = []
+        for root in self.roots:
+            result.extend(root.walk())
+        return result
+
+    def __str__(self) -> str:
+        return " | ".join(_render(root) for root in self.roots)
+
+
+def variable_classes(query: ConjunctiveQuery) -> List[Tuple[Variable, ...]]:
+    """≡-classes of the query's variables, ordered by first occurrence."""
+    classes: Dict[FrozenSet[int], List[Variable]] = {}
+    for variable in query.variables:
+        classes.setdefault(query.subgoal_map[variable], []).append(variable)
+    return [tuple(group) for group in classes.values()]
+
+
+def _build_forest(query: ConjunctiveQuery) -> List[HierarchyNode]:
+    classes = variable_classes(query)
+    if not classes:
+        return []
+    sg = query.subgoal_map
+    class_sg = [sg[group[0]] for group in classes]
+
+    def strict_ancestors(i: int) -> List[int]:
+        return [
+            j for j in range(len(classes))
+            if j != i and class_sg[i] < class_sg[j]
+        ]
+
+    # Parent of class i: the strict ancestor with the smallest sub-goal
+    # superset (the covering class).
+    parent: Dict[int, Optional[int]] = {}
+    for i in range(len(classes)):
+        ancestors = strict_ancestors(i)
+        if not ancestors:
+            parent[i] = None
+            continue
+        best = min(ancestors, key=lambda j: len(class_sg[j]))
+        parent[i] = best
+
+    children_of: Dict[Optional[int], List[int]] = {}
+    for i, par in parent.items():
+        children_of.setdefault(par, []).append(i)
+
+    def scope_of(i: int) -> Tuple[Variable, ...]:
+        scope: List[Variable] = []
+        node: Optional[int] = i
+        chain: List[int] = []
+        while node is not None:
+            chain.append(node)
+            node = parent[node]
+        for idx in reversed(chain):
+            scope.extend(classes[idx])
+        return tuple(scope)
+
+    def subgoals_exact(i: int) -> Tuple[int, ...]:
+        scope = set(scope_of(i))
+        result = []
+        for idx, atom in enumerate(query.atoms):
+            if set(atom.variables) == scope:
+                result.append(idx)
+        return tuple(result)
+
+    def build(i: int) -> HierarchyNode:
+        kids = tuple(build(j) for j in sorted(children_of.get(i, ())))
+        return HierarchyNode(
+            variables=classes[i],
+            scope=scope_of(i),
+            subgoals=subgoals_exact(i),
+            children=kids,
+        )
+
+    return [build(i) for i in sorted(children_of.get(None, ()))]
+
+
+def _render(node: HierarchyNode, depth: int = 0) -> str:
+    line = "  " * depth + str(node)
+    parts = [line]
+    for child in node.children:
+        parts.append(_render(child, depth + 1))
+    return "\n".join(parts)

@@ -1,0 +1,219 @@
+"""Homomorphisms, containment, equivalence and minimization of CQs.
+
+A homomorphism ``h : q -> q'`` maps the variables of ``q`` to terms of
+``q'`` (constants are fixed) such that every sub-goal of ``q`` lands on
+a sub-goal of ``q'`` with the same relation and polarity, and every
+arithmetic predicate of ``q``, after mapping, is entailed by the
+predicates of ``q'``.  The classic theorem then gives containment:
+``q' implies q`` iff ``h : q -> q'`` exists (for predicate-free CQs;
+with restricted order predicates the entailment condition keeps the
+direction sound, which is all the dichotomy analysis needs).
+
+Minimization computes the core by folding the query along shrinking
+endomorphisms; the paper assumes minimal queries throughout (e.g.
+Theorem B.4, Figure 1's "need to minimize covers").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .atoms import Atom
+from .predicates import Comparison
+from .query import ConjunctiveQuery
+from .substitution import Substitution
+from .terms import Constant, Term, Variable
+
+
+def homomorphisms(
+    source: ConjunctiveQuery,
+    target: ConjunctiveQuery,
+    fixed: Optional[Dict[Variable, Term]] = None,
+) -> Iterator[Substitution]:
+    """Yield all homomorphisms ``source -> target``.
+
+    Args:
+        source: the query being mapped.
+        target: the query being mapped into.
+        fixed: optional pre-commitments for some source variables.
+    """
+    assignment: Dict[Variable, Term] = dict(fixed or {})
+    atoms = _ordered_atoms(source)
+    target_by_signature: Dict[Tuple[str, int, bool], List[Atom]] = {}
+    for atom in target.atoms:
+        key = (atom.relation, atom.arity, atom.negated)
+        target_by_signature.setdefault(key, []).append(atom)
+
+    def mapped_predicates_ok() -> bool:
+        constraints = target.order_constraints
+        for pred in source.predicates:
+            left = _image(pred.left, assignment)
+            right = _image(pred.right, assignment)
+            if left is None or right is None:
+                continue  # not yet fully mapped; checked once complete
+            if not constraints.entails(Comparison(pred.op, left, right)):
+                return False
+        return True
+
+    def backtrack(index: int) -> Iterator[Substitution]:
+        if index == len(atoms):
+            if mapped_predicates_ok():
+                yield Substitution(dict(assignment))
+            return
+        atom = atoms[index]
+        key = (atom.relation, atom.arity, atom.negated)
+        for candidate in target_by_signature.get(key, ()):
+            added = _try_match(atom, candidate, assignment)
+            if added is None:
+                continue
+            if _partial_predicates_ok(source, target, assignment):
+                yield from backtrack(index + 1)
+            for variable in added:
+                del assignment[variable]
+
+    yield from backtrack(0)
+
+
+def find_homomorphism(
+    source: ConjunctiveQuery,
+    target: ConjunctiveQuery,
+    fixed: Optional[Dict[Variable, Term]] = None,
+) -> Optional[Substitution]:
+    """The first homomorphism ``source -> target``, or None."""
+    for hom in homomorphisms(source, target, fixed=fixed):
+        return hom
+    return None
+
+
+def has_homomorphism(source: ConjunctiveQuery, target: ConjunctiveQuery) -> bool:
+    """True iff some homomorphism ``source -> target`` exists."""
+    return find_homomorphism(source, target) is not None
+
+
+def contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """True iff ``q1`` implies ``q2`` on all structures.
+
+    Standard CQ containment: ``q1 subseteq q2`` iff a homomorphism
+    ``q2 -> q1`` exists.  Unsatisfiable queries are contained in
+    everything.
+    """
+    if not q1.is_satisfiable():
+        return True
+    return has_homomorphism(q2, q1)
+
+
+def equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Logical equivalence via mutual containment."""
+    return contained_in(q1, q2) and contained_in(q2, q1)
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The core of ``query``: an equivalent query with minimal sub-goals.
+
+    Folds the query along endomorphisms whose atom image is strictly
+    smaller, until none exists.  Predicates are carried through the
+    folding substitution and trivially-true ones are dropped.
+    """
+    current = query
+    while True:
+        folded = _shrinking_fold(current)
+        if folded is None:
+            return current
+        current = folded
+
+
+def _shrinking_fold(query: ConjunctiveQuery) -> Optional[ConjunctiveQuery]:
+    total = len(query.atoms)
+    if total <= 1:
+        return None
+    for hom in homomorphisms(query, query):
+        image_atoms = {
+            atom.with_terms(hom.apply(t) for t in atom.terms)
+            for atom in query.atoms
+        }
+        if len(image_atoms) < total:
+            folded = query.apply(hom).drop_trivial_predicates()
+            if len(folded.atoms) < total:
+                return folded
+    return None
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """True iff the query equals its core (up to canonical form)."""
+    return minimize(query) == query
+
+
+def endomorphisms(query: ConjunctiveQuery) -> Iterator[Substitution]:
+    """All homomorphisms from a query to itself."""
+    yield from homomorphisms(query, query)
+
+
+def is_automorphism(query: ConjunctiveQuery, hom: Substitution) -> bool:
+    """True iff ``hom`` permutes the query's atoms bijectively."""
+    image = query.apply(hom)
+    return set(image.atoms) == set(query.atoms) and len(image.atoms) == len(query.atoms)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+
+def _ordered_atoms(query: ConjunctiveQuery) -> List[Atom]:
+    """Source atoms ordered most-constrained-first for faster search."""
+    return sorted(
+        query.atoms,
+        key=lambda a: (-len(a.constants), -a.arity, a.relation),
+    )
+
+
+def _try_match(
+    source_atom: Atom,
+    target_atom: Atom,
+    assignment: Dict[Variable, Term],
+) -> Optional[List[Variable]]:
+    """Extend ``assignment`` so that ``source_atom`` maps onto
+    ``target_atom``; return newly bound variables, or None on clash."""
+    added: List[Variable] = []
+    for s_term, t_term in zip(source_atom.terms, target_atom.terms):
+        if isinstance(s_term, Constant):
+            if s_term != t_term:
+                _rollback(assignment, added)
+                return None
+            continue
+        bound = assignment.get(s_term)
+        if bound is None:
+            assignment[s_term] = t_term
+            added.append(s_term)
+        elif bound != t_term:
+            _rollback(assignment, added)
+            return None
+    return added
+
+
+def _rollback(assignment: Dict[Variable, Term], added: List[Variable]) -> None:
+    for variable in added:
+        del assignment[variable]
+
+
+def _image(term: Term, assignment: Dict[Variable, Term]) -> Optional[Term]:
+    if isinstance(term, Constant):
+        return term
+    return assignment.get(term)
+
+
+def _partial_predicates_ok(
+    source: ConjunctiveQuery,
+    target: ConjunctiveQuery,
+    assignment: Dict[Variable, Term],
+) -> bool:
+    """Prune: fully-mapped predicates must already be entailed."""
+    constraints = target.order_constraints
+    for pred in source.predicates:
+        left = _image(pred.left, assignment)
+        right = _image(pred.right, assignment)
+        if left is None or right is None:
+            continue
+        if not constraints.entails(Comparison(pred.op, left, right)):
+            return False
+    return True

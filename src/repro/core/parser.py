@@ -1,0 +1,114 @@
+"""A small text parser for conjunctive queries.
+
+Grammar (comma-separated items)::
+
+    query      ::= item ("," item)*
+    item       ::= ["not"] NAME "(" term ("," term)* ")"   -- sub-goal
+                 | term OP term                            -- predicate
+    term       ::= NAME | NUMBER | "'" chars "'"
+    OP         ::= "<" | ">" | "=" | "!="
+
+By default identifiers are variables and numbers / quoted tokens are
+constants; names listed in ``constants`` are parsed as string constants,
+matching the paper's habit of writing constants ``a, b, c`` unquoted.
+
+>>> parse("R(x), S(x,y)")
+ConjunctiveQuery(R(x), S(x, y))
+>>> parse("R(a,x), x < y, S(x,y)", constants=("a",))
+ConjunctiveQuery(R('a', x), S(x, y), x < y)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Tuple
+
+from .atoms import Atom
+from .predicates import Comparison
+from .query import ConjunctiveQuery
+from .terms import Constant, Term, Variable
+
+_SUBGOAL_RE = re.compile(
+    r"^(?P<neg>not\s+)?(?P<rel>[A-Za-z_][A-Za-z0-9_]*)\s*\((?P<args>[^()]*)\)$"
+)
+_PREDICATE_RE = re.compile(
+    r"^(?P<left>[^<>=!]+?)\s*(?P<op><|>|=|!=)\s*(?P<right>[^<>=!]+)$"
+)
+_NUMBER_RE = re.compile(r"^-?\d+$")
+
+
+class QueryParseError(ValueError):
+    """Raised on malformed query text."""
+
+
+def parse(text: str, constants: Iterable[str] = ()) -> ConjunctiveQuery:
+    """Parse ``text`` into a :class:`ConjunctiveQuery`.
+
+    Args:
+        text: the query, e.g. ``"R(x), S(x,y), x != y"``.
+        constants: identifier names to treat as string constants.
+    """
+    constant_names = set(constants)
+    atoms: List[Atom] = []
+    predicates: List[Comparison] = []
+    for item in _split_items(text):
+        subgoal = _SUBGOAL_RE.match(item)
+        if subgoal:
+            args = subgoal.group("args").strip()
+            if not args:
+                raise QueryParseError(f"sub-goal with no arguments: {item!r}")
+            terms = tuple(
+                _parse_term(tok.strip(), constant_names)
+                for tok in args.split(",")
+            )
+            atoms.append(
+                Atom(subgoal.group("rel"), terms, negated=bool(subgoal.group("neg")))
+            )
+            continue
+        predicate = _PREDICATE_RE.match(item)
+        if predicate:
+            left = _parse_term(predicate.group("left").strip(), constant_names)
+            right = _parse_term(predicate.group("right").strip(), constant_names)
+            predicates.append(Comparison(predicate.group("op"), left, right))
+            continue
+        raise QueryParseError(f"cannot parse query item: {item!r}")
+    return ConjunctiveQuery(atoms, predicates)
+
+
+def _split_items(text: str) -> List[str]:
+    """Split on commas that are outside parentheses."""
+    items: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryParseError(f"unbalanced parentheses in {text!r}")
+        if char == "," and depth == 0:
+            items.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise QueryParseError(f"unbalanced parentheses in {text!r}")
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return [item for item in items if item]
+
+
+def _parse_term(token: str, constant_names: set) -> Term:
+    if not token:
+        raise QueryParseError("empty term")
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in ("'", '"'):
+        return Constant(token[1:-1])
+    if _NUMBER_RE.match(token):
+        return Constant(int(token))
+    if token in constant_names:
+        return Constant(token)
+    if not re.match(r"^[A-Za-z_][A-Za-z0-9_']*$", token):
+        raise QueryParseError(f"invalid term token: {token!r}")
+    return Variable(token)

@@ -1,0 +1,343 @@
+"""Conjunctive queries (Boolean, with optional negation and predicates).
+
+A query is a conjunction of sub-goals (atoms) plus restricted arithmetic
+predicates, all variables implicitly existentially quantified (Section
+1).  Conjunction is idempotent, so atoms and predicates are stored
+deduplicated in a canonical order; syntactic equality of
+:class:`ConjunctiveQuery` objects is equality of those sets.  Semantic
+equivalence (via homomorphisms) lives in
+:mod:`repro.core.homomorphism`.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .atoms import Atom
+from .orders import OrderConstraints
+from .predicates import Comparison
+from .substitution import Substitution, fresh_renaming
+from .terms import Constant, Term, Variable
+
+
+class ConjunctiveQuery:
+    """A Boolean conjunctive query ``q = g1, ..., gm, p1, ..., pn``.
+
+    Attributes:
+        atoms: deduplicated sub-goals in canonical order.
+        predicates: deduplicated arithmetic predicates in canonical order.
+    """
+
+    __slots__ = ("atoms", "predicates", "__dict__")
+
+    def __init__(
+        self,
+        atoms: Iterable[Atom],
+        predicates: Iterable[Comparison] = (),
+    ) -> None:
+        self.atoms: Tuple[Atom, ...] = _canonical_atoms(atoms)
+        self.predicates: Tuple[Comparison, ...] = _canonical_predicates(predicates)
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def variables(self) -> Tuple[Variable, ...]:
+        """Distinct variables, in order of first occurrence."""
+        seen: Dict[Variable, None] = {}
+        for atom in self.atoms:
+            for variable in atom.variables:
+                seen.setdefault(variable, None)
+        for pred in self.predicates:
+            for variable in pred.variables:
+                seen.setdefault(variable, None)
+        return tuple(seen)
+
+    @cached_property
+    def constants(self) -> Tuple[Constant, ...]:
+        """Distinct constants appearing in atoms or predicates."""
+        seen: Dict[Constant, None] = {}
+        for atom in self.atoms:
+            for constant in atom.constants:
+                seen.setdefault(constant, None)
+        for pred in self.predicates:
+            for term in pred.terms:
+                if isinstance(term, Constant):
+                    seen.setdefault(term, None)
+        return tuple(seen)
+
+    @cached_property
+    def relations(self) -> Tuple[str, ...]:
+        """Distinct relation symbols in canonical order."""
+        return tuple(sorted({atom.relation for atom in self.atoms}))
+
+    @property
+    def positive_atoms(self) -> Tuple[Atom, ...]:
+        return tuple(a for a in self.atoms if not a.negated)
+
+    @property
+    def negative_atoms(self) -> Tuple[Atom, ...]:
+        return tuple(a for a in self.atoms if a.negated)
+
+    def is_ground(self) -> bool:
+        """True iff the query has no variables."""
+        return not self.variables
+
+    def is_range_restricted(self) -> bool:
+        """Every variable occurs in at least one positive sub-goal."""
+        covered: Set[Variable] = set()
+        for atom in self.positive_atoms:
+            covered.update(atom.variables)
+        return all(v in covered for v in self.variables)
+
+    def has_self_join(self) -> bool:
+        """True iff some relation symbol occurs in two or more sub-goals."""
+        seen: Set[str] = set()
+        for atom in self.atoms:
+            if atom.relation in seen:
+                return True
+            seen.add(atom.relation)
+        return False
+
+    @cached_property
+    def order_constraints(self) -> OrderConstraints:
+        """The predicate set as a decidable constraint conjunction."""
+        return OrderConstraints(self.predicates)
+
+    def is_satisfiable(self) -> bool:
+        """False when the arithmetic predicates are contradictory."""
+        return self.order_constraints.is_satisfiable()
+
+    # ------------------------------------------------------------------
+    # sub-goal sets and variable occurrence
+    # ------------------------------------------------------------------
+
+    def subgoals_of(self, variable: Variable) -> FrozenSet[int]:
+        """``sg(x)``: the indices of sub-goals containing ``variable``."""
+        return frozenset(
+            i for i, atom in enumerate(self.atoms) if variable in atom.variables
+        )
+
+    @cached_property
+    def subgoal_map(self) -> Dict[Variable, FrozenSet[int]]:
+        """``sg`` for every variable of the query."""
+        return {v: self.subgoals_of(v) for v in self.variables}
+
+    def max_variables_per_subgoal(self) -> int:
+        """``V(q)``: max number of distinct variables in one sub-goal.
+
+        Corollary 3.7 bounds the safe-evaluation formula size by
+        ``O(N^{V(q)})``.
+        """
+        if not self.atoms:
+            return 0
+        return max(len(atom.variables) for atom in self.atoms)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def apply(self, substitution: Substitution) -> "ConjunctiveQuery":
+        """The query with ``substitution`` applied to atoms and predicates."""
+        new_atoms = [
+            atom.with_terms(substitution.apply(t) for t in atom.terms)
+            for atom in self.atoms
+        ]
+        new_preds = [
+            Comparison(p.op, substitution.apply(p.left), substitution.apply(p.right))
+            for p in self.predicates
+        ]
+        return ConjunctiveQuery(new_atoms, new_preds)
+
+    def substitute(self, variable: Variable, term: Term) -> "ConjunctiveQuery":
+        """``q[a/x]``: replace one variable."""
+        return self.apply(Substitution({variable: term}))
+
+    def rename_apart(self, taken: Iterable[Variable],
+                     suffix: str = "_r") -> Tuple["ConjunctiveQuery", Substitution]:
+        """A variable-disjoint copy w.r.t. ``taken``, plus the renaming used."""
+        renaming = fresh_renaming(self.variables, taken, suffix=suffix)
+        return self.apply(renaming), renaming
+
+    def conjoin(self, other: "ConjunctiveQuery") -> "ConjunctiveQuery":
+        """The conjunction ``q q'`` (caller renames apart when needed)."""
+        return ConjunctiveQuery(
+            self.atoms + other.atoms, self.predicates + other.predicates
+        )
+
+    def without_predicates(self) -> "ConjunctiveQuery":
+        """The query with all arithmetic predicates dropped."""
+        return ConjunctiveQuery(self.atoms)
+
+    def positive_part(self) -> "ConjunctiveQuery":
+        """All sub-goals made positive (Def. 3.9's inversion-freeness test)."""
+        return ConjunctiveQuery(
+            tuple(a.positive() for a in self.atoms), self.predicates
+        )
+
+    def drop_trivial_predicates(self) -> "ConjunctiveQuery":
+        """Remove predicates entailed by the empty constraint set.
+
+        For example ``1 < 2`` between constants, or ``x = x``.
+        """
+        empty = OrderConstraints()
+        kept = [p for p in self.predicates if not empty.entails(p)]
+        if len(kept) == len(self.predicates):
+            return self
+        return ConjunctiveQuery(self.atoms, kept)
+
+    # ------------------------------------------------------------------
+    # Connected components (the paper's factors)
+    # ------------------------------------------------------------------
+
+    def connected_components(self) -> List["ConjunctiveQuery"]:
+        """Split into connected components.
+
+        Two sub-goals are connected when they share a variable.  Each
+        ground (constant) sub-goal is its own component, following
+        footnote 3: "strictly speaking each constant sub-goal should be
+        a distinct factor".  Arithmetic predicates are attached to every
+        component containing at least one of their variables (restricted
+        predicates never straddle two components of a satisfiable
+        query); variable-free predicates go to every component.
+        """
+        if not self.atoms:
+            return []
+        parent: Dict[int, int] = {i: i for i in range(len(self.atoms))}
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            parent[find(i)] = find(j)
+
+        occurrences: Dict[Variable, List[int]] = {}
+        for idx, atom in enumerate(self.atoms):
+            for variable in atom.variables:
+                occurrences.setdefault(variable, []).append(idx)
+        for indices in occurrences.values():
+            for other in indices[1:]:
+                union(indices[0], other)
+
+        groups: Dict[int, List[Atom]] = {}
+        group_vars: Dict[int, Set[Variable]] = {}
+        for idx, atom in enumerate(self.atoms):
+            root = find(idx)
+            groups.setdefault(root, []).append(atom)
+            group_vars.setdefault(root, set()).update(atom.variables)
+
+        components: List[ConjunctiveQuery] = []
+        for root in sorted(groups, key=lambda r: str(groups[r][0])):
+            atoms = groups[root]
+            variables = group_vars[root]
+            preds = [
+                p for p in self.predicates
+                if (not p.variables) or any(v in variables for v in p.variables)
+            ]
+            components.append(ConjunctiveQuery(atoms, preds))
+        return components
+
+    def is_connected(self) -> bool:
+        """True iff the query has exactly one connected component."""
+        return len(self.connected_components()) <= 1
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def _key(self) -> Tuple:
+        return (self.atoms, self.predicates)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __str__(self) -> str:
+        parts = [str(a) for a in self.atoms] + [str(p) for p in self.predicates]
+        return ", ".join(parts) if parts else "(empty)"
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({self})"
+
+
+def _atom_sort_key(atom: Atom) -> tuple:
+    return (atom.relation, atom.negated, tuple(str(t) for t in atom.terms))
+
+
+def _canonical_atoms(atoms: Iterable[Atom]) -> Tuple[Atom, ...]:
+    unique: Dict[Atom, None] = {}
+    for atom in atoms:
+        if not isinstance(atom, Atom):
+            raise TypeError(f"expected Atom, got {atom!r}")
+        unique.setdefault(atom, None)
+    return tuple(sorted(unique, key=_atom_sort_key))
+
+
+def _canonical_predicates(predicates: Iterable[Comparison]) -> Tuple[Comparison, ...]:
+    unique: Dict[Comparison, None] = {}
+    for pred in predicates:
+        if not isinstance(pred, Comparison):
+            raise TypeError(f"expected Comparison, got {pred!r}")
+        unique.setdefault(pred, None)
+    return tuple(sorted(unique, key=str))
+
+
+def canonical_string(query: ConjunctiveQuery) -> str:
+    """A renaming-invariant (best effort) textual form.
+
+    Variables are renamed ``v0, v1, ...`` following the canonical atom
+    order, iterating to a fixpoint.  Used for deduplicating factors and
+    for cycle detection; it is a faithful rendering, so distinct
+    queries never collide — at worst two isomorphic queries may render
+    differently (harmless for its callers).
+    """
+    from .substitution import Substitution  # local import: avoid cycle
+    from .terms import Variable as _Variable
+
+    current = query
+    previous = None
+    for _ in range(5):
+        mapping = {}
+        for variable in current.variables:
+            mapping[variable] = _Variable(f"v{len(mapping)}")
+        renamed = current.apply(Substitution(mapping))
+        text = str(renamed)
+        if text == previous:
+            break
+        previous = text
+        current = renamed
+    return previous if previous is not None else str(current)
+
+
+def query(*parts) -> ConjunctiveQuery:
+    """Build a query from a mix of atoms and comparisons.
+
+    >>> from repro.core.atoms import atom
+    >>> from repro.core.predicates import comparison
+    >>> q = query(atom("R", "x"), atom("S", "x", "y"), comparison("x", "<", "y"))
+    """
+    atoms: List[Atom] = []
+    preds: List[Comparison] = []
+    for part in parts:
+        if isinstance(part, Atom):
+            atoms.append(part)
+        elif isinstance(part, Comparison):
+            preds.append(part)
+        elif isinstance(part, ConjunctiveQuery):
+            atoms.extend(part.atoms)
+            preds.extend(part.predicates)
+        else:
+            raise TypeError(f"cannot add {part!r} to a conjunctive query")
+    return ConjunctiveQuery(atoms, preds)

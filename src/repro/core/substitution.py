@@ -1,0 +1,139 @@
+"""Substitutions: finite maps from variables to terms.
+
+Substitutions drive unification (Section 2.1 "Unifiers"), grounding of
+expansion variables (Section 2.3), and homomorphism search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .terms import Constant, Term, Variable, make_term
+
+
+class Substitution:
+    """An immutable map ``Variable -> Term``.
+
+    Application is *non-recursive*: the image terms are used verbatim.
+    Compose two substitutions with :meth:`compose` when chained
+    application is needed.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Optional[Mapping[Variable, Term]] = None) -> None:
+        items: Dict[Variable, Term] = {}
+        if mapping:
+            for key, value in mapping.items():
+                if not isinstance(key, Variable):
+                    raise TypeError(f"substitution keys must be variables, got {key!r}")
+                items[key] = make_term(value)
+        self._mapping = items
+
+    @classmethod
+    def of(cls, **bindings) -> "Substitution":
+        """Build from keyword variable names: ``Substitution.of(x='a', y=3)``."""
+        return cls({Variable(name): make_term(value) for name, value in bindings.items()})
+
+    def apply(self, term: Term) -> Term:
+        """Image of a single term (identity on constants and unbound variables)."""
+        if isinstance(term, Variable):
+            return self._mapping.get(term, term)
+        return term
+
+    def compose(self, after: "Substitution") -> "Substitution":
+        """The substitution equivalent to applying ``self`` then ``after``."""
+        result: Dict[Variable, Term] = {
+            var: after.apply(image) for var, image in self._mapping.items()
+        }
+        for var, image in after.items():
+            result.setdefault(var, image)
+        return Substitution(result)
+
+    def bind(self, variable: Variable, term: Term) -> "Substitution":
+        """A new substitution with one extra binding."""
+        updated = dict(self._mapping)
+        updated[variable] = make_term(term)
+        return Substitution(updated)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """The sub-map whose keys lie in ``variables``."""
+        keep = set(variables)
+        return Substitution({v: t for v, t in self._mapping.items() if v in keep})
+
+    def is_one_to_one(self) -> bool:
+        """True for a 1-1 substitution in the paper's sense (Sec. 2.1):
+
+        no variable maps to a constant, and no two distinct variables
+        share an image.
+        """
+        images = list(self._mapping.values())
+        if any(isinstance(image, Constant) for image in images):
+            return False
+        return len(set(images)) == len(images)
+
+    def as_pairs(self) -> Tuple[Tuple[Variable, Term], ...]:
+        """Sorted (variable, image) pairs; the paper's set representation."""
+        return tuple(sorted(self._mapping.items(), key=lambda kv: kv[0].name))
+
+    def items(self) -> Iterator[Tuple[Variable, Term]]:
+        return iter(self._mapping.items())
+
+    def keys(self):
+        return self._mapping.keys()
+
+    def get(self, variable: Variable, default: Optional[Term] = None) -> Optional[Term]:
+        return self._mapping.get(variable, default)
+
+    def __getitem__(self, variable: Variable) -> Term:
+        return self._mapping[variable]
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __bool__(self) -> bool:
+        return bool(self._mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{v} -> {t}" for v, t in self.as_pairs())
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:
+        return f"Substitution({self})"
+
+
+IDENTITY = Substitution()
+
+
+def fresh_renaming(variables: Iterable[Variable], taken: Iterable[Variable],
+                   suffix: str = "_r") -> Substitution:
+    """Rename ``variables`` away from ``taken`` with fresh names.
+
+    Used before unifying two (copies of) queries, which the paper always
+    does on disjoint variable sets.
+    """
+    taken_names = {v.name for v in taken}
+    mapping: Dict[Variable, Term] = {}
+    for variable in variables:
+        if variable.name not in taken_names:
+            taken_names.add(variable.name)
+            continue
+        counter = 0
+        candidate = f"{variable.name}{suffix}"
+        while candidate in taken_names:
+            counter += 1
+            candidate = f"{variable.name}{suffix}{counter}"
+        taken_names.add(candidate)
+        mapping[variable] = Variable(candidate)
+    return Substitution(mapping)

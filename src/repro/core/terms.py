@@ -1,0 +1,117 @@
+"""Terms of the conjunctive-query calculus: variables and constants.
+
+The paper works over first-order structures whose active domain is a set
+of constants drawn from an *ordered* domain (Section 2.1 introduces
+arithmetic predicates ``u = v``, ``u != v``, ``u < v``).  We therefore
+require constant values to be orderable and hashable; in practice they
+are ints or strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+@total_ordering
+class Variable:
+    """A query variable, identified by name.
+
+    Variables compare and hash by name only, so renaming has to be done
+    explicitly through substitutions (:mod:`repro.core.substitution`).
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Variable):
+            return self.name < other.name
+        if isinstance(other, Constant):
+            # Arbitrary but total order across term kinds: variables
+            # sort before constants.  Only used for canonical ordering
+            # of term collections, never for semantics.
+            return True
+        return NotImplemented
+
+
+@dataclass(frozen=True, slots=True)
+@total_ordering
+class Constant:
+    """A domain constant wrapping an orderable Python value."""
+
+    value: Union[int, str, float]
+
+    def __str__(self) -> str:
+        return f"'{self.value}'" if isinstance(self.value, str) else str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def _key(self) -> tuple:
+        # Order first by type name so int/str mixes stay totally ordered.
+        return (type(self.value).__name__, self.value)
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Constant):
+            return self._key() < other._key()
+        if isinstance(other, Variable):
+            return False
+        return NotImplemented
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return True iff ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return True iff ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def var(name: str) -> Variable:
+    """Shorthand constructor for a variable."""
+    return Variable(name)
+
+
+def const(value: Union[int, str, float]) -> Constant:
+    """Shorthand constructor for a constant."""
+    return Constant(value)
+
+
+def make_term(token: Union[Term, int, float, str]) -> Term:
+    """Coerce a Python value or token into a term.
+
+    Strings are interpreted with the usual datalog convention: an
+    identifier starting with a lowercase letter ``x``–``z`` or
+    containing no quotes is *not* automatically a variable; instead we
+    follow the convention used throughout this package:
+
+    * existing :class:`Variable`/:class:`Constant` instances pass through,
+    * ints and floats become constants,
+    * strings that are single-quoted (``"'a'"``) become string constants,
+    * all other strings become variables.
+    """
+    if isinstance(token, (Variable, Constant)):
+        return token
+    if isinstance(token, (int, float)):
+        return Constant(token)
+    if isinstance(token, str):
+        stripped = token.strip()
+        if len(stripped) >= 2 and stripped[0] == stripped[-1] == "'":
+            return Constant(stripped[1:-1])
+        if stripped.isdigit() or (stripped.startswith("-") and stripped[1:].isdigit()):
+            return Constant(int(stripped))
+        return Variable(stripped)
+    raise TypeError(f"cannot interpret {token!r} as a term")

@@ -1,0 +1,190 @@
+"""Most general unifiers of sub-goals and queries (Section 2.1).
+
+Unification always happens between two queries with disjoint variable
+sets (the paper renames apart first; callers here can ask for that).
+The MGU is computed by union-find over the argument positions of the two
+sub-goals; a class containing two distinct constants fails, and a class
+containing a constant maps all its variables to that constant.
+
+A unification is only *admissible* for coverage analysis when the
+unified query's arithmetic predicates remain satisfiable — this is what
+makes the refined covers of Example 2.4 strict: the added ``!=``
+predicates kill the offending unifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .atoms import Atom
+from .query import ConjunctiveQuery
+from .substitution import Substitution
+from .terms import Constant, Term, Variable
+
+
+@dataclass(frozen=True)
+class Unification:
+    """The result of unifying sub-goal ``left_index`` of ``left`` with
+    ``right_index`` of ``right`` (queries assumed variable-disjoint).
+
+    Attributes:
+        substitution: the MGU ``theta`` over both queries' variables.
+        unified: ``theta(left . right)`` — the conjunction after unification.
+        pairs: the set representation ``{(x, y)}`` with ``x`` in
+            ``Vars(left)``, ``y`` in ``Vars(right)``, ``theta(x) = theta(y)``.
+    """
+
+    left: ConjunctiveQuery
+    right: ConjunctiveQuery
+    left_index: int
+    right_index: int
+    substitution: Substitution
+    unified: ConjunctiveQuery
+    pairs: Tuple[Tuple[Variable, Variable], ...]
+
+    def is_strict(self) -> bool:
+        """Def. 2.2: the MGU is a 1-1 substitution for ``left . right``."""
+        return _is_one_to_one(self.substitution, self.left, self.right)
+
+
+def unify_atoms(g1: Atom, g2: Atom) -> Optional[Substitution]:
+    """MGU of two atoms, or None when they do not unify.
+
+    Negated sub-goals unify only with sub-goals of the same polarity
+    (polarity plays no role in the hierarchy analysis, which works on
+    positive parts, but keeping the check makes the function total).
+    """
+    if g1.relation != g2.relation or g1.arity != g2.arity:
+        return None
+    if g1.negated != g2.negated:
+        return None
+    parent: Dict[Term, Term] = {}
+
+    def find(t: Term) -> Term:
+        parent.setdefault(t, t)
+        while parent[t] != t:
+            parent[t] = parent[parent[t]]
+            t = parent[t]
+        return t
+
+    def union(a: Term, b: Term) -> bool:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return True
+        if isinstance(ra, Constant) and isinstance(rb, Constant):
+            return False
+        if isinstance(ra, Constant):
+            parent[rb] = ra
+        else:
+            parent[ra] = rb
+        return True
+
+    for t1, t2 in zip(g1.terms, g2.terms):
+        if not union(t1, t2):
+            return None
+
+    mapping: Dict[Variable, Term] = {}
+    for term in list(parent):
+        if isinstance(term, Variable):
+            root = find(term)
+            if root != term:
+                mapping[term] = root
+    return Substitution(mapping)
+
+
+def unify_subgoals(
+    left: ConjunctiveQuery,
+    right: ConjunctiveQuery,
+    left_index: int,
+    right_index: int,
+    check_satisfiable: bool = True,
+) -> Optional[Unification]:
+    """Unify one sub-goal of each query; None if impossible or vacuous.
+
+    ``left`` and ``right`` must already be variable-disjoint.  When
+    ``check_satisfiable`` is set (the default) a unifier that makes the
+    combined arithmetic predicates unsatisfiable is rejected — such a
+    unifier can never be witnessed by any structure.
+    """
+    shared = set(left.variables) & set(right.variables)
+    if shared:
+        raise ValueError(
+            f"queries must be variable-disjoint before unification; "
+            f"shared: {sorted(v.name for v in shared)}"
+        )
+    theta = unify_atoms(left.atoms[left_index], right.atoms[right_index])
+    if theta is None:
+        return None
+    unified = left.conjoin(right).apply(theta)
+    if check_satisfiable and not unified.is_satisfiable():
+        return None
+    pairs = _set_representation(theta, left, right)
+    return Unification(
+        left=left,
+        right=right,
+        left_index=left_index,
+        right_index=right_index,
+        substitution=theta,
+        unified=unified,
+        pairs=pairs,
+    )
+
+
+def all_unifications(
+    left: ConjunctiveQuery,
+    right: ConjunctiveQuery,
+    check_satisfiable: bool = True,
+) -> List[Unification]:
+    """Every admissible sub-goal-pair unification between two queries."""
+    results: List[Unification] = []
+    for i in range(len(left.atoms)):
+        for j in range(len(right.atoms)):
+            unification = unify_subgoals(
+                left, right, i, j, check_satisfiable=check_satisfiable
+            )
+            if unification is not None:
+                results.append(unification)
+    return results
+
+
+def self_unifications(
+    query: ConjunctiveQuery, check_satisfiable: bool = True
+) -> List[Unification]:
+    """Unifications between a query and a renamed copy of itself.
+
+    The paper's convention (Example 2.8(b)): "we rename the variables
+    before the unification".
+    """
+    copy, _ = query.rename_apart(query.variables, suffix="_c")
+    return all_unifications(query, copy, check_satisfiable=check_satisfiable)
+
+
+def _set_representation(
+    theta: Substitution,
+    left: ConjunctiveQuery,
+    right: ConjunctiveQuery,
+) -> Tuple[Tuple[Variable, Variable], ...]:
+    pairs: List[Tuple[Variable, Variable]] = []
+    for x in left.variables:
+        for y in right.variables:
+            if theta.apply(x) == theta.apply(y):
+                pairs.append((x, y))
+    return tuple(pairs)
+
+
+def _is_one_to_one(
+    theta: Substitution,
+    left: ConjunctiveQuery,
+    right: ConjunctiveQuery,
+) -> bool:
+    for source in (left, right):
+        images: List[Term] = []
+        for variable in source.variables:
+            image = theta.apply(variable)
+            if isinstance(image, Constant):
+                return False
+            images.append(image)
+        if len(set(images)) != len(images):
+            return False
+    return True

@@ -1,0 +1,43 @@
+"""Coverages, hierarchical closure, expansion coefficients, erasers."""
+
+from .closure import (
+    HierarchicalUnifier,
+    apply_join,
+    hierarchical_closure,
+    hierarchical_join_pairs,
+    hierarchical_unifiers_of_pair,
+)
+from .coverage import (
+    Coverage,
+    build_strict_coverage,
+    factor_unifications,
+    is_strict,
+    split_covers,
+    trivial_coverage,
+)
+from .erasers import (
+    UpwardFamily,
+    coefficient,
+    find_eraser,
+    psi_from_covers,
+    upward_membership,
+)
+
+__all__ = [
+    "Coverage",
+    "HierarchicalUnifier",
+    "UpwardFamily",
+    "apply_join",
+    "build_strict_coverage",
+    "coefficient",
+    "factor_unifications",
+    "find_eraser",
+    "hierarchical_closure",
+    "hierarchical_join_pairs",
+    "hierarchical_unifiers_of_pair",
+    "is_strict",
+    "split_covers",
+    "psi_from_covers",
+    "trivial_coverage",
+    "upward_membership",
+]

@@ -1,0 +1,208 @@
+"""Hierarchical unifiers and the hierarchical closure (Sec. 2.6, App. E.1).
+
+Given two strict hierarchical queries, a *hierarchical join predicate*
+between unifiable sub-goals ``g1, g2`` keeps only the top ``w`` levels
+of the unification — the longest ⊒-descending prefix of ``g1``'s
+variables whose images sit at matching hierarchy levels in the other
+query (Definition E.1).  Equating those pairs yields the *hierarchical
+unifier* (Definition E.2), which is again hierarchical (Lemma E.3).
+
+Closing the factor set ``F`` under hierarchical unification yields the
+finite set ``H`` (Lemma E.4 / Lemma 2.18), with ``Factors(h)``
+recording which original factors each ``h`` was built from.  The
+subset ``H*`` keeps only the inversion-free members plus ``F`` itself —
+the factors the PTIME algorithm may use as erasers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.hierarchy import is_hierarchical
+from ..core.homomorphism import equivalent
+from ..core.query import ConjunctiveQuery, canonical_string
+from ..core.substitution import Substitution
+from ..core.terms import Variable
+from ..core.unification import unify_atoms
+
+#: Cap on the closure size.  When reached, the closure is returned
+#: truncated: eraser *candidates* may be missing, so a subsequent HARD
+#: verdict is still sound evidence-wise but flagged as truncated.
+MAX_CLOSURE_SIZE = 60
+
+
+@dataclass(frozen=True)
+class HierarchicalUnifier:
+    """One element of ``H``: a query plus its provenance.
+
+    Attributes:
+        query: the (hierarchical) unifier query.
+        factors: indices into the base factor list it was built from.
+        parents: indices into ``H`` of the two queries joined (None for
+            base factors).
+    """
+
+    query: ConjunctiveQuery
+    factors: FrozenSet[int]
+    parents: Optional[Tuple[int, int]] = None
+
+
+def hierarchical_join_pairs(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    index1: int,
+    index2: int,
+) -> Optional[List[Tuple[Variable, Variable]]]:
+    """The hierarchical join predicate for sub-goals ``index1, index2``.
+
+    ``q1`` and ``q2`` must be variable-disjoint.  Returns the pairs
+    ``(x, y)`` to equate — the maximal ⊒-descending prefix on which the
+    unifier respects hierarchy levels — or None when the sub-goals do
+    not unify or the prefix is empty.
+    """
+    g1, g2 = q1.atoms[index1], q2.atoms[index2]
+    theta = unify_atoms(g1, g2)
+    if theta is None:
+        return None
+    partner: Dict[Variable, Variable] = {}
+    for x in g1.variables:
+        image = theta.apply(x)
+        for y in g2.variables:
+            if theta.apply(y) == image:
+                partner[x] = y
+                break
+        else:
+            return None  # x unified with a constant: not a strict MGU
+    vars1 = _descending(q1, g1.variables)
+    vars2 = _descending(q2, g2.variables)
+    pairs: List[Tuple[Variable, Variable]] = []
+    for x, y_slot in zip(vars1, vars2):
+        y = partner.get(x)
+        if y is None:
+            break
+        # The image must live at the same hierarchy level as the slot
+        # (≡ handles ties in the descending order).
+        if q2.subgoal_map[y] != q2.subgoal_map[y_slot]:
+            break
+        pairs.append((x, y))
+    if not pairs:
+        return None
+    # Lemma E.3 relies on the prefix keeping the join hierarchical;
+    # trim defensively if a tie-break ordering ever violates it.
+    while pairs:
+        joined = apply_join(q1, q2, pairs)
+        if is_hierarchical(joined.positive_part()):
+            return pairs
+        pairs = pairs[:-1]
+    return None
+
+
+def apply_join(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    pairs: Sequence[Tuple[Variable, Variable]],
+) -> ConjunctiveQuery:
+    """``q1, q2, ∧ (x = y)`` with equalities substituted away."""
+    substitution = Substitution({y: x for x, y in pairs})
+    return q1.conjoin(q2.apply(substitution))
+
+
+def hierarchical_unifiers_of_pair(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> List[ConjunctiveQuery]:
+    """All hierarchical unifiers between two queries (renamed apart)."""
+    renamed, _ = q2.rename_apart(q1.variables, suffix="_h")
+    results: List[ConjunctiveQuery] = []
+    seen: Set[str] = set()
+    for i in range(len(q1.atoms)):
+        for j in range(len(renamed.atoms)):
+            pairs = hierarchical_join_pairs(q1, renamed, i, j)
+            if pairs is None:
+                continue
+            joined = apply_join(q1, renamed, pairs)
+            if not joined.is_satisfiable():
+                continue
+            key = canonical_string(joined)
+            if key not in seen:
+                seen.add(key)
+                results.append(joined)
+    return results
+
+
+def hierarchical_closure(
+    factors: Sequence[ConjunctiveQuery],
+    is_inversion_free: Callable[[ConjunctiveQuery], bool],
+    max_levels: Optional[int] = None,
+) -> Tuple[List[HierarchicalUnifier], List[int], bool]:
+    """Compute ``H`` (closure under hierarchical joins) and ``H*``.
+
+    Args:
+        factors: the coverage's factors ``F``.
+        is_inversion_free: predicate used to filter ``H*``
+            (injected to avoid an import cycle with the analysis layer).
+
+    Returns:
+        ``(H, hstar_indices, truncated)`` where ``hstar_indices`` lists
+        the positions in ``H`` belonging to ``H*`` — inversion-free
+        unifiers plus all base factors (Section 2.6's ``F*``) — and
+        ``truncated`` reports whether the size cap cut the closure
+        short (some eraser candidates may then be missing).
+    """
+    closure: List[HierarchicalUnifier] = [
+        HierarchicalUnifier(query=f, factors=frozenset({i}))
+        for i, f in enumerate(factors)
+    ]
+    keys: Set[str] = {canonical_string(f) for f in factors}
+    frontier = list(range(len(closure)))
+    truncated = False
+    level = 0
+    while frontier and not truncated:
+        level += 1
+        if max_levels is not None and level > max_levels:
+            break
+        new_frontier: List[int] = []
+        for a in range(len(closure)):
+            if truncated:
+                break
+            for b in frontier:
+                if b < a or truncated:
+                    continue
+                for joined in hierarchical_unifiers_of_pair(
+                    closure[a].query, closure[b].query
+                ):
+                    key = canonical_string(joined)
+                    if key in keys:
+                        continue
+                    if any(equivalent(joined, h.query) for h in closure):
+                        keys.add(key)
+                        continue
+                    keys.add(key)
+                    closure.append(
+                        HierarchicalUnifier(
+                            query=joined,
+                            factors=closure[a].factors | closure[b].factors,
+                            parents=(a, b),
+                        )
+                    )
+                    new_frontier.append(len(closure) - 1)
+                    if len(closure) >= MAX_CLOSURE_SIZE:
+                        truncated = True
+                        break
+        frontier = new_frontier
+
+    base_count = len(factors)
+    hstar = [
+        index
+        for index, item in enumerate(closure)
+        if index < base_count or is_inversion_free(item.query)
+    ]
+    return closure, hstar, truncated
+
+
+def _descending(query: ConjunctiveQuery, variables: Sequence[Variable]) -> List[Variable]:
+    """Atom variables sorted top-down by ⊒ (most widely occurring first)."""
+    return sorted(
+        variables,
+        key=lambda v: (-len(query.subgoal_map[v]), v.name),
+    )

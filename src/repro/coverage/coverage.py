@@ -1,0 +1,411 @@
+"""Coverages of conjunctive queries (Section 2.1).
+
+A coverage of ``q`` is a set of *covers* (conjunctive queries with
+order predicates) whose disjunction is equivalent to ``q``; its
+*factors* are the connected components of the covers.  A coverage is
+*strict* when every most-general unifier between two factors is a 1-1
+substitution (Definition 2.3).
+
+Building the full canonical coverage ``C<(q)`` splits on all ``m``
+co-occurring pairs at once (``3^m`` covers) — correct but explosive.
+:func:`build_strict_coverage` instead refines lazily: it starts from
+the trivial coverage and splits only pairs that witness a strictness
+violation, then minimizes covers and removes redundant ones, exactly
+the clean-up steps Figure 1 shows to be necessary.  Proposition 2.7
+guarantees lazy refinement is conservative: if any coverage is
+inversion-free, so is every refinement of it down to the canonical one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.homomorphism import contained_in, minimize
+from ..core.predicates import Comparison
+from ..core.query import ConjunctiveQuery, canonical_string
+from ..core.terms import Constant, Term, Variable
+from ..core.unification import Unification, all_unifications
+
+#: Safety valve on refinement rounds; the number of splittable pairs is
+#: finite, so this is never reached by a correct run.
+MAX_REFINEMENT_ROUNDS = 400
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """A coverage ``(F, C)`` with factors and covers by index.
+
+    Attributes:
+        query: the covered query.
+        covers: the cover queries (their disjunction is ``query``).
+        factors: deduplicated connected components of the covers.
+        cover_factors: for each cover, the indices of its factors.
+    """
+
+    query: ConjunctiveQuery
+    covers: Tuple[ConjunctiveQuery, ...]
+    factors: Tuple[ConjunctiveQuery, ...]
+    cover_factors: Tuple[FrozenSet[int], ...]
+
+    def factor_index(self, factor: ConjunctiveQuery) -> int:
+        key = canonical_string(factor)
+        for index, candidate in enumerate(self.factors):
+            if canonical_string(candidate) == key:
+                return index
+        raise KeyError(f"not a factor of this coverage: {factor}")
+
+    def describe(self) -> str:
+        lines = [f"coverage of {self.query}"]
+        for index, factor in enumerate(self.factors):
+            lines.append(f"  f{index}: {factor}")
+        for cover, indices in zip(self.covers, self.cover_factors):
+            names = ", ".join(f"f{i}" for i in sorted(indices))
+            lines.append(f"  cover {{{names}}}: {cover}")
+        return "\n".join(lines)
+
+
+def trivial_coverage(query: ConjunctiveQuery) -> Coverage:
+    """The coverage ``C = {q}``."""
+    return _assemble(query, [query])
+
+
+def build_strict_coverage(
+    query: ConjunctiveQuery,
+    extra_split_pairs: Sequence[Tuple[ConjunctiveQuery, Term, Term]] = (),
+) -> Coverage:
+    """A strict coverage of ``query`` by demand-driven refinement.
+
+    Splits a cover on pair ``(u, v)`` whenever a unifier between two
+    factors merges ``u, v`` of the same factor; variable–constant
+    merges split binarily into ``u = c`` / ``u != c`` (the paper's
+    Example 3.13 predicates), variable pairs into the trichotomy.
+    All violating covers found in a round are split together, and
+    redundancy removal is deferred to convergence, so the number of
+    rounds is bounded by the refinement *depth*, not the total number
+    of splits.  ``extra_split_pairs`` lets the inversion analysis
+    request additional splits: each entry names a factor and a pair.
+    """
+    covers: List[ConjunctiveQuery] = _dedup(
+        c for c in [_cleanup_one(query)] if c is not None
+    )
+    pending_extra = list(extra_split_pairs)
+    for _round in range(MAX_REFINEMENT_ROUNDS):
+        coverage = _assemble(query, covers)
+        splits = _find_strictness_violations(coverage)
+        while not splits and pending_extra:
+            factor, u, v = pending_extra.pop(0)
+            located = _locate_pair(covers, factor, u, v, order_required=True)
+            if located is not None:
+                splits = {located[0]: (located[1], located[2])}
+        if not splits:
+            covers = _drop_redundant(covers)
+            return _assemble(query, covers)
+        # Split one cover per round: re-minimizing in between lets the
+        # equality branches fold onto constant sub-goals, which keeps
+        # the coverage small (Example 3.13's four factors emerge this
+        # way); splitting in batches would freeze those folds.
+        index = min(splits)
+        u, v = splits[index]
+        branches = [
+            _cleanup_one(branch) for branch in _split_pair(covers[index], u, v)
+        ]
+        covers = _dedup(
+            covers[:index]
+            + [b for b in branches if b is not None]
+            + covers[index + 1:]
+        )
+    raise RuntimeError(
+        f"strict-coverage refinement did not converge for {query}"
+    )
+
+
+def split_covers(
+    query: ConjunctiveQuery,
+    pairs: Sequence[Tuple[Term, Term]],
+) -> List[ConjunctiveQuery]:
+    """Mechanical covers from order-splitting the given term pairs.
+
+    Each variable–constant pair splits binarily (``=`` by substitution /
+    ``!=`` by predicate), each variable pair by the trichotomy; covers
+    are minimized after every split (which lets equality branches fold
+    onto constant sub-goals) and redundant covers are dropped.  This is
+    how the compact coverages of Example 3.13 and Figure 2 are built.
+    """
+    covers = [c for c in [_cleanup_one(query)] if c is not None]
+    for u, v in pairs:
+        refined: List[ConjunctiveQuery] = []
+        for cover in covers:
+            cover_vars = set(cover.variables)
+            present_u = isinstance(u, Constant) or u in cover_vars
+            present_v = isinstance(v, Constant) or v in cover_vars
+            if present_u and present_v:
+                for branch in _split_pair(cover, u, v):
+                    cleaned = _cleanup_one(branch)
+                    if cleaned is not None:
+                        refined.append(cleaned)
+            else:
+                refined.append(cover)
+        covers = _dedup(refined)
+    return _drop_redundant(covers)
+
+
+def is_strict(coverage: Coverage) -> bool:
+    """Definition 2.3, checked over all factor pairs (with renaming)."""
+    return not _find_strictness_violations(coverage)
+
+
+def factor_unifications(
+    coverage: Coverage,
+) -> List[Tuple[int, int, Unification]]:
+    """All admissible sub-goal unifications between factor pairs.
+
+    Factors are renamed apart before unifying (the paper's convention);
+    pairs are unordered but both (i, j) sub-goal orientations are
+    produced by ``all_unifications``.
+    """
+    results: List[Tuple[int, int, Unification]] = []
+    for i, left in enumerate(coverage.factors):
+        for j in range(i, len(coverage.factors)):
+            right, _ = coverage.factors[j].rename_apart(
+                left.variables, suffix="_u"
+            )
+            for unification in all_unifications(left, right):
+                results.append((i, j, unification))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+
+def _assemble(
+    query: ConjunctiveQuery, covers: Sequence[ConjunctiveQuery]
+) -> Coverage:
+    factors: List[ConjunctiveQuery] = []
+    keys: Dict[str, int] = {}
+    cover_factors: List[FrozenSet[int]] = []
+    for cover in covers:
+        indices: Set[int] = set()
+        for component in cover.connected_components():
+            key = canonical_string(component)
+            if key not in keys:
+                keys[key] = len(factors)
+                factors.append(component)
+            indices.add(keys[key])
+        cover_factors.append(frozenset(indices))
+    return Coverage(
+        query=query,
+        covers=tuple(covers),
+        factors=tuple(factors),
+        cover_factors=tuple(cover_factors),
+    )
+
+
+_MINIMIZE_CACHE: Dict[str, ConjunctiveQuery] = {}
+
+
+def _cleanup_one(cover: ConjunctiveQuery) -> Optional[ConjunctiveQuery]:
+    """Drop trivial predicates, reject unsatisfiable, minimize (memoized)."""
+    candidate = cover.drop_trivial_predicates()
+    if not candidate.is_satisfiable():
+        return None
+    key = str(candidate)
+    cached = _MINIMIZE_CACHE.get(key)
+    if cached is None:
+        cached = minimize(candidate)
+        _MINIMIZE_CACHE[key] = cached
+    return cached
+
+
+def _dedup(covers) -> List[ConjunctiveQuery]:
+    unique: List[ConjunctiveQuery] = []
+    seen = set()
+    for cover in covers:
+        if cover not in seen:
+            seen.add(cover)
+            unique.append(cover)
+    return unique
+
+
+def _drop_redundant(covers: Sequence[ConjunctiveQuery]) -> List[ConjunctiveQuery]:
+    """Remove covers contained in another cover (kept: the earlier of an
+    equivalent pair)."""
+    kept: List[ConjunctiveQuery] = []
+    covers = _dedup(covers)
+    for i, cover in enumerate(covers):
+        redundant = False
+        for j, other in enumerate(covers):
+            if i == j:
+                continue
+            if contained_in(cover, other):
+                if not contained_in(other, cover) or j < i:
+                    redundant = True
+                    break
+        if not redundant:
+            kept.append(cover)
+    return kept
+
+
+def _find_strictness_violations(
+    coverage: Coverage,
+) -> Dict[int, Tuple[Term, Term]]:
+    """All (cover index -> (u, v)) pairs witnessing non-strict unifiers.
+
+    A unifier is non-strict when it maps a variable to a constant or
+    merges two variables of the same factor; the returned pairs are
+    the ones to split on (at most one per cover per round).  Both
+    inter-factor unifiers (on renamed-apart copies) and unifiers
+    between two sub-goals of the *same* factor copy are checked —
+    Example 3.5 (``R(x,y), R(y,x)``) shows the latter are what force
+    the trivial coverage to be refined.
+    """
+    covers = list(coverage.covers)
+    splits: Dict[int, Tuple[Term, Term]] = {}
+
+    def record(factor: ConjunctiveQuery, u: Term, v: Term) -> None:
+        located = _locate_pair(covers, factor, u, v, exclude=splits)
+        if located is not None:
+            splits[located[0]] = (located[1], located[2])
+
+    for factor in coverage.factors:
+        pair = _intra_factor_violation(factor)
+        if pair is not None:
+            record(factor, *pair)
+    for i, j, unification in factor_unifications(coverage):
+        for source_index, source in ((i, unification.left), (j, unification.right)):
+            pair = _merged_pair(source, unification)
+            if pair is not None:
+                record(coverage.factors[source_index], *pair)
+    return splits
+
+
+def _intra_factor_violation(
+    factor: ConjunctiveQuery,
+) -> Optional[Tuple[Term, Term]]:
+    """A merged pair from unifying two sub-goals of the same copy."""
+    from ..core.orders import OrderConstraints
+    from ..core.predicates import Comparison
+    from ..core.unification import unify_atoms
+
+    atoms = factor.atoms
+    for a in range(len(atoms)):
+        for b in range(a + 1, len(atoms)):
+            theta = unify_atoms(atoms[a], atoms[b])
+            if theta is None:
+                continue
+            # The unifier must be consistent with the factor's own
+            # predicates, otherwise it can never be realized.
+            equalities = [
+                Comparison("=", variable, image)
+                for variable, image in theta.items()
+            ]
+            system = OrderConstraints(tuple(factor.predicates) + tuple(equalities))
+            if not system.is_satisfiable():
+                continue
+            variables = factor.variables
+            for idx, u in enumerate(variables):
+                image_u = theta.apply(u)
+                if isinstance(image_u, Constant):
+                    return (u, image_u)
+                for v in variables[idx + 1:]:
+                    if image_u == theta.apply(v):
+                        return (u, v)
+    return None
+
+
+def _merged_pair(
+    source: ConjunctiveQuery, unification: Unification
+) -> Optional[Tuple[Term, Term]]:
+    theta = unification.substitution
+    variables = source.variables
+    for index, u in enumerate(variables):
+        image_u = theta.apply(u)
+        if isinstance(image_u, Constant):
+            return (u, image_u)
+        for v in variables[index + 1:]:
+            if image_u == theta.apply(v):
+                return (u, v)
+    return None
+
+
+def _locate_pair(
+    covers: List[ConjunctiveQuery],
+    factor: ConjunctiveQuery,
+    u: Term,
+    v: Term,
+    exclude: Optional[Dict[int, Tuple[Term, Term]]] = None,
+    order_required: bool = False,
+) -> Optional[Tuple[int, Term, Term]]:
+    """Find a cover containing ``factor``'s pair and still undetermined.
+
+    The factor's variables are named as in its originating cover, and
+    deduplication keeps the first representative, so a direct variable
+    lookup against each cover suffices.  Covers listed in ``exclude``
+    (already scheduled for a split this round) are skipped.
+
+    Strictness only needs the pair *resolved* (``u = v`` entailed, so
+    the unifier is uniform, or ``u != v`` entailed, so the unifier is
+    blocked).  Inversion-path refinement (``order_required``) insists
+    on a full order decision (``<``, ``=`` or ``>``).
+    """
+    for cover_index, cover in enumerate(covers):
+        if exclude and cover_index in exclude:
+            continue
+        cover_variables = set(cover.variables)
+        present_u = isinstance(u, Constant) or u in cover_variables
+        present_v = isinstance(v, Constant) or v in cover_variables
+        if not (present_u and present_v):
+            continue
+        if not _cooccur(cover, u, v):
+            continue
+        constraints = cover.order_constraints
+        if order_required:
+            tests = (
+                Comparison("<", u, v),
+                Comparison("=", u, v),
+                Comparison("<", v, u),
+            )
+        else:
+            tests = (Comparison("=", u, v), Comparison("!=", u, v))
+        if not any(constraints.entails(pred) for pred in tests):
+            return (cover_index, u, v)
+    return None
+
+
+def _cooccur(cover: ConjunctiveQuery, u: Term, v: Term) -> bool:
+    for atom in cover.atoms:
+        terms = set(atom.terms)
+        u_in = u in terms or isinstance(u, Constant)
+        v_in = v in terms or isinstance(v, Constant)
+        if u_in and v_in and (u in terms or v in terms):
+            return True
+    return False
+
+
+def _split_pair(
+    cover: ConjunctiveQuery, u: Term, v: Term
+) -> List[ConjunctiveQuery]:
+    """Order-split a cover on a term pair.
+
+    Variable pairs use the trichotomy
+    ``cover ≡ (cover, u<v) ∨ cover[u:=v] ∨ (cover, v<u)``; a
+    variable–constant pair only needs the binary split
+    ``cover[u:=c] ∨ (cover, u != c)`` — blocking the unifier does not
+    require knowing the direction of the inequality, and this halves
+    the refinement fan-out (Example 3.13 uses exactly ``r != a``).
+    """
+    if isinstance(u, Variable):
+        equal = cover.substitute(u, v)
+    else:
+        assert isinstance(v, Variable)
+        equal = cover.substitute(v, u)
+    if isinstance(u, Constant) or isinstance(v, Constant):
+        distinct = ConjunctiveQuery(
+            cover.atoms, cover.predicates + (Comparison("!=", u, v),)
+        )
+        return [equal, distinct]
+    less = ConjunctiveQuery(cover.atoms, cover.predicates + (Comparison("<", u, v),))
+    greater = ConjunctiveQuery(cover.atoms, cover.predicates + (Comparison("<", v, u),))
+    return [less, equal, greater]

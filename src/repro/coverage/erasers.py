@@ -1,0 +1,209 @@
+"""Signature coefficients ``N`` and eraser search (Defs. 2.11, 2.21, E.6).
+
+The expansion of a coverage weights each signature ``σ ⊆ F`` by a
+coefficient ``N(σ)``.  Lemma D.2 gives the robust formulation used
+here::
+
+    N(σ) = Σ { (-1)^{|σ0|} : σ0 ⊆ σ, σ0 ∉ up(ψ) }
+
+where ``ψ`` is the set of factor-index sets that make the query true
+(the covers, upward closed).  An *eraser* for a hierarchical join
+``jq`` of ``h_i, h_j`` is a set ``E ⊆ H*`` of queries with
+homomorphisms into ``jq`` such that attaching ``E`` never changes the
+coefficient: ``N(σ ∪ {i,j}) = N(σ ∪ {i,j} ∪ E)`` for all ``σ``.  The
+terms the PTIME algorithm cannot compute then cancel (Theorem 2.22 /
+E.7); when some inversion-carrying join has no eraser, the query is
+#P-hard (Theorem 4.4 / E.13).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.homomorphism import has_homomorphism
+from ..core.query import ConjunctiveQuery
+from .closure import HierarchicalUnifier
+
+Signature = FrozenSet[int]
+
+
+def upward_membership(
+    minimal: Sequence[Signature],
+) -> "UpwardFamily":
+    """The upward closure of ``minimal`` with fast membership tests."""
+    return UpwardFamily(minimal)
+
+
+class UpwardFamily:
+    """``up(ψ)`` represented by its minimal elements."""
+
+    def __init__(self, generators: Iterable[Signature]) -> None:
+        self.minimal: List[Signature] = _minimal_elements(list(generators))
+        self._coefficient_cache: dict = {}
+
+    def __contains__(self, signature: Signature) -> bool:
+        return any(generator <= signature for generator in self.minimal)
+
+    def relevant_elements(self) -> Signature:
+        """Indices appearing in some generator.
+
+        ``N(σ) = 0`` whenever σ contains an element outside this set
+        (its subsets cancel in ±e pairs), which lets the eraser check
+        enumerate signatures over this set only.
+        """
+        if not self.minimal:
+            return frozenset()
+        return frozenset().union(*self.minimal)
+
+
+def coefficient(signature: Signature, psi: UpwardFamily) -> int:
+    """``N(σ)`` per Lemma D.2.
+
+    Computed by inclusion–exclusion over the minimal generators inside
+    ``σ`` instead of enumerating all ``2^{|σ|}`` subsets:
+    ``Σ_{σ0 ⊆ σ} (-1)^{|σ0|}`` is 0 unless ``σ = ∅``, so
+    ``N(σ) = [σ = ∅] - Σ_{σ0 ⊆ σ, σ0 ∈ up(ψ)} (-1)^{|σ0|}``, and the
+    second sum expands over unions of the generators contained in σ.
+    """
+    cached = psi._coefficient_cache.get(signature)
+    if cached is not None:
+        return cached
+    inside = [g for g in psi.minimal if g <= signature]
+    total = 1 if not signature else 0
+    # Inclusion–exclusion over which generators a subset σ0 covers:
+    # Σ_{σ0 ∈ up(ψ), σ0 ⊆ σ} (-1)^{|σ0|}
+    #   = Σ_{∅≠G ⊆ inside} (-1)^{|G|+1} Σ_{∪G ⊆ σ0 ⊆ σ} (-1)^{|σ0|}
+    # and the inner sum is (-1)^{|σ|} iff ∪G = σ (0 otherwise).
+    up_sum = 0
+    for size in range(1, len(inside) + 1):
+        for group in itertools.combinations(inside, size):
+            union: Signature = frozenset().union(*group)
+            if union == signature:
+                up_sum += (-1) ** (size + 1) * (-1) ** len(signature)
+    result = total - up_sum
+    psi._coefficient_cache[signature] = result
+    return result
+
+
+def psi_from_covers(
+    cover_factor_sets: Sequence[FrozenSet[int]],
+    closure: Sequence[HierarchicalUnifier],
+    hstar: Sequence[int],
+) -> UpwardFamily:
+    """``ψ`` over ``H*`` indices (Appendix E.2.1).
+
+    ``S ⊆ hstar`` belongs to ψ iff some cover's factors are included in
+    ``∪_{i∈S} Factors(h_i)``.  Minimal generators are computed per
+    cover: the minimal hitting families of ``H*`` members whose factor
+    sets jointly cover the cover.
+    """
+    generators: List[Signature] = []
+    k = len(hstar)
+    for cover in cover_factor_sets:
+        # Only members contributing a factor of this cover can appear in
+        # a *minimal* covering set, and a minimal set has at most one
+        # member per cover factor.
+        relevant = [
+            position
+            for position in range(k)
+            if closure[hstar[position]].factors & cover
+        ]
+        max_size = min(len(cover), len(relevant))
+        for size in range(1, max_size + 1):
+            for subset in itertools.combinations(relevant, size):
+                union: Set[int] = set()
+                for position in subset:
+                    union |= closure[hstar[position]].factors
+                if cover <= union:
+                    generators.append(frozenset(subset))
+        # Non-minimal picks are pruned by UpwardFamily below.
+    return UpwardFamily(generators)
+
+
+def find_eraser(
+    join_query: ConjunctiveQuery,
+    i: int,
+    j: int,
+    closure: Sequence[HierarchicalUnifier],
+    hstar: Sequence[int],
+    psi: UpwardFamily,
+    max_eraser_size: int = 3,
+) -> Optional[Tuple[int, ...]]:
+    """Search for an eraser for the join of ``H*`` members ``i, j``.
+
+    ``i, j`` are positions in ``hstar``.  Candidates are ``H*`` members
+    with a homomorphism into the join query; subsets up to
+    ``max_eraser_size`` are tested against the coefficient condition
+    over every signature ``σ ⊆ [k]``.
+
+    Returns the eraser as positions into ``hstar``, or None.
+    """
+    k = len(hstar)
+    candidates = [
+        position
+        for position in range(k)
+        if position not in (i, j)
+        and has_homomorphism(closure[hstar[position]].query, join_query)
+    ]
+    base = frozenset({i, j})
+    budget_hit = False
+    for size in range(1, min(max_eraser_size, len(candidates)) + 1):
+        for eraser in itertools.combinations(candidates, size):
+            try:
+                if _coefficient_condition(base, frozenset(eraser), k, psi):
+                    return eraser
+            except EraserBudgetExceeded:
+                budget_hit = True
+    if budget_hit:
+        raise EraserBudgetExceeded(
+            "some eraser candidates could not be verified within budget"
+        )
+    return None
+
+
+#: Budget on signature comparisons per eraser candidate.  Counterexamples
+#: show up at small signature sizes in practice; exhausting the budget
+#: without one means the condition could not be *verified*.
+CONDITION_BUDGET = 200_000
+
+
+class EraserBudgetExceeded(RuntimeError):
+    """The signature space was too large to verify an eraser."""
+
+
+def _coefficient_condition(
+    base: Signature, eraser: Signature, k: int, psi: UpwardFamily
+) -> bool:
+    """``∀ σ ⊆ [k]: N(σ ∪ base) = N(σ ∪ base ∪ eraser)`` (Def. E.6).
+
+    Signatures containing an index outside the generators' support have
+    coefficient 0 on both sides, so only subsets of
+    ``relevant_elements`` need enumerating.  Enumeration goes by
+    increasing signature size and is budgeted: a False answer (found a
+    counterexample) is always exact; exhausting the budget raises.
+    """
+    pool = sorted(psi.relevant_elements())
+    checked = 0
+    for size in range(len(pool) + 1):
+        for sg in itertools.combinations(pool, size):
+            sigma = base | frozenset(sg)
+            if coefficient(sigma, psi) != coefficient(sigma | eraser, psi):
+                return False
+            checked += 1
+            if checked > CONDITION_BUDGET:
+                raise EraserBudgetExceeded(
+                    f"verified {checked} signatures over a pool of "
+                    f"{len(pool)} without exhausting the space"
+                )
+    return True
+
+
+def _minimal_elements(sets: List[Signature]) -> List[Signature]:
+    unique = list(dict.fromkeys(sets))
+    unique.sort(key=len)
+    minimal: List[Signature] = []
+    for candidate in unique:
+        if not any(kept <= candidate for kept in minimal):
+            minimal.append(candidate)
+    return minimal

@@ -1,0 +1,138 @@
+"""The expansion formula of Theorem 2.13 (and Appendix D), executable.
+
+For a coverage ``C = (F, C)`` with unary expansion variables, the
+probability of the query expands as::
+
+    p(q) = Σ_T̄  N(C, sig(T̄)) (-1)^{|T̄|} p(F(T̄))
+
+where ``T̄ = (T_1..T_k)`` ranges over tuples of subsets of the domain,
+``F(T̄) = ∧_f ∧_{a ∈ T_f} f(a)``, and ``N`` is the signature
+coefficient.  The formula is exponential — the paper immediately sets
+out to collapse it — but being able to *run* it on small instances is
+the ground truth for the coefficient machinery: this module evaluates
+the expansion literally and the tests check it equals the oracle
+probability, which pins down the sign conventions of Definition 2.11 /
+Lemma D.2 once and for all.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.hierarchy import root_variables
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..db.database import ProbabilisticDatabase
+from ..lineage.grounding import ground_lineage
+from ..lineage.wmc import exact_probability
+from .coverage import Coverage
+from .erasers import UpwardFamily, coefficient
+
+#: Domain-size guard: |domain|^k subset tuples explode immediately.
+MAX_EXPANSION_CELLS = 2_000_000
+
+
+def unary_expansion_probability(
+    coverage: Coverage,
+    db: ProbabilisticDatabase,
+) -> float:
+    """Evaluate Theorem 2.13's expansion for a unary coverage.
+
+    Each factor must have a root variable (present in every sub-goal);
+    the expansion substitutes domain subsets for each root.  Feasible
+    only for tiny instances — this is a *definitional* evaluator used
+    to validate the coefficient machinery, not an algorithm.
+    """
+    factors = list(coverage.factors)
+    roots: List[Variable] = []
+    for factor in factors:
+        candidates = root_variables(factor)
+        if not candidates:
+            raise ValueError(
+                f"factor has no root variable (not a unary coverage): {factor}"
+            )
+        roots.append(candidates[0])
+
+    domain = db.active_domain()
+    cells = (2 ** len(domain)) ** max(len(factors), 1)
+    if cells > MAX_EXPANSION_CELLS:
+        raise ValueError(
+            "expansion too large; use a smaller domain or fewer factors"
+        )
+    subset_space = [list(_all_subsets(domain)) for _ in factors]
+
+    psi = UpwardFamily(list(coverage.cover_factors))
+    total = 0.0
+    for assignment in itertools.product(*subset_space):
+        signature = frozenset(
+            index for index, subset in enumerate(assignment) if subset
+        )
+        n_value = expansion_coefficient(signature, psi)
+        if n_value == 0:
+            continue
+        size = sum(len(subset) for subset in assignment)
+        grounded = _ground_conjunction(factors, roots, assignment)
+        probability = _conjunction_probability(grounded, db)
+        total += n_value * (-1) ** size * probability
+    return total
+
+
+def expansion_coefficient(signature: frozenset, psi: UpwardFamily) -> int:
+    """``N(C, σ)`` in the convention that makes Theorem 2.13 true.
+
+    Lemma D.2's coefficient computes ``Pr[not Q]``-style sums: running
+    the expansion with it yields exactly ``1 - p(q)`` (the ``T̄ = ∅``
+    term contributes the 1).  The convention matching the paper's
+    in-text values of Example 2.14 — verified numerically by
+    ``tests/test_expansion.py`` — is the negation on non-empty
+    signatures with the empty signature dropped.
+    """
+    if not signature:
+        return 0
+    return -coefficient(signature, psi)
+
+
+def _all_subsets(domain: Sequence) -> List[Tuple]:
+    result: List[Tuple] = []
+    for size in range(len(domain) + 1):
+        result.extend(itertools.combinations(domain, size))
+    return result
+
+
+def _ground_conjunction(
+    factors: Sequence[ConjunctiveQuery],
+    roots: Sequence[Variable],
+    assignment: Sequence[Tuple],
+) -> ConjunctiveQuery:
+    """``F(T̄)``: conjoin ``f[a/root]`` for every factor and subset value."""
+    from ..core.substitution import Substitution
+
+    atoms = []
+    predicates = []
+    copy_index = 0
+    for factor, root, subset in zip(factors, roots, assignment):
+        for value in subset:
+            copy_index += 1
+            mapping = {
+                v: Variable(f"{v.name}_t{copy_index}")
+                for v in factor.variables
+            }
+            mapping[root] = Constant(value)
+            instance = factor.apply(Substitution(mapping))
+            atoms.extend(instance.atoms)
+            predicates.extend(instance.predicates)
+    return ConjunctiveQuery(atoms, predicates)
+
+
+def _conjunction_probability(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> float:
+    """``p(F(T̄))`` — a conjunction of grounded-root factors.
+
+    Evaluated exactly through the lineage oracle (the factors share
+    tuples in general, so no product form is assumed — that is the
+    whole point of the independence-predicate machinery the paper
+    builds on top of this formula).
+    """
+    return exact_probability(ground_lineage(query, db))

@@ -1,0 +1,43 @@
+"""Tuple-independent probabilistic database substrate."""
+
+from .database import ProbabilisticDatabase, TupleKey
+from .generators import (
+    four_partite_graph,
+    grid_edges,
+    random_database,
+    random_database_for_query,
+    schema_of,
+    star_join_instance,
+    triangled_graph,
+)
+from .relation import GroundTuple, Probability, Relation, Value
+from .sqlstore import SQLiteStore
+from .worlds import (
+    MAX_ENUMERABLE_TUPLES,
+    World,
+    iterate_worlds,
+    world_count,
+    world_database,
+)
+
+__all__ = [
+    "GroundTuple",
+    "MAX_ENUMERABLE_TUPLES",
+    "Probability",
+    "ProbabilisticDatabase",
+    "Relation",
+    "SQLiteStore",
+    "TupleKey",
+    "Value",
+    "World",
+    "four_partite_graph",
+    "grid_edges",
+    "iterate_worlds",
+    "random_database",
+    "random_database_for_query",
+    "schema_of",
+    "star_join_instance",
+    "triangled_graph",
+    "world_count",
+    "world_database",
+]

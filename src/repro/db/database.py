@@ -1,0 +1,132 @@
+"""Tuple-independent probabilistic databases (the paper's structures).
+
+A :class:`ProbabilisticDatabase` is the pair ``(A, p)`` of Section 1: a
+finite structure together with a probability for each tuple, inducing
+the product distribution of Equation (1) over substructures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from .relation import GroundTuple, Probability, Relation, Value
+
+#: A tuple event: (relation name, ground tuple).
+TupleKey = Tuple[str, GroundTuple]
+
+
+class ProbabilisticDatabase:
+    """A collection of probabilistic relations over a shared domain."""
+
+    def __init__(self, relations: Optional[Iterable[Relation]] = None) -> None:
+        self._relations: Dict[str, Relation] = {}
+        if relations:
+            for relation in relations:
+                self.add_relation(relation)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_relation(self, relation: Relation) -> None:
+        if relation.name in self._relations:
+            raise ValueError(f"duplicate relation {relation.name}")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        """The relation instance for ``name`` (empty singleton if absent)."""
+        if name not in self._relations:
+            self._relations[name] = Relation(name)
+        return self._relations[name]
+
+    def add(self, name: str, row: Iterable[Value], probability: Probability) -> None:
+        """Insert one tuple: ``db.add("R", (1, 2), 0.5)``."""
+        self.relation(name).add(row, probability)
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Mapping[GroundTuple, Probability]],
+    ) -> "ProbabilisticDatabase":
+        """Build from ``{"R": {(1, 2): 0.5, ...}, ...}``."""
+        db = cls()
+        for name, rows in data.items():
+            for row, prob in rows.items():
+                db.add(name, row, prob)
+        return db
+
+    def copy(self) -> "ProbabilisticDatabase":
+        """A deep copy (tuples are immutable, probabilities copied)."""
+        clone = ProbabilisticDatabase()
+        for name, relation in self._relations.items():
+            clone._relations[name] = Relation(
+                name, relation.arity, dict(relation.items())
+            )
+        return clone
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def relation_names(self) -> List[str]:
+        return sorted(self._relations)
+
+    def relations(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def probability(self, name: str, row: Iterable[Value]) -> Probability:
+        """Marginal probability of tuple ``row`` in relation ``name``."""
+        relation = self._relations.get(name)
+        if relation is None:
+            return 0
+        return relation.probability(row)
+
+    def active_domain(self) -> List[Value]:
+        """All values appearing anywhere, sorted canonically."""
+        values: Set[Value] = set()
+        for relation in self._relations.values():
+            for row in relation.tuples():
+                values.update(row)
+        return sorted(values, key=lambda v: (type(v).__name__, str(v)))
+
+    def tuple_keys(self) -> List[TupleKey]:
+        """Every (relation, tuple) event in the database."""
+        keys: List[TupleKey] = []
+        for name in sorted(self._relations):
+            keys.extend((name, row) for row in self._relations[name].tuples())
+        return keys
+
+    def tuple_count(self) -> int:
+        return sum(len(r) for r in self._relations.values())
+
+    def size_summary(self) -> str:
+        parts = [str(r) for r in self._relations.values()]
+        return "; ".join(parts) if parts else "(empty database)"
+
+    # ------------------------------------------------------------------
+    # Mutation helpers used by experiments
+    # ------------------------------------------------------------------
+
+    def with_probability(self, key: TupleKey, probability: Probability
+                         ) -> "ProbabilisticDatabase":
+        """A copy with one tuple's probability replaced."""
+        clone = self.copy()
+        name, row = key
+        clone.relation(name).add(row, probability)
+        return clone
+
+    def deterministic_view(self) -> "ProbabilisticDatabase":
+        """All probabilities forced to 1."""
+        clone = ProbabilisticDatabase()
+        for name, relation in self._relations.items():
+            clone._relations[name] = relation.deterministic_view()
+        return clone
+
+    def __str__(self) -> str:
+        return f"ProbabilisticDatabase({self.size_summary()})"
+
+    __repr__ = __str__

@@ -1,0 +1,206 @@
+"""Workload and instance generators.
+
+Benchmarks and property tests need reproducible probabilistic
+databases: dense/sparse random instances shaped to a query's schema,
+and the structured instances from the paper's hardness proofs
+(4-partite graphs, triangled graphs, bipartite clause graphs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.query import ConjunctiveQuery
+from .database import ProbabilisticDatabase
+
+
+def schema_of(query: ConjunctiveQuery) -> Dict[str, int]:
+    """Relation name -> arity, as used by the query."""
+    schema: Dict[str, int] = {}
+    for atom in query.atoms:
+        existing = schema.setdefault(atom.relation, atom.arity)
+        if existing != atom.arity:
+            raise ValueError(
+                f"inconsistent arity for {atom.relation}: {existing} vs {atom.arity}"
+            )
+    return schema
+
+
+def random_database(
+    schema: Mapping[str, int],
+    domain_size: int,
+    density: float = 0.5,
+    seed: Optional[int] = None,
+    probability_range: Tuple[float, float] = (0.1, 0.9),
+    max_tuples_per_relation: Optional[int] = None,
+) -> ProbabilisticDatabase:
+    """A random tuple-independent database over domain ``{0..N-1}``.
+
+    Each potential tuple of each relation is included with probability
+    ``density``; included tuples get a marginal drawn uniformly from
+    ``probability_range``.  For relations whose full space
+    ``N**arity`` is large, sampling switches to drawing
+    ``max_tuples_per_relation`` (default ``density * N**arity`` capped
+    at 5000) random tuples, so generation stays linear.
+    """
+    rng = random.Random(seed)
+    low, high = probability_range
+    db = ProbabilisticDatabase()
+    domain = list(range(domain_size))
+    for name in sorted(schema):
+        arity = schema[name]
+        relation = db.relation(name)
+        space = domain_size ** arity
+        target = density * space
+        cap = max_tuples_per_relation or 5000
+        if space <= 4096:
+            for row in _all_rows(domain, arity):
+                if rng.random() < density:
+                    relation.add(row, rng.uniform(low, high))
+        else:
+            count = int(min(target, cap))
+            seen = set()
+            while len(seen) < count:
+                row = tuple(rng.choice(domain) for _ in range(arity))
+                if row not in seen:
+                    seen.add(row)
+                    relation.add(row, rng.uniform(low, high))
+    return db
+
+
+def random_database_for_query(
+    query: ConjunctiveQuery,
+    domain_size: int,
+    density: float = 0.5,
+    seed: Optional[int] = None,
+    probability_range: Tuple[float, float] = (0.1, 0.9),
+) -> ProbabilisticDatabase:
+    """Random database matching a query's schema.
+
+    Constants appearing in the query are injected into the domain by
+    also generating tuples over ``{constants} ∪ {0..N-1}`` positions
+    with the same density, so that constant sub-goals can be satisfied.
+    """
+    rng = random.Random(seed)
+    db = random_database(
+        schema_of(query), domain_size, density,
+        seed=rng.randint(0, 2**31), probability_range=probability_range,
+    )
+    constants = [c.value for c in query.constants]
+    if constants:
+        low, high = probability_range
+        domain = list(range(domain_size)) + constants
+        from ..core.terms import Constant as _Constant
+
+        for atom in query.atoms:
+            relation = db.relation(atom.relation)
+            # Rows with the atom's own constants pinned, so constant
+            # sub-goals are satisfiable; remaining positions random.
+            pinned = {
+                position: term.value
+                for position, term in enumerate(atom.terms)
+                if isinstance(term, _Constant)
+            }
+            for _ in range(max(2, domain_size)):
+                row = tuple(
+                    pinned.get(position, rng.choice(domain))
+                    for position in range(atom.arity)
+                )
+                if rng.random() < density and row not in relation:
+                    relation.add(row, rng.uniform(low, high))
+    return db
+
+
+def _all_rows(domain: Sequence, arity: int) -> Iterable[Tuple]:
+    if arity == 0:
+        yield ()
+        return
+    for row in _all_rows(domain, arity - 1):
+        for value in domain:
+            yield row + (value,)
+
+
+# ----------------------------------------------------------------------
+# Structured instances from the hardness proofs
+# ----------------------------------------------------------------------
+
+
+def four_partite_graph(
+    x_probs: Sequence[float],
+    y_probs: Sequence[float],
+    clauses: Sequence[Tuple[int, int]],
+    edge_relation: str = "E",
+) -> ProbabilisticDatabase:
+    """The 4-partite graph of Proposition B.3.
+
+    Nodes ``u, x_1..x_m, y_1..y_n, v``; edges ``u -> x_i`` with
+    probability ``x_probs[i]``, clause edges ``x_i -> y_j`` with
+    probability 1, and ``y_j -> v`` with probability ``y_probs[j]``.
+    The probability that a path of length 3 exists equals the
+    probability that the bipartite 2DNF formula is true.
+    """
+    db = ProbabilisticDatabase()
+    edges = db.relation(edge_relation)
+    for i, prob in enumerate(x_probs):
+        edges.add(("u", f"x{i}"), prob)
+    for i, j in clauses:
+        edges.add((f"x{i}", f"y{j}"), 1)
+    for j, prob in enumerate(y_probs):
+        edges.add((f"y{j}", "v"), prob)
+    return db
+
+
+def triangled_graph(
+    x_probs: Sequence[float],
+    y_probs: Sequence[float],
+    clauses: Sequence[Tuple[int, int]],
+    edge_relation: str = "E",
+) -> ProbabilisticDatabase:
+    """The triangled graph of Proposition B.3 (u and v merged into v0)."""
+    db = ProbabilisticDatabase()
+    edges = db.relation(edge_relation)
+    for i, prob in enumerate(x_probs):
+        edges.add(("v0", f"x{i}"), prob)
+    for i, j in clauses:
+        edges.add((f"x{i}", f"y{j}"), 1)
+    for j, prob in enumerate(y_probs):
+        edges.add((f"y{j}", "v0"), prob)
+    return db
+
+
+def star_join_instance(
+    fanout: int,
+    branching: int,
+    seed: Optional[int] = None,
+) -> ProbabilisticDatabase:
+    """An R(x), S(x, y) shaped instance: ``fanout`` roots, each with
+    ``branching`` S-children; probabilities uniform in (0.2, 0.8)."""
+    rng = random.Random(seed)
+    db = ProbabilisticDatabase()
+    for x in range(fanout):
+        db.add("R", (x,), rng.uniform(0.2, 0.8))
+        for y in range(branching):
+            db.add("S", (x, y), rng.uniform(0.2, 0.8))
+    return db
+
+
+def grid_edges(
+    side: int,
+    probability: float = 0.5,
+    relation: str = "R",
+    seed: Optional[int] = None,
+) -> ProbabilisticDatabase:
+    """Directed grid-graph edges, used by the q_2path benchmarks."""
+    rng = random.Random(seed)
+    db = ProbabilisticDatabase()
+    edges = db.relation(relation)
+    for i in range(side):
+        for j in range(side):
+            node = i * side + j
+            if j + 1 < side:
+                edges.add((node, node + 1), rng.uniform(0.1, probability * 2 - 0.1)
+                          if seed is not None else probability)
+            if i + 1 < side:
+                edges.add((node, node + side), probability)
+    return db

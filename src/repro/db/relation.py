@@ -1,0 +1,109 @@
+"""Probabilistic relation instances.
+
+A relation instance maps ground tuples to marginal probabilities; the
+tuple-independence assumption (Equation 1 of the paper) lives at the
+database level, where every tuple of every relation is an independent
+Bernoulli event.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+Value = Union[int, str, float]
+GroundTuple = Tuple[Value, ...]
+Probability = Union[float, Fraction]
+
+
+class Relation:
+    """A named relation with per-tuple probabilities.
+
+    Args:
+        name: relation symbol.
+        arity: number of columns; inferred from the first tuple if None.
+        tuples: optional initial ``{tuple: probability}`` mapping.
+    """
+
+    __slots__ = ("name", "_arity", "_tuples", "_indexes")
+
+    def __init__(
+        self,
+        name: str,
+        arity: Optional[int] = None,
+        tuples: Optional[Mapping[GroundTuple, Probability]] = None,
+    ) -> None:
+        self.name = name
+        self._arity = arity
+        self._tuples: Dict[GroundTuple, Probability] = {}
+        self._indexes: Dict[int, Dict[Value, list]] = {}
+        if tuples:
+            for row, prob in tuples.items():
+                self.add(row, prob)
+
+    @property
+    def arity(self) -> Optional[int]:
+        """Column count (None until the first tuple arrives)."""
+        return self._arity
+
+    def add(self, row: Iterable[Value], probability: Probability) -> None:
+        """Insert or overwrite a tuple with its marginal probability."""
+        row = tuple(row)
+        if self._arity is None:
+            self._arity = len(row)
+        elif len(row) != self._arity:
+            raise ValueError(
+                f"relation {self.name} has arity {self._arity}, "
+                f"got tuple of length {len(row)}"
+            )
+        if not 0 <= probability <= 1:
+            raise ValueError(
+                f"probability must lie in [0, 1], got {probability} for {row}"
+            )
+        if row in self._tuples:
+            self._tuples[row] = probability
+            self._indexes.clear()
+            return
+        self._tuples[row] = probability
+        for position, index in self._indexes.items():
+            index.setdefault(row[position], []).append(row)
+
+    def probability(self, row: Iterable[Value]) -> Probability:
+        """Marginal probability of a tuple; 0 when absent."""
+        return self._tuples.get(tuple(row), 0)
+
+    def __contains__(self, row: Iterable[Value]) -> bool:
+        return tuple(row) in self._tuples
+
+    def tuples(self) -> Iterator[GroundTuple]:
+        """All tuples with nonzero entries, insertion-ordered."""
+        return iter(self._tuples)
+
+    def items(self) -> Iterator[Tuple[GroundTuple, Probability]]:
+        return iter(self._tuples.items())
+
+    def matching(self, position: int, value: Value) -> list:
+        """Tuples whose ``position``-th column equals ``value`` (indexed)."""
+        if position not in self._indexes:
+            index: Dict[Value, list] = {}
+            for row in self._tuples:
+                index.setdefault(row[position], []).append(row)
+            self._indexes[position] = index
+        return self._indexes[position].get(value, [])
+
+    def values_at(self, position: int) -> set:
+        """The set of values in a column."""
+        return {row[position] for row in self._tuples}
+
+    def deterministic_view(self) -> "Relation":
+        """A copy with every probability set to 1 (for certain data)."""
+        return Relation(self.name, self._arity, {t: 1 for t in self._tuples})
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self._arity or 0} ({len(self)} tuples)"
+
+    def __repr__(self) -> str:
+        return f"Relation({self})"

@@ -1,0 +1,165 @@
+"""SQLite-backed storage for probabilistic databases.
+
+MystiQ (the paper's motivating system) evaluates safe plans inside a
+relational engine.  This module mirrors that architecture: a
+:class:`SQLiteStore` materializes a :class:`ProbabilisticDatabase` as
+SQLite tables with a ``prob`` column, and exposes join matching used by
+the SQL-backed grounding and safe-plan engines.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.predicates import Comparison
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from .database import ProbabilisticDatabase
+
+
+class SQLiteStore:
+    """An in-memory SQLite image of a probabilistic database.
+
+    Columns are named ``c0..c{arity-1}`` plus ``prob``.  Values are
+    stored as TEXT with a type tag column-free encoding (ints keep
+    their natural form via SQLite affinity on a TEXT column is lossy,
+    so we encode: ints as ``i:<n>``, everything else as ``s:<str>``),
+    guaranteeing round-trips for the mixed int/str domains used by the
+    hardness reductions.
+    """
+
+    def __init__(self, db: ProbabilisticDatabase) -> None:
+        self.connection = sqlite3.connect(":memory:")
+        self.source = db
+        self._arities: Dict[str, int] = {}
+        self._load(db)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def encode(value) -> str:
+        if isinstance(value, bool):
+            return f"s:{value}"
+        if isinstance(value, int):
+            return f"i:{value}"
+        return f"s:{value}"
+
+    @staticmethod
+    def decode(text: str):
+        tag, _, payload = text.partition(":")
+        if tag == "i":
+            return int(payload)
+        return payload
+
+    def _load(self, db: ProbabilisticDatabase) -> None:
+        cursor = self.connection.cursor()
+        for relation in db.relations():
+            arity = relation.arity or 0
+            self._arities[relation.name] = arity
+            columns = ", ".join(f"c{i} TEXT" for i in range(arity))
+            spec = f"({columns}, prob REAL)" if arity else "(prob REAL)"
+            cursor.execute(f'CREATE TABLE "{relation.name}" {spec}')
+            rows = [
+                tuple(self.encode(v) for v in row) + (float(prob),)
+                for row, prob in relation.items()
+            ]
+            if rows:
+                placeholders = ", ".join("?" for _ in range(arity + 1))
+                cursor.executemany(
+                    f'INSERT INTO "{relation.name}" VALUES ({placeholders})', rows
+                )
+        self.connection.commit()
+
+    def arity(self, relation: str) -> int:
+        return self._arities.get(relation, 0)
+
+    # ------------------------------------------------------------------
+    # Query matching (grounding backend)
+    # ------------------------------------------------------------------
+
+    def matches(
+        self, query: ConjunctiveQuery
+    ) -> List[Dict[Variable, object]]:
+        """All assignments of the query's variables satisfied by the
+        stored tuples (ignoring probabilities; negated atoms are not
+        joined — callers handle negation on top).
+
+        The query is compiled to a single SQL join over the positive
+        atoms, with equality join conditions from repeated variables,
+        constants pushed as filters, and arithmetic predicates
+        translated when both sides are integers-or-columns.
+        """
+        positive = [a for a in query.atoms if not a.negated]
+        if not positive:
+            return [{}]
+        for atom in positive:
+            if self._arities.get(atom.relation) != atom.arity:
+                return []  # unknown or empty relation: no matches
+        sql, params, projection = self._compile(positive, query.predicates)
+        cursor = self.connection.execute(sql, params)
+        results = []
+        for row in cursor.fetchall():
+            assignment = {
+                variable: self.decode(row[i])
+                for i, variable in enumerate(projection)
+            }
+            if _predicates_hold(query.predicates, assignment):
+                results.append(assignment)
+        return results
+
+    def _compile(
+        self,
+        atoms: Sequence[Atom],
+        predicates: Sequence[Comparison],
+    ) -> Tuple[str, List, List[Variable]]:
+        froms: List[str] = []
+        wheres: List[str] = []
+        params: List = []
+        first_column: Dict[Variable, str] = {}
+        for index, atom in enumerate(atoms):
+            alias = f"t{index}"
+            froms.append(f'"{atom.relation}" AS {alias}')
+            for position, term in enumerate(atom.terms):
+                column = f"{alias}.c{position}"
+                if isinstance(term, Constant):
+                    wheres.append(f"{column} = ?")
+                    params.append(self.encode(term.value))
+                else:
+                    if term in first_column:
+                        wheres.append(f"{column} = {first_column[term]}")
+                    else:
+                        first_column[term] = column
+        projection = list(first_column)
+        select = ", ".join(first_column[v] for v in projection) or "1"
+        sql = f"SELECT {select} FROM {', '.join(froms)}"
+        if wheres:
+            sql += " WHERE " + " AND ".join(wheres)
+        return sql, params, projection
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SQLiteStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _predicates_hold(
+    predicates: Iterable[Comparison], assignment: Dict[Variable, object]
+) -> bool:
+    for pred in predicates:
+        left = pred.left.value if isinstance(pred.left, Constant) else assignment.get(pred.left)
+        right = pred.right.value if isinstance(pred.right, Constant) else assignment.get(pred.right)
+        if left is None or right is None:
+            continue
+        try:
+            if not pred.evaluate(left, right):
+                return False
+        except TypeError:
+            if not pred.evaluate(str(left), str(right)):
+                return False
+    return True

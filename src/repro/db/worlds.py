@@ -1,0 +1,77 @@
+"""Possible-world semantics by explicit enumeration.
+
+Equation (2) of the paper defines ``p(q)`` as the total probability of
+the substructures satisfying ``q``.  This module materializes that
+definition literally — exponential, and therefore only usable on tiny
+instances, but it is the bedrock ground truth for everything else.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .database import ProbabilisticDatabase, TupleKey
+
+#: A possible world: the set of tuple events that are present.
+World = frozenset
+
+
+MAX_ENUMERABLE_TUPLES = 22
+
+
+def iterate_worlds(
+    db: ProbabilisticDatabase,
+) -> Iterator[Tuple[World, float]]:
+    """Yield every possible world with its probability.
+
+    Tuples with probability 1 are always present and tuples with
+    probability 0 never are; only the genuinely uncertain tuples are
+    branched on, which keeps small benchmarks feasible.
+    """
+    certain: List[TupleKey] = []
+    uncertain: List[TupleKey] = []
+    for key in db.tuple_keys():
+        prob = db.probability(*key)
+        if prob == 1:
+            certain.append(key)
+        elif prob > 0:
+            uncertain.append(key)
+    if len(uncertain) > MAX_ENUMERABLE_TUPLES:
+        raise ValueError(
+            f"refusing to enumerate 2^{len(uncertain)} worlds; "
+            f"use the lineage engine instead"
+        )
+    base = frozenset(certain)
+    probs = [float(db.probability(*key)) for key in uncertain]
+    for choices in product((False, True), repeat=len(uncertain)):
+        weight = 1.0
+        present: Set[TupleKey] = set(base)
+        for key, chosen, prob in zip(uncertain, choices, probs):
+            if chosen:
+                weight *= prob
+                present.add(key)
+            else:
+                weight *= 1.0 - prob
+        if weight > 0.0:
+            yield frozenset(present), weight
+
+
+def world_database(
+    db: ProbabilisticDatabase, world: World
+) -> ProbabilisticDatabase:
+    """The deterministic database corresponding to one world."""
+    deterministic = ProbabilisticDatabase()
+    for name, row in world:
+        deterministic.add(name, row, 1)
+    for name in db.relation_names:
+        deterministic.relation(name)  # keep empty relations visible
+    return deterministic
+
+
+def world_count(db: ProbabilisticDatabase) -> int:
+    """Number of worlds with nonzero probability branching."""
+    uncertain = sum(
+        1 for key in db.tuple_keys() if 0 < db.probability(*key) < 1
+    )
+    return 2 ** uncertain

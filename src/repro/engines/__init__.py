@@ -1,0 +1,37 @@
+"""Evaluation engines for probabilistic conjunctive queries."""
+
+from .base import Engine, EngineError, UnsafeQueryError, UnsupportedQueryError
+from .bruteforce import BruteForceEngine
+from .lifted import (
+    LiftedEngine,
+    SafetyReport,
+    is_safe_query,
+    may_share_tuple,
+    queries_independent,
+)
+from .lineage_engine import LineageEngine
+from .montecarlo import MonteCarloEngine, estimate_with_error, karp_luby_estimate
+from .router import RouterEngine, RoutingDecision
+from .safe_plan import SafePlanEngine
+from .sql_plan import SQLSafePlanEngine
+
+__all__ = [
+    "BruteForceEngine",
+    "Engine",
+    "EngineError",
+    "LiftedEngine",
+    "LineageEngine",
+    "MonteCarloEngine",
+    "RouterEngine",
+    "RoutingDecision",
+    "SQLSafePlanEngine",
+    "SafePlanEngine",
+    "SafetyReport",
+    "UnsafeQueryError",
+    "UnsupportedQueryError",
+    "estimate_with_error",
+    "is_safe_query",
+    "karp_luby_estimate",
+    "may_share_tuple",
+    "queries_independent",
+]

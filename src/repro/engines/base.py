@@ -1,0 +1,50 @@
+"""Common engine interface and error types."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+
+
+class EngineError(Exception):
+    """Base class for evaluation errors."""
+
+
+class UnsupportedQueryError(EngineError):
+    """The engine's preconditions exclude this query.
+
+    E.g. the safe-plan engine refuses self-joins; the brute-force engine
+    refuses instances with too many uncertain tuples.
+    """
+
+
+class UnsafeQueryError(EngineError):
+    """The lifted engine found no PTIME decomposition.
+
+    By the dichotomy theorem (Theorem 1.8) this means the query is
+    #P-hard (assuming the search was exhaustive), and callers should
+    fall back to the exact-but-exponential oracle or to Monte Carlo.
+    """
+
+    def __init__(self, message: str, query: Optional[ConjunctiveQuery] = None):
+        super().__init__(message)
+        self.query = query
+
+
+class Engine(abc.ABC):
+    """An evaluator mapping (query, database) to a probability."""
+
+    #: Human-readable engine name, used by the router and benchmark reports.
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def probability(
+        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+    ) -> float:
+        """The probability that ``query`` is true on ``db``."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

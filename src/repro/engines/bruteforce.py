@@ -1,0 +1,30 @@
+"""Possible-world enumeration engine — Equation (2) verbatim.
+
+Exponential in the number of uncertain tuples; exists as the semantic
+reference implementation for tests and tiny examples.
+"""
+
+from __future__ import annotations
+
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from ..db.worlds import iterate_worlds, world_database
+from ..lineage.grounding import query_holds
+from .base import Engine
+
+
+class BruteForceEngine(Engine):
+    """Sums world probabilities over all worlds satisfying the query."""
+
+    name = "brute-force"
+
+    def probability(
+        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+    ) -> float:
+        if not query.is_satisfiable():
+            return 0.0
+        total = 0.0
+        for world, weight in iterate_worlds(db):
+            if query_holds(query, world_database(db, world)):
+                total += weight
+        return total

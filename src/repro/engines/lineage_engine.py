@@ -1,0 +1,26 @@
+"""Exact evaluation through lineage + weighted model counting.
+
+Always exact, for *every* query — the cost is potentially exponential
+(#P-hardness is real), but component decomposition and caching make it
+polynomial on lineages of safe queries in practice.  Serves as the
+repository's oracle and as the router's exact fallback.
+"""
+
+from __future__ import annotations
+
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from ..lineage.grounding import ground_lineage
+from ..lineage.wmc import exact_probability
+from .base import Engine
+
+
+class LineageEngine(Engine):
+    """Ground to DNF lineage, then exact weighted model counting."""
+
+    name = "lineage-wmc"
+
+    def probability(
+        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+    ) -> float:
+        return exact_probability(ground_lineage(query, db))

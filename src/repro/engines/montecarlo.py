@@ -1,0 +1,187 @@
+"""Monte Carlo estimators — MystiQ's fallback for unsafe queries.
+
+Two estimators over the grounded DNF lineage:
+
+* **naive sampling**: draw worlds of the events mentioned by the
+  lineage, count satisfied DNFs.  Simple but inaccurate when the
+  query probability is tiny.
+* **Karp–Luby**: the classical FPRAS for DNF counting, adapted to
+  weighted (probabilistic) literals; relative error is controlled
+  regardless of how small the answer is.
+
+The paper's introduction motivates the dichotomy with exactly this
+trade-off: safe plans answer in seconds, simulation in minutes — one
+to two orders of magnitude apart for comparable accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase, TupleKey
+from ..lineage.boolean import Clause, Lineage
+from ..lineage.grounding import ground_lineage
+from .base import Engine
+
+
+class MonteCarloEngine(Engine):
+    """Estimate ``p(q)`` by sampling the grounded lineage."""
+
+    name = "monte-carlo"
+
+    def __init__(
+        self,
+        samples: int = 20_000,
+        method: str = "karp-luby",
+        seed: Optional[int] = None,
+    ) -> None:
+        if method not in ("karp-luby", "naive"):
+            raise ValueError(f"unknown Monte Carlo method {method!r}")
+        self.samples = samples
+        self.method = method
+        self.seed = seed
+
+    def probability(
+        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+    ) -> float:
+        lineage = ground_lineage(query, db)
+        if lineage.certainly_true:
+            return 1.0
+        if lineage.is_false:
+            return 0.0
+        rng = random.Random(self.seed)
+        if self.method == "naive":
+            return naive_estimate(lineage, self.samples, rng)
+        estimate = karp_luby_estimate(lineage, self.samples, rng)
+        # The unbiased estimator can land slightly outside [0, 1].
+        return min(max(estimate, 0.0), 1.0)
+
+
+def naive_estimate(
+    lineage: Lineage, samples: int, rng: random.Random
+) -> float:
+    """Fraction of sampled worlds satisfying the DNF."""
+    events = sorted(lineage.events(), key=str)
+    weights = [lineage.weights[event] for event in events]
+    index = {event: i for i, event in enumerate(events)}
+    clauses = [
+        [(index[key], polarity) for key, polarity in clause]
+        for clause in lineage.clauses
+    ]
+    hits = 0
+    for _ in range(samples):
+        world = [rng.random() < w for w in weights]
+        if any(
+            all(world[i] == polarity for i, polarity in clause)
+            for clause in clauses
+        ):
+            hits += 1
+    return hits / samples
+
+
+def karp_luby_estimate(
+    lineage: Lineage, samples: int, rng: random.Random
+) -> float:
+    """The Karp–Luby unbiased estimator for weighted DNF probability.
+
+    Let ``m_i = P(clause_i)`` and ``M = Σ m_i``.  Sample a clause with
+    probability ``m_i / M``, then a world conditioned on that clause
+    being satisfied; the indicator "the sampled clause is the
+    first satisfied clause of the world" has expectation ``p / M``.
+    """
+    clauses: List[Clause] = sorted(lineage.clauses, key=_clause_order)
+    weights = lineage.weights
+    clause_probs = [_clause_probability(clause, weights) for clause in clauses]
+    total = sum(clause_probs)
+    if total == 0.0:
+        return 0.0
+    cumulative: List[float] = []
+    acc = 0.0
+    for prob in clause_probs:
+        acc += prob
+        cumulative.append(acc)
+
+    hits = 0
+    for _ in range(samples):
+        pick = rng.random() * total
+        chosen = _bisect(cumulative, pick)
+        world: Dict[TupleKey, bool] = {
+            key: polarity for key, polarity in clauses[chosen]
+        }
+        first_satisfied = True
+        for earlier in range(chosen):
+            if _clause_satisfied(clauses[earlier], world, weights, rng):
+                first_satisfied = False
+                break
+        if first_satisfied:
+            hits += 1
+    return total * hits / samples
+
+
+def estimate_with_error(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    samples: int,
+    seed: Optional[int] = None,
+) -> Tuple[float, float]:
+    """Karp–Luby estimate plus a 95% half-width from the binomial CLT."""
+    lineage = ground_lineage(query, db)
+    if lineage.certainly_true:
+        return 1.0, 0.0
+    if lineage.is_false:
+        return 0.0, 0.0
+    rng = random.Random(seed)
+    clauses = sorted(lineage.clauses, key=_clause_order)
+    total = sum(_clause_probability(c, lineage.weights) for c in clauses)
+    estimate = karp_luby_estimate(lineage, samples, rng)
+    ratio = min(max(estimate / total, 0.0), 1.0) if total else 0.0
+    half_width = 1.96 * total * math.sqrt(ratio * (1 - ratio) / samples)
+    return estimate, half_width
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+
+def _clause_probability(clause: Clause, weights: Dict[TupleKey, float]) -> float:
+    result = 1.0
+    for key, polarity in clause:
+        weight = weights[key]
+        result *= weight if polarity else (1.0 - weight)
+    return result
+
+
+def _clause_satisfied(
+    clause: Clause,
+    world: Dict[TupleKey, bool],
+    weights: Dict[TupleKey, float],
+    rng: random.Random,
+) -> bool:
+    """Check satisfaction, lazily sampling still-unset events."""
+    for key, polarity in clause:
+        value = world.get(key)
+        if value is None:
+            value = rng.random() < weights[key]
+            world[key] = value
+        if value != polarity:
+            return False
+    return True
+
+
+def _clause_order(clause: Clause):
+    return tuple(sorted((str(key), polarity) for key, polarity in clause))
+
+
+def _bisect(cumulative: Sequence[float], target: float) -> int:
+    lo, hi = 0, len(cumulative) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cumulative[mid] < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

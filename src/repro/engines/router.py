@@ -1,0 +1,105 @@
+"""The MystiQ-style router: safe plan when possible, fallback otherwise.
+
+Section 1 of the paper describes MystiQ's strategy: test whether the
+query has a PTIME plan; if yes run it, otherwise run a Monte Carlo
+simulation — with execution times differing by one to two orders of
+magnitude.  :class:`RouterEngine` reproduces exactly that architecture
+on top of this repository's engines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from .base import Engine, UnsafeQueryError, UnsupportedQueryError
+from .lifted import LiftedEngine, is_safe_query
+from .lineage_engine import LineageEngine
+from .montecarlo import MonteCarloEngine
+from .safe_plan import SafePlanEngine
+
+
+@dataclass
+class RoutingDecision:
+    """Record of how a query was answered."""
+
+    query: str
+    engine: str
+    probability: float
+    seconds: float
+    safe: bool
+
+
+class RouterEngine(Engine):
+    """Route each query to the cheapest correct engine.
+
+    Order of preference:
+
+    1. the Equation-(3) safe plan (hierarchical, self-join-free);
+    2. the lifted engine (safe queries with self-joins);
+    3. the fallback for #P-hard queries — Monte Carlo by default, or
+       the exact lineage oracle when ``exact_fallback`` is set.
+    """
+
+    name = "router"
+
+    def __init__(
+        self,
+        exact_fallback: bool = False,
+        mc_samples: int = 20_000,
+        mc_seed: Optional[int] = None,
+    ) -> None:
+        self.safe_plan = SafePlanEngine()
+        self.lifted = LiftedEngine()
+        self.lineage = LineageEngine()
+        self.monte_carlo = MonteCarloEngine(samples=mc_samples, seed=mc_seed)
+        self.exact_fallback = exact_fallback
+        self.history: list[RoutingDecision] = []
+        self._safety_cache: Dict[ConjunctiveQuery, bool] = {}
+
+    def is_safe(self, query: ConjunctiveQuery) -> bool:
+        """Cached safety decision for the routing choice."""
+        cached = self._safety_cache.get(query)
+        if cached is None:
+            cached = is_safe_query(query).safe
+            self._safety_cache[query] = cached
+        return cached
+
+    def probability(
+        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+    ) -> float:
+        start = time.perf_counter()
+        engine, value, safe = self._route(query, db)
+        elapsed = time.perf_counter() - start
+        self.history.append(
+            RoutingDecision(
+                query=str(query),
+                engine=engine,
+                probability=value,
+                seconds=elapsed,
+                safe=safe,
+            )
+        )
+        return value
+
+    def _route(self, query: ConjunctiveQuery, db: ProbabilisticDatabase):
+        if not query.has_self_join():
+            try:
+                return self.safe_plan.name, self.safe_plan.probability(query, db), True
+            except UnsupportedQueryError:
+                pass  # non-hierarchical: fall through to the fallback
+        elif self.is_safe(query):
+            try:
+                return self.lifted.name, self.lifted.probability(query, db), True
+            except UnsafeQueryError:  # pragma: no cover - safety said yes
+                pass
+        if self.exact_fallback:
+            return self.lineage.name, self.lineage.probability(query, db), False
+        return (
+            self.monte_carlo.name,
+            self.monte_carlo.probability(query, db),
+            False,
+        )

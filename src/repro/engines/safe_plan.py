@@ -1,0 +1,168 @@
+"""The safe-plan recurrence of Theorem 1.3 / Equation (3).
+
+For hierarchical queries *without self-joins* (every relation symbol
+occurs in at most one sub-goal), the paper's recurrence computes the
+exact probability in PTIME::
+
+    p(q) = p(f0) * prod_i ( 1 - prod_{a in A} (1 - p(f_i[a/x_i])) )
+
+where ``f0`` is the conjunction of ground sub-goals, ``f_1..f_m`` the
+variable-containing connected components and ``x_i`` a maximal variable
+of ``f_i`` (which, for a connected hierarchical query, occurs in every
+sub-goal of the component).  Correctness rests on ``f_i[a/x_i]`` being
+independent of ``f_j[a'/x_j]`` whenever ``i != j`` or ``a != a'`` —
+which is exactly what the no-self-join restriction buys.
+
+Negated sub-goals are supported per Theorem 3.11: a ground negated
+sub-goal contributes ``1 - p(t)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..core.atoms import Atom
+from ..core.hierarchy import is_hierarchical, maximal_variables
+from ..core.predicates import Comparison
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..db.database import ProbabilisticDatabase
+from .base import Engine, UnsupportedQueryError
+
+
+class SafePlanEngine(Engine):
+    """Equation (3), applied recursively along the query structure."""
+
+    name = "safe-plan"
+
+    def probability(
+        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+    ) -> float:
+        check_supported(query)
+        if not query.is_satisfiable():
+            return 0.0
+        return _evaluate(query, db)
+
+
+def check_supported(query: ConjunctiveQuery) -> None:
+    """Raise unless the query is hierarchical and self-join free.
+
+    The hierarchy test runs on the positive part (Definition 3.9).
+    """
+    if query.has_self_join():
+        raise UnsupportedQueryError(
+            f"safe-plan engine requires a self-join-free query: {query}"
+        )
+    positive = query.positive_part()
+    if not is_hierarchical(positive):
+        raise UnsupportedQueryError(
+            f"query is not hierarchical, hence #P-hard (Theorem 1.4): {query}"
+        )
+
+
+def _evaluate(query: ConjunctiveQuery, db: ProbabilisticDatabase) -> float:
+    if not query.atoms:
+        return 1.0 if _ground_predicates_hold(query.predicates) else 0.0
+    result = 1.0
+    for component in query.connected_components():
+        if not component.variables:
+            result *= _ground_probability(component, db)
+        else:
+            result *= _component_probability(component, db)
+        if result == 0.0:
+            return 0.0
+    return result
+
+
+def _ground_probability(
+    component: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> float:
+    """Probability of a conjunction of ground sub-goals.
+
+    Distinct ground tuples are independent; the canonical form already
+    deduplicated repeated atoms; a tuple asserted both positively and
+    negatively makes the conjunction false.
+    """
+    if not _ground_predicates_hold(component.predicates):
+        return 0.0
+    positive = {( a.relation, _row(a)) for a in component.positive_atoms}
+    negative = {( a.relation, _row(a)) for a in component.negative_atoms}
+    if positive & negative:
+        return 0.0
+    result = 1.0
+    for name, row in positive:
+        result *= float(db.probability(name, row))
+    for name, row in negative:
+        result *= 1.0 - float(db.probability(name, row))
+    return result
+
+
+def _component_probability(
+    component: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> float:
+    """``1 - prod_a (1 - p(f[a/x]))`` for a maximal variable ``x``."""
+    root = _pick_root(component)
+    inner = 1.0
+    for value in _candidates(component, root, db):
+        constant = Constant(value)
+        branch = component.substitute(root, constant)
+        branch_prob = _evaluate(branch.drop_trivial_predicates(), db)
+        inner *= 1.0 - branch_prob
+        if inner == 0.0:
+            break
+    return 1.0 - inner
+
+
+def _pick_root(component: ConjunctiveQuery) -> Variable:
+    positive_view = component.positive_part()
+    roots = maximal_variables(positive_view)
+    for root in roots:
+        if positive_view.subgoal_map[root] == frozenset(
+            range(len(positive_view.atoms))
+        ):
+            return root
+    # For a connected hierarchical query a maximal variable occurs in
+    # every sub-goal; reaching here means the precondition was violated.
+    raise UnsupportedQueryError(
+        f"no root variable found for component {component}"
+    )
+
+
+def _candidates(
+    component: ConjunctiveQuery, root: Variable, db: ProbabilisticDatabase
+):
+    """Domain values that can make every sub-goal true.
+
+    Values outside the intersection give branch probability 0 and
+    contribute a factor of 1, so skipping them is sound.  Negated
+    sub-goals do *not* restrict the candidate set (their tuples need
+    not exist) — but if the root occurs only in negated sub-goals the
+    query was not range-restricted to begin with.
+    """
+    candidate_set: Optional[Set] = None
+    for atom in component.atoms:
+        if atom.negated or root not in atom.variables:
+            continue
+        relation = db.relation(atom.relation)
+        for position in atom.positions_of(root):
+            values = relation.values_at(position)
+            candidate_set = values if candidate_set is None else candidate_set & values
+            if not candidate_set:
+                return []
+    return sorted(candidate_set or [], key=lambda v: (type(v).__name__, str(v)))
+
+
+def _ground_predicates_hold(predicates: Sequence[Comparison]) -> bool:
+    for pred in predicates:
+        if isinstance(pred.left, Constant) and isinstance(pred.right, Constant):
+            try:
+                if not pred.evaluate(pred.left.value, pred.right.value):
+                    return False
+            except TypeError:
+                if not pred.evaluate(str(pred.left.value), str(pred.right.value)):
+                    return False
+    return True
+
+
+def _row(atom: Atom):
+    return tuple(t.value for t in atom.terms if isinstance(t, Constant))

@@ -1,0 +1,173 @@
+"""Safe plans executed inside SQLite — MystiQ's extensional architecture.
+
+MystiQ evaluates safe plans as SQL queries with probability-aggregating
+operators.  This engine mirrors that: the Equation-(3) recurrence is
+compiled to SQL over a :class:`~repro.db.sqlstore.SQLiteStore`, using a
+registered ``por`` aggregate (independent-OR: ``1 - Π (1 - p_i)``) for
+the existential steps and plain multiplication for independent joins.
+
+The compilation walks the same structure as
+:mod:`repro.engines.safe_plan`: per connected component, group rows by
+the root variable's column, ``por``-aggregate over the branch
+probabilities, then combine.  For multi-level queries the recursion
+materializes intermediate tables, exactly like the views a relational
+optimizer would produce.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.hierarchy import maximal_variables
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..db.database import ProbabilisticDatabase
+from ..db.sqlstore import SQLiteStore
+from .base import Engine, UnsupportedQueryError
+from .safe_plan import check_supported
+
+
+class _IndependentOr:
+    """SQLite aggregate: ``1 - Π (1 - p)`` over the group's rows."""
+
+    def __init__(self) -> None:
+        self.complement = 1.0
+
+    def step(self, probability: float) -> None:
+        self.complement *= 1.0 - probability
+
+    def finalize(self) -> float:
+        return 1.0 - self.complement
+
+
+class _Product:
+    """SQLite aggregate: ``Π p`` over the group's rows."""
+
+    def __init__(self) -> None:
+        self.product = 1.0
+
+    def step(self, probability: float) -> None:
+        self.product *= probability
+
+    def finalize(self) -> float:
+        return self.product
+
+
+class SQLSafePlanEngine(Engine):
+    """Equation (3) compiled onto SQLite.
+
+    Same preconditions as :class:`SafePlanEngine` (hierarchical, no
+    self-joins); arithmetic predicates are evaluated during the
+    per-branch joins, mirroring a WHERE clause.
+    """
+
+    name = "sql-safe-plan"
+
+    def probability(
+        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+    ) -> float:
+        check_supported(query)
+        if not query.is_satisfiable():
+            return 0.0
+        store = SQLiteStore(db)
+        store.connection.create_aggregate("por", 1, _IndependentOr)
+        store.connection.create_aggregate("pprod", 1, _Product)
+        try:
+            return _evaluate(query, store)
+        finally:
+            store.close()
+
+
+def _evaluate(query: ConjunctiveQuery, store: SQLiteStore) -> float:
+    result = 1.0
+    for component in query.connected_components():
+        result *= _component(component, store)
+        if result == 0.0:
+            return 0.0
+    return result
+
+
+def _component(component: ConjunctiveQuery, store: SQLiteStore) -> float:
+    if not component.variables:
+        return _ground(component, store)
+    root = _root_of(component)
+    # One SQL pass: for each root value, the probability of the branch
+    # f[a/root].  Branches may still contain variables below the root —
+    # those are por-aggregated inside the recursive step.
+    branch_probabilities = _branch_probabilities(component, root, store)
+    complement = 1.0
+    for probability in branch_probabilities:
+        complement *= 1.0 - probability
+    return 1.0 - complement
+
+
+def _branch_probabilities(
+    component: ConjunctiveQuery, root: Variable, store: SQLiteStore
+) -> List[float]:
+    """``p(f[a/root])`` for every candidate root value ``a``.
+
+    The candidate values come from a SQL intersection over the root's
+    columns; each branch is evaluated recursively (the recursion depth
+    is bounded by the query's variable count).
+    """
+    candidates: Optional[set] = None
+    for atom in component.atoms:
+        if atom.negated or root not in atom.variables:
+            continue
+        if store.arity(atom.relation) != atom.arity:
+            return []  # empty or mis-declared relation: no candidates
+        for position in atom.positions_of(root):
+            cursor = store.connection.execute(
+                f'SELECT DISTINCT c{position} FROM "{atom.relation}"'
+            )
+            values = {row[0] for row in cursor.fetchall()}
+            candidates = values if candidates is None else candidates & values
+    results: List[float] = []
+    for encoded in sorted(candidates or ()):
+        value = store.decode(encoded)
+        branch = component.substitute(root, Constant(value))
+        results.append(_evaluate(branch.drop_trivial_predicates(), store))
+    return results
+
+
+def _ground(component: ConjunctiveQuery, store: SQLiteStore) -> float:
+    from .safe_plan import _ground_predicates_hold
+
+    if not _ground_predicates_hold(component.predicates):
+        return 0.0
+    result = 1.0
+    for atom in component.atoms:
+        row = tuple(term.value for term in atom.terms)
+        probability = _tuple_probability(atom.relation, row, store)
+        result *= (1.0 - probability) if atom.negated else probability
+        if result == 0.0 and not atom.negated:
+            return 0.0
+    return result
+
+
+def _tuple_probability(relation: str, row: Tuple, store: SQLiteStore) -> float:
+    if store.arity(relation) != len(row):
+        return 0.0
+    conditions = " AND ".join(f"c{i} = ?" for i in range(len(row)))
+    sql = f'SELECT por(prob) FROM "{relation}"'
+    if conditions:
+        sql += f" WHERE {conditions}"
+    cursor = store.connection.execute(
+        sql, [store.encode(v) for v in row]
+    )
+    value = cursor.fetchone()[0]
+    return float(value) if value is not None else 0.0
+
+
+def _root_of(component: ConjunctiveQuery) -> Variable:
+    positive = component.positive_part()
+    for candidate in maximal_variables(positive):
+        if positive.subgoal_map[candidate] == frozenset(
+            range(len(positive.atoms))
+        ):
+            return candidate
+    raise UnsupportedQueryError(
+        f"no root variable for component {component}"
+    )

@@ -1,0 +1,32 @@
+"""Hardness substrate: 2DNF counting, the H_k family, reductions."""
+
+from .hk import chain_relation, hk_component_queries, hk_query
+from .reductions import (
+    P3_QUERY,
+    TRIANGLE_QUERY,
+    b5_instance,
+    count_via_hk,
+    edge_case_probabilities,
+    hk_instance,
+    p3_instance,
+    triangle_instance,
+    union_probability,
+)
+from .twodnf import Bipartite2DNF, random_formula
+
+__all__ = [
+    "Bipartite2DNF",
+    "P3_QUERY",
+    "TRIANGLE_QUERY",
+    "b5_instance",
+    "chain_relation",
+    "count_via_hk",
+    "edge_case_probabilities",
+    "hk_component_queries",
+    "hk_instance",
+    "hk_query",
+    "p3_instance",
+    "random_formula",
+    "triangle_instance",
+    "union_probability",
+]

@@ -1,0 +1,66 @@
+"""The ``H_k`` chain-query family (Theorem 1.5, Appendix C).
+
+``H_k`` is the canonical family of *hierarchical* #P-hard queries::
+
+    H_k = R(x), S0(x,y),
+          S0(u1,v1), S1(u1,v1),
+          ...
+          S_{k-1}(uk,vk), S_k(uk,vk),
+          S_k(x',y'), T(y')
+
+The inversion travels along the chain of ``S_i`` unifications from
+``x ⊐ y`` to ``x' ⊏ y'``; its length is ``k``, and the general hardness
+proof (Theorem 4.4) reduces from exactly this family.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.atoms import atom
+from ..core.query import ConjunctiveQuery
+
+
+def chain_relation(index: int) -> str:
+    """Name of the ``i``-th chain relation."""
+    return f"S{index}"
+
+
+def hk_query(k: int) -> ConjunctiveQuery:
+    """Build ``H_k`` for ``k >= 0`` (``H_0 = R(x),S0(x,y),S0(x',y'),T(y')``)."""
+    if k < 0:
+        raise ValueError("k must be nonnegative")
+    atoms = [atom("R", "x"), atom(chain_relation(0), "x", "y")]
+    for i in range(1, k + 1):
+        atoms.append(atom(chain_relation(i - 1), f"u{i}", f"v{i}"))
+        atoms.append(atom(chain_relation(i), f"u{i}", f"v{i}"))
+    atoms.append(atom(chain_relation(k), "xp", "yp"))
+    atoms.append(atom("T", "yp"))
+    return ConjunctiveQuery(atoms)
+
+
+def hk_component_queries(k: int) -> List[ConjunctiveQuery]:
+    """The queries ``φ_0 .. φ_{k+1}`` of Appendix C.
+
+    ``H_k`` is their conjunction; every *proper* sub-conjunction is
+    inversion-free (hence PTIME), which is what drives the
+    inclusion–exclusion step of the hardness proof.
+    """
+    components: List[ConjunctiveQuery] = [
+        ConjunctiveQuery([atom("R", "x"), atom(chain_relation(0), "x", "y")])
+    ]
+    for i in range(1, k + 1):
+        components.append(
+            ConjunctiveQuery(
+                [
+                    atom(chain_relation(i - 1), "u", "v"),
+                    atom(chain_relation(i), "u", "v"),
+                ]
+            )
+        )
+    components.append(
+        ConjunctiveQuery(
+            [atom(chain_relation(k), "xp", "yp"), atom("T", "yp")]
+        )
+    )
+    return components

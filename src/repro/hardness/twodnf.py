@@ -1,0 +1,114 @@
+"""Bipartite 2DNF formulas and exact model counting.
+
+All of the paper's hardness proofs reduce from computing the
+probability (equivalently, counting satisfying assignments) of a
+*bipartite positive 2DNF*::
+
+    Φ = ∨_{h=1..t}  (x_{i_h} ∧ y_{j_h})
+
+with disjoint variable sets X, Y — the canonical #P-complete problem
+(Provan–Ball / Valiant).  This module gives the formula object, exact
+brute-force counting (the test oracle for the reductions), the
+probability under independent variable marginals, and the assignment
+census ``T_{i,j}`` that Appendix C's Vandermonde argument recovers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Bipartite2DNF:
+    """``Φ = ∨ (x_i ∧ y_j)`` with optional per-variable marginals."""
+
+    num_x: int
+    num_y: int
+    clauses: Tuple[Tuple[int, int], ...]
+    x_probs: Tuple[float, ...] = field(default=())
+    y_probs: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for i, j in self.clauses:
+            if not (0 <= i < self.num_x and 0 <= j < self.num_y):
+                raise ValueError(f"clause ({i},{j}) out of range")
+        if not self.x_probs:
+            object.__setattr__(self, "x_probs", (0.5,) * self.num_x)
+        if not self.y_probs:
+            object.__setattr__(self, "y_probs", (0.5,) * self.num_y)
+        if len(self.x_probs) != self.num_x or len(self.y_probs) != self.num_y:
+            raise ValueError("marginal vectors must match variable counts")
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, x_assign: Sequence[bool], y_assign: Sequence[bool]) -> bool:
+        """Truth value under an assignment."""
+        return any(x_assign[i] and y_assign[j] for i, j in self.clauses)
+
+    def count_satisfying(self) -> int:
+        """Exact #SAT by enumeration (use only for small formulas)."""
+        total = 0
+        for x_assign in itertools.product((False, True), repeat=self.num_x):
+            for y_assign in itertools.product((False, True), repeat=self.num_y):
+                if self.evaluate(x_assign, y_assign):
+                    total += 1
+        return total
+
+    def probability(self) -> float:
+        """Exact ``P(Φ)`` under the independent variable marginals."""
+        total = 0.0
+        for x_assign in itertools.product((False, True), repeat=self.num_x):
+            weight_x = 1.0
+            for value, prob in zip(x_assign, self.x_probs):
+                weight_x *= prob if value else (1.0 - prob)
+            for y_assign in itertools.product((False, True), repeat=self.num_y):
+                if not self.evaluate(x_assign, y_assign):
+                    continue
+                weight = weight_x
+                for value, prob in zip(y_assign, self.y_probs):
+                    weight *= prob if value else (1.0 - prob)
+                total += weight
+        return total
+
+    def assignment_census(self) -> Dict[Tuple[int, int], int]:
+        """``T_{i,j}``: assignments with ``i`` clauses both-true and
+        ``j`` clauses none-true (Appendix C's unknowns)."""
+        census: Dict[Tuple[int, int], int] = {}
+        for x_assign in itertools.product((False, True), repeat=self.num_x):
+            for y_assign in itertools.product((False, True), repeat=self.num_y):
+                both = sum(
+                    1 for i, j in self.clauses if x_assign[i] and y_assign[j]
+                )
+                none = sum(
+                    1
+                    for i, j in self.clauses
+                    if not x_assign[i] and not y_assign[j]
+                )
+                key = (both, none)
+                census[key] = census.get(key, 0) + 1
+        return census
+
+
+def random_formula(
+    num_x: int,
+    num_y: int,
+    num_clauses: int,
+    seed: Optional[int] = None,
+    random_marginals: bool = False,
+) -> Bipartite2DNF:
+    """A random bipartite 2DNF with distinct clauses."""
+    rng = random.Random(seed)
+    space = [(i, j) for i in range(num_x) for j in range(num_y)]
+    if num_clauses > len(space):
+        raise ValueError("more clauses requested than distinct pairs exist")
+    clauses = tuple(rng.sample(space, num_clauses))
+    if random_marginals:
+        x_probs = tuple(rng.uniform(0.2, 0.8) for _ in range(num_x))
+        y_probs = tuple(rng.uniform(0.2, 0.8) for _ in range(num_y))
+        return Bipartite2DNF(num_x, num_y, clauses, x_probs, y_probs)
+    return Bipartite2DNF(num_x, num_y, clauses)

@@ -1,0 +1,17 @@
+"""Lineage construction and exact weighted model counting."""
+
+from .boolean import Clause, Lineage, Literal, make_lineage
+from .grounding import find_matches, ground_lineage, query_holds
+from .wmc import exact_probability, shannon_expansion_count
+
+__all__ = [
+    "Clause",
+    "Lineage",
+    "Literal",
+    "exact_probability",
+    "find_matches",
+    "ground_lineage",
+    "make_lineage",
+    "query_holds",
+    "shannon_expansion_count",
+]

@@ -1,0 +1,116 @@
+"""Boolean lineage of a query over a database.
+
+Grounding a conjunctive query produces a DNF over *tuple literals*: each
+match of the query body contributes one clause — the conjunction of the
+uncertain tuples it uses (positively or, for negated sub-goals,
+negatively).  The probability of the query is the probability of this
+DNF under the independent tuple events, which is what the exact
+model-counting oracle (:mod:`repro.lineage.wmc`) computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..db.database import TupleKey
+
+#: A literal: (tuple event, polarity). Polarity True = tuple present.
+Literal = Tuple[TupleKey, bool]
+#: A clause: conjunction of literals.
+Clause = FrozenSet[Literal]
+
+
+@dataclass(frozen=True)
+class Lineage:
+    """A DNF lineage with the marginals of the events it mentions.
+
+    Attributes:
+        clauses: the DNF clauses (conjunctions of literals).
+        weights: marginal probability of each tuple event mentioned.
+        certainly_true: set when some match used only certain tuples —
+            the query then holds in every world and ``p(q) = 1``.
+    """
+
+    clauses: FrozenSet[Clause]
+    weights: Dict[TupleKey, float] = field(default_factory=dict)
+    certainly_true: bool = False
+
+    @property
+    def is_false(self) -> bool:
+        """No matches at all: ``p(q) = 0``."""
+        return not self.clauses and not self.certainly_true
+
+    def events(self) -> Set[TupleKey]:
+        """All tuple events mentioned by some clause."""
+        found: Set[TupleKey] = set()
+        for clause in self.clauses:
+            for key, _polarity in clause:
+                found.add(key)
+        return found
+
+    def clause_count(self) -> int:
+        return len(self.clauses)
+
+    def literal_count(self) -> int:
+        return sum(len(clause) for clause in self.clauses)
+
+    def describe(self) -> str:
+        if self.certainly_true:
+            return "TRUE"
+        if self.is_false:
+            return "FALSE"
+        rendered: List[str] = []
+        for clause in sorted(self.clauses, key=_clause_key):
+            parts = [
+                ("" if polarity else "¬") + f"{name}{row}"
+                for (name, row), polarity in sorted(clause, key=_literal_key)
+            ]
+            rendered.append(" ∧ ".join(parts) if parts else "⊤")
+        return " ∨ ".join(f"({part})" for part in rendered)
+
+
+def make_lineage(
+    clauses: Iterable[Iterable[Literal]],
+    weights: Dict[TupleKey, float],
+) -> Lineage:
+    """Normalize raw clauses into a :class:`Lineage`.
+
+    Drops clauses containing contradictory literals, absorbs
+    superset clauses (a clause implied by a smaller clause adds
+    nothing to the disjunction), and detects the certainly-true case
+    (an empty clause).
+    """
+    normalized: Set[Clause] = set()
+    for raw in clauses:
+        clause = frozenset(raw)
+        keys = {key for key, _ in clause}
+        if len(keys) < len(clause):
+            continue  # contains t and not-t: unsatisfiable match
+        if not clause:
+            return Lineage(frozenset(), {}, certainly_true=True)
+        normalized.add(clause)
+    pruned = _absorb(normalized)
+    used = {key for clause in pruned for key, _ in clause}
+    return Lineage(
+        frozenset(pruned),
+        {key: float(weights[key]) for key in used},
+    )
+
+
+def _absorb(clauses: Set[Clause]) -> Set[Clause]:
+    by_size = sorted(clauses, key=len)
+    kept: List[Clause] = []
+    for clause in by_size:
+        if not any(small <= clause for small in kept):
+            kept.append(clause)
+    return set(kept)
+
+
+def _literal_key(literal: Literal):
+    (name, row), polarity = literal
+    return (name, tuple(str(v) for v in row), polarity)
+
+
+def _clause_key(clause: Clause):
+    return tuple(sorted(_literal_key(lit) for lit in clause))

@@ -1,0 +1,228 @@
+"""Grounding: matching a conjunctive query against a database.
+
+``find_matches`` enumerates all satisfying assignments of the query's
+variables by backtracking joins over the stored tuples (with per-column
+indexes); ``ground_lineage`` turns the matches into a DNF
+:class:`~repro.lineage.boolean.Lineage`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.predicates import Comparison
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..db.database import ProbabilisticDatabase, TupleKey
+from .boolean import Lineage, Literal, make_lineage
+
+Assignment = Dict[Variable, object]
+
+
+def find_matches(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> List[Assignment]:
+    """All assignments making every *positive* sub-goal a stored tuple
+    and satisfying all arithmetic predicates.
+
+    Negated sub-goals do not restrict matching here (their tuples need
+    not exist); they are interpreted by the lineage construction.
+    Variables occurring only in negated sub-goals are rejected — the
+    query would not be range-restricted.
+    """
+    positive = [a for a in query.atoms if not a.negated]
+    restricted = set()
+    for atom in positive:
+        restricted.update(atom.variables)
+    if any(v not in restricted for v in query.variables):
+        missing = [v.name for v in query.variables if v not in restricted]
+        raise ValueError(f"query is not range-restricted: {missing} "
+                         f"occur only in negated sub-goals or predicates")
+    order = _plan(positive)
+    matches: List[Assignment] = []
+    assignment: Assignment = {}
+
+    def backtrack(step: int) -> None:
+        if step == len(order):
+            if _predicates_hold(query.predicates, assignment):
+                matches.append(dict(assignment))
+            return
+        atom = order[step]
+        for row in _candidates(atom, db, assignment):
+            added = _bind(atom, row, assignment)
+            if added is None:
+                continue
+            backtrack(step + 1)
+            for variable in added:
+                del assignment[variable]
+
+    backtrack(0)
+    return matches
+
+
+def query_holds(query: ConjunctiveQuery, db: ProbabilisticDatabase) -> bool:
+    """True iff the query has at least one match (deterministic check)."""
+    positive = [a for a in query.atoms if not a.negated]
+    order = _plan(positive)
+    assignment: Assignment = {}
+
+    def backtrack(step: int) -> bool:
+        if step == len(order):
+            if not _predicates_hold(query.predicates, assignment):
+                return False
+            return _negatives_absent(query, db, assignment)
+        atom = order[step]
+        for row in _candidates(atom, db, assignment):
+            added = _bind(atom, row, assignment)
+            if added is None:
+                continue
+            if backtrack(step + 1):
+                return True
+            for variable in added:
+                del assignment[variable]
+        return False
+
+    return backtrack(0)
+
+
+def ground_lineage(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> Lineage:
+    """The DNF lineage of ``query`` over ``db``.
+
+    For every match: certain positive tuples (p = 1) are dropped from
+    the clause, impossible ones never match; a negated sub-goal over an
+    absent tuple is vacuously true, over a certain tuple it kills the
+    match, otherwise it contributes a negative literal.
+    """
+    weights: Dict[TupleKey, float] = {}
+    clauses: List[List[Literal]] = []
+    for assignment in find_matches(query, db):
+        clause: List[Literal] = []
+        dead = False
+        for atom in query.atoms:
+            row = _ground_row(atom, assignment)
+            key: TupleKey = (atom.relation, row)
+            prob = float(db.probability(atom.relation, row))
+            if atom.negated:
+                if prob >= 1.0:
+                    dead = True
+                    break
+                if prob <= 0.0:
+                    continue
+                weights[key] = prob
+                clause.append((key, False))
+            else:
+                if prob >= 1.0:
+                    continue
+                if prob <= 0.0:
+                    dead = True
+                    break
+                weights[key] = prob
+                clause.append((key, True))
+        if not dead:
+            clauses.append(clause)
+    return make_lineage(clauses, weights)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+
+def _plan(atoms: Sequence[Atom]) -> List[Atom]:
+    """Greedy join order: start with the most-constant atom, then
+    always pick an atom sharing a bound variable when possible."""
+    remaining = list(atoms)
+    if not remaining:
+        return []
+    order: List[Atom] = []
+    bound: set = set()
+    remaining.sort(key=lambda a: (-len(a.constants), len(a.variables)))
+    while remaining:
+        connected = [a for a in remaining if bound & set(a.variables)]
+        chosen = connected[0] if connected else remaining[0]
+        remaining.remove(chosen)
+        order.append(chosen)
+        bound.update(chosen.variables)
+    return order
+
+
+def _candidates(
+    atom: Atom, db: ProbabilisticDatabase, assignment: Assignment
+) -> Iterator[Tuple]:
+    relation = db.relation(atom.relation)
+    best_position: Optional[int] = None
+    best_value = None
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            best_position, best_value = position, term.value
+            break
+        if term in assignment:
+            best_position, best_value = position, assignment[term]
+            break
+    if best_position is None:
+        yield from relation.tuples()
+    else:
+        yield from relation.matching(best_position, best_value)
+
+
+def _bind(atom: Atom, row: Tuple, assignment: Assignment) -> Optional[List[Variable]]:
+    added: List[Variable] = []
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                _undo(assignment, added)
+                return None
+            continue
+        bound = assignment.get(term, _MISSING)
+        if bound is _MISSING:
+            assignment[term] = value
+            added.append(term)
+        elif bound != value:
+            _undo(assignment, added)
+            return None
+    return added
+
+
+def _undo(assignment: Assignment, added: List[Variable]) -> None:
+    for variable in added:
+        del assignment[variable]
+
+
+_MISSING = object()
+
+
+def _predicates_hold(
+    predicates: Sequence[Comparison], assignment: Assignment
+) -> bool:
+    for pred in predicates:
+        left = pred.left.value if isinstance(pred.left, Constant) else assignment[pred.left]
+        right = pred.right.value if isinstance(pred.right, Constant) else assignment[pred.right]
+        try:
+            ok = pred.evaluate(left, right)
+        except TypeError:
+            ok = pred.evaluate(
+                (type(left).__name__, str(left)), (type(right).__name__, str(right))
+            )
+        if not ok:
+            return False
+    return True
+
+
+def _negatives_absent(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase, assignment: Assignment
+) -> bool:
+    for atom in query.negative_atoms:
+        row = _ground_row(atom, assignment)
+        if row in db.relation(atom.relation):
+            return False
+    return True
+
+
+def _ground_row(atom: Atom, assignment: Assignment) -> Tuple:
+    return tuple(
+        term.value if isinstance(term, Constant) else assignment[term]
+        for term in atom.terms
+    )

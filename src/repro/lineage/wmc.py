@@ -1,0 +1,144 @@
+"""Exact weighted model counting over DNF lineages.
+
+The oracle behind every correctness test in this repository: computes
+the exact probability of a DNF of independent tuple literals by
+Shannon expansion, with two crucial optimizations —
+
+* **independent-component decomposition**: clauses mentioning disjoint
+  event sets are independent, so ``P(∨) = 1 - Π (1 - P_i)``;
+* **memoization** on the clause-set, so shared sub-DNFs are counted
+  once.
+
+Exponential in the worst case (necessarily so: the problem is
+#P-complete), but polynomial-time in practice on lineages of safe
+queries — which is itself one of the phenomena the benchmarks exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..db.database import TupleKey
+from .boolean import Clause, Lineage, Literal
+
+
+def exact_probability(lineage: Lineage) -> float:
+    """Exact probability of a lineage DNF."""
+    if lineage.certainly_true:
+        return 1.0
+    if lineage.is_false:
+        return 0.0
+    counter = _Counter(lineage.weights)
+    return counter.probability(frozenset(lineage.clauses))
+
+
+class _Counter:
+    """Shannon-expansion model counter with caching."""
+
+    def __init__(self, weights: Dict[TupleKey, float]) -> None:
+        self.weights = weights
+        self.cache: Dict[FrozenSet[Clause], float] = {}
+        self.expansions = 0
+
+    def probability(self, clauses: FrozenSet[Clause]) -> float:
+        if not clauses:
+            return 0.0
+        if frozenset() in clauses:
+            return 1.0
+        if len(clauses) == 1:
+            (clause,) = clauses
+            result = 1.0
+            for key, polarity in clause:
+                weight = self.weights[key]
+                result *= weight if polarity else 1.0 - weight
+            return result
+        cached = self.cache.get(clauses)
+        if cached is not None:
+            return cached
+        components = _split_components(clauses)
+        if len(components) > 1:
+            result = 1.0
+            for component in components:
+                result *= 1.0 - self.probability(component)
+            result = 1.0 - result
+        else:
+            result = self._expand(clauses)
+        self.cache[clauses] = result
+        return result
+
+    def _expand(self, clauses: FrozenSet[Clause]) -> float:
+        self.expansions += 1
+        pivot = _most_frequent_event(clauses)
+        weight = self.weights[pivot]
+        positive = self._condition(clauses, pivot, True)
+        negative = self._condition(clauses, pivot, False)
+        return weight * self.probability(positive) + (1.0 - weight) * self.probability(negative)
+
+    @staticmethod
+    def _condition(
+        clauses: FrozenSet[Clause], event: TupleKey, value: bool
+    ) -> FrozenSet[Clause]:
+        """Set ``event := value`` in the DNF."""
+        result: Set[Clause] = set()
+        for clause in clauses:
+            keep: List[Literal] = []
+            dropped = False
+            for literal in clause:
+                key, polarity = literal
+                if key != event:
+                    keep.append(literal)
+                elif polarity != value:
+                    dropped = True  # literal falsified: clause dies
+                    break
+            if dropped:
+                continue
+            result.add(frozenset(keep))
+        return frozenset(result)
+
+
+def _split_components(clauses: FrozenSet[Clause]) -> List[FrozenSet[Clause]]:
+    """Partition clauses into groups sharing no tuple events."""
+    clause_list = list(clauses)
+    parent = list(range(len(clause_list)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    owner: Dict[TupleKey, int] = {}
+    for index, clause in enumerate(clause_list):
+        for key, _polarity in clause:
+            if key in owner:
+                root_a, root_b = find(owner[key]), find(index)
+                if root_a != root_b:
+                    parent[root_a] = root_b
+            else:
+                owner[key] = index
+    groups: Dict[int, Set[Clause]] = {}
+    for index, clause in enumerate(clause_list):
+        groups.setdefault(find(index), set()).add(clause)
+    return [frozenset(group) for group in groups.values()]
+
+
+def _most_frequent_event(clauses: FrozenSet[Clause]) -> TupleKey:
+    counts: Dict[TupleKey, int] = {}
+    for clause in clauses:
+        for key, _polarity in clause:
+            counts[key] = counts.get(key, 0) + 1
+    return max(counts, key=lambda k: (counts[k], str(k)))
+
+
+def shannon_expansion_count(lineage: Lineage) -> int:
+    """Number of Shannon expansions needed for this lineage.
+
+    A cost proxy used by the benchmarks: safe queries yield lineages
+    whose counts grow polynomially with the instance, #P-hard queries'
+    grow exponentially on adversarial instances.
+    """
+    if lineage.certainly_true or lineage.is_false:
+        return 0
+    counter = _Counter(lineage.weights)
+    counter.probability(frozenset(lineage.clauses))
+    return counter.expansions

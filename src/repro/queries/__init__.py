@@ -1,0 +1,13 @@
+"""The paper's query zoo."""
+
+from .zoo import ZooEntry, build_zoo, fast_entries, get, undisputed_entries, zoo, zoo_by_name
+
+__all__ = [
+    "ZooEntry",
+    "build_zoo",
+    "fast_entries",
+    "get",
+    "undisputed_entries",
+    "zoo",
+    "zoo_by_name",
+]

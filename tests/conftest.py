@@ -1,0 +1,27 @@
+"""Shared fixtures and markers."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running analyses (heavy zoo queries)"
+    )
+
+
+@pytest.fixture
+def engines():
+    """All exact engines, for agreement tests."""
+    from repro.engines import (
+        BruteForceEngine,
+        LiftedEngine,
+        LineageEngine,
+        SafePlanEngine,
+    )
+
+    return {
+        "brute": BruteForceEngine(),
+        "lineage": LineageEngine(),
+        "lifted": LiftedEngine(),
+        "plan": SafePlanEngine(),
+    }

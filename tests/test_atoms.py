@@ -1,0 +1,56 @@
+"""Tests for repro.core.atoms."""
+
+from repro.core.atoms import Atom, atom
+from repro.core.terms import Constant, Variable
+
+
+class TestAtom:
+    def test_construction_coerces_terms(self):
+        a = Atom("R", ("x", 3))
+        assert a.terms == (Variable("x"), Constant(3))
+
+    def test_arity(self):
+        assert atom("R", "x", "y", "z").arity == 3
+
+    def test_variables_ordered_distinct(self):
+        a = atom("R", "x", "y", "x", 1)
+        assert a.variables == (Variable("x"), Variable("y"))
+
+    def test_constants(self):
+        a = atom("R", 1, "x", "'a'", 1)
+        assert a.constants == (Constant(1), Constant("a"))
+
+    def test_is_ground(self):
+        assert atom("R", 1, 2).is_ground()
+        assert not atom("R", 1, "x").is_ground()
+
+    def test_positions_of(self):
+        a = atom("R", "x", "y", "x")
+        assert a.positions_of(Variable("x")) == (0, 2)
+        assert a.positions_of(Variable("y")) == (1,)
+        assert a.positions_of(Variable("z")) == ()
+
+    def test_negation(self):
+        a = atom("R", "x")
+        n = a.negate()
+        assert n.negated and not a.negated
+        assert n.negate() == a
+        assert n.positive() == a
+        assert a.positive() is a
+
+    def test_with_terms(self):
+        a = atom("R", "x", "y", negated=True)
+        b = a.with_terms([Constant(1), Constant(2)])
+        assert b.negated
+        assert b.terms == (Constant(1), Constant(2))
+        assert b.relation == "R"
+
+    def test_str(self):
+        assert str(atom("R", "x", 1)) == "R(x, 1)"
+        assert str(atom("R", "x", negated=True)) == "not R(x)"
+
+    def test_equality_and_hash(self):
+        assert atom("R", "x") == atom("R", "x")
+        assert atom("R", "x") != atom("R", "y")
+        assert atom("R", "x") != atom("R", "x", negated=True)
+        assert len({atom("R", "x"), atom("R", "x")}) == 1

@@ -1,0 +1,88 @@
+"""Tests for the dichotomy classifier (Theorem 1.8)."""
+
+import pytest
+
+from repro.analysis import Reason, Verdict, classify, is_ptime
+from repro.core import parse
+
+
+class TestFastPaths:
+    def test_unsatisfiable(self):
+        c = classify(parse("R(x), x < x"))
+        assert c.verdict is Verdict.PTIME
+        assert c.reason is Reason.UNSATISFIABLE
+
+    def test_non_hierarchical(self):
+        c = classify(parse("R(x), S(x,y), T(y)"))
+        assert c.verdict is Verdict.SHARP_P_HARD
+        assert c.reason is Reason.NON_HIERARCHICAL
+        assert c.hierarchy_witness is not None
+
+    def test_no_self_join(self):
+        c = classify(parse("R(x), S(x,y)"))
+        assert c.verdict is Verdict.PTIME
+        assert c.reason is Reason.NO_SELF_JOIN
+
+    def test_minimization_applied_first(self):
+        # R(x),S(x,y),T(y),S(x,yp) has the same core as the
+        # non-hierarchical triple; still hard.
+        c = classify(parse("R(x), S(x,y), T(y), S(x,yp)"))
+        assert c.verdict is Verdict.SHARP_P_HARD
+
+    def test_minimization_can_rescue(self):
+        # R(x),S(x,y),S(u,v): the S(u,v) atom folds away, leaving the
+        # hierarchical self-join-free core.
+        c = classify(parse("R(x), S(x,y), S(u,v)"))
+        assert c.verdict is Verdict.PTIME
+        assert c.reason is Reason.NO_SELF_JOIN
+
+    def test_negation_classified_on_positive_part(self):
+        c = classify(parse("R(x), not S(x,y), T(y)"))
+        assert c.verdict is Verdict.SHARP_P_HARD
+        assert c.reason is Reason.NON_HIERARCHICAL
+
+
+class TestInversionPhase:
+    def test_inversion_free_selfjoin(self):
+        c = classify(parse("R(x), S(x,y), S(xp,yp), T(xp)"))
+        assert c.verdict is Verdict.PTIME
+        assert c.reason is Reason.INVERSION_FREE
+        assert c.coverage is not None
+
+    def test_symmetric_join_needs_refinement(self):
+        c = classify(parse("R(x,y), R(y,x)"))
+        assert c.verdict is Verdict.PTIME
+        assert c.reason is Reason.INVERSION_FREE
+
+    def test_h0_hard_with_witness(self):
+        c = classify(parse("R(x), S(x,y), S(xp,yp), T(yp)"))
+        assert c.verdict is Verdict.SHARP_P_HARD
+        assert c.reason is Reason.ERASER_FREE_INVERSION
+        assert c.inversion is not None
+        assert c.hard_join is not None
+        # The eraser-free join of H0 is the non-hierarchical triple.
+        assert "describe" and "T" in str(c.hard_join)
+
+    def test_marked_ring_hard(self):
+        assert not is_ptime(parse("R(x), S(x,y), S(y,x)"))
+
+    def test_q2path_hard(self):
+        assert not is_ptime(parse("R(x,y), R(y,z)"))
+
+    def test_describe_renders(self):
+        c = classify(parse("R(x), S(x,y), S(xp,yp), T(yp)"))
+        text = c.describe()
+        assert "#P-hard" in text and "inversion" in text
+
+
+class TestRenamingInvariance:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("R(x), S(x,y)", "R(foo), S(foo,bar)"),
+            ("R(x,y), R(y,x)", "R(p,q), R(q,p)"),
+            ("R(x), S(x,y), S(xp,yp), T(yp)", "R(u), S(u,v), S(w,z), T(z)"),
+        ],
+    )
+    def test_same_verdict(self, a, b):
+        assert classify(parse(a)).verdict == classify(parse(b)).verdict

@@ -1,0 +1,57 @@
+"""Fast checks of zoo metadata consumers and Classification plumbing."""
+
+import pytest
+
+from repro.analysis import Verdict, classify
+from repro.core import parse
+from repro.queries import fast_entries, undisputed_entries, zoo, zoo_by_name
+
+
+class TestZooHelpers:
+    def test_by_name_complete(self):
+        assert set(zoo_by_name()) == {e.name for e in zoo()}
+
+    def test_fast_subset(self):
+        fast = fast_entries()
+        assert fast and all(not e.slow for e in fast)
+
+    def test_undisputed_excludes_disputed(self):
+        assert all(not e.disputed for e in undisputed_entries())
+
+    def test_sources_cite_paper_locations(self):
+        for entry in zoo():
+            assert any(
+                token in entry.source
+                for token in ("Section", "Example", "Figure", "Theorem",
+                              "Footnote")
+            ), entry.name
+
+
+class TestClassificationObject:
+    def test_ptime_classification_fields(self):
+        result = classify(parse("R(x), S(x,y), S(xp,yp), T(xp)"))
+        assert result.verdict is Verdict.PTIME
+        assert result.minimized.atoms
+        assert not result.closure_truncated
+        assert result.describe().startswith("query:")
+
+    def test_hard_classification_has_join(self):
+        result = classify(parse("R(x), S(x,y), S(xp,yp), T(yp)"))
+        assert result.hard_join is not None
+        # The witness join must actually be non-computable: either
+        # non-hierarchical or carrying an inversion.
+        from repro.core.hierarchy import is_hierarchical
+        from repro.core.homomorphism import minimize
+        from repro.analysis import has_inversion
+
+        core = minimize(result.hard_join)
+        assert (not is_hierarchical(core)) or has_inversion(core)
+
+    def test_erased_joins_have_homomorphisms(self):
+        from repro.core.homomorphism import has_homomorphism
+        from repro.queries import get
+
+        result = get("example_1_7").classify()
+        for join, erasers in result.erased_joins:
+            for eraser in erasers:
+                assert has_homomorphism(eraser, join)

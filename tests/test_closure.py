@@ -1,0 +1,82 @@
+"""Tests for hierarchical join predicates and the closure (Sec. 2.6)."""
+
+from repro.core import parse
+from repro.core.terms import Variable
+from repro.coverage.closure import (
+    hierarchical_closure,
+    hierarchical_join_pairs,
+    hierarchical_unifiers_of_pair,
+)
+from repro.analysis.inversions import has_inversion
+
+
+class TestJoinPairs:
+    def test_example_2_17(self):
+        """The S-unification of Example 2.17 keeps only (r, r')."""
+        f1 = parse("R(r,x), S(r,x,y), U(a,r), U(r,z), V(r,z)", constants=("a",))
+        f2 = parse("S(rp,xp,yp), T(rp,yp), V(a,rp)", constants=("a",))
+        s_index_1 = next(
+            i for i, g in enumerate(f1.atoms) if g.relation == "S"
+        )
+        s_index_2 = next(
+            i for i, g in enumerate(f2.atoms) if g.relation == "S"
+        )
+        pairs = hierarchical_join_pairs(f1, f2, s_index_1, s_index_2)
+        assert pairs == [(Variable("r"), Variable("rp"))]
+
+    def test_h0_has_no_hierarchical_join(self):
+        """For H0's factors the hierarchy levels clash at the top, so
+        the hierarchical unifier is empty (w = 0)."""
+        f1 = parse("R(x), S(x,y)")
+        f2 = parse("S(xp,yp), T(yp)")
+        s1 = next(i for i, g in enumerate(f1.atoms) if g.relation == "S")
+        s2 = next(i for i, g in enumerate(f2.atoms) if g.relation == "S")
+        assert hierarchical_join_pairs(f1, f2, s1, s2) is None
+
+    def test_example_2_14_full_join(self):
+        """f1, f2 of Example 2.14 join on both levels, giving f3."""
+        f1 = parse("P(x), R(x,y)")
+        f2 = parse("R(xp,yp), S(xp)")
+        joins = hierarchical_unifiers_of_pair(f1, f2)
+        assert len(joins) == 1
+        (join,) = joins
+        from repro.core.homomorphism import equivalent
+
+        assert equivalent(join, parse("P(x), R(x,y), S(x)"))
+
+    def test_join_is_hierarchical(self):
+        from repro.core.hierarchy import is_hierarchical
+
+        f1 = parse("R(r,x), S(r,x,y), U(a,r), U(r,z), V(r,z)", constants=("a",))
+        f2 = parse("S(rp,xp,yp), T(rp,yp), V(a,rp)", constants=("a",))
+        for join in hierarchical_unifiers_of_pair(f1, f2):
+            assert is_hierarchical(join)
+
+
+class TestClosure:
+    def test_example_2_14_closure(self):
+        factors = [parse("P(x), R(x,y)"), parse("R(xp,yp), S(xp)")]
+        closure, hstar, truncated = hierarchical_closure(
+            factors, is_inversion_free=lambda h: not has_inversion(h)
+        )
+        assert not truncated
+        assert len(closure) == 3  # f1, f2, f3
+        assert closure[2].factors == frozenset({0, 1})
+        assert len(hstar) == 3  # all inversion-free
+
+    def test_h0_closure_is_just_factors(self):
+        factors = [parse("R(x), S(x,y)"), parse("S(xp,yp), T(yp)")]
+        closure, hstar, truncated = hierarchical_closure(
+            factors, is_inversion_free=lambda h: not has_inversion(h)
+        )
+        assert len(closure) == 2
+        assert hstar == [0, 1]
+        assert not truncated
+
+    def test_base_factors_always_in_hstar(self):
+        # Even a factor with an inversion stays in H* (it is in F).
+        factors = [parse("R(x), S(x,y), S(y,x)")]
+        closure, hstar, _ = hierarchical_closure(
+            factors, is_inversion_free=lambda h: False
+        )
+        assert 0 in hstar

@@ -1,0 +1,126 @@
+"""Tests for coverages, strictness, and refinement (Section 2.1)."""
+
+import pytest
+
+from repro.core import parse
+from repro.core.terms import Constant, Variable
+from repro.coverage import (
+    build_strict_coverage,
+    is_strict,
+    split_covers,
+    trivial_coverage,
+)
+
+
+class TestTrivialCoverage:
+    def test_single_cover(self):
+        coverage = trivial_coverage(parse("R(x), S(x,y)"))
+        assert len(coverage.covers) == 1
+        assert len(coverage.factors) == 1  # connected query: one factor
+        assert coverage.cover_factors == (frozenset({0}),)
+
+    def test_factors_are_components(self):
+        coverage = trivial_coverage(parse("R(x), T(u)"))
+        assert len(coverage.factors) == 2
+
+    def test_isomorphic_factors_deduplicated(self):
+        coverage = trivial_coverage(parse("R(x), R(u)"))
+        # R(x) and R(u) minimize away at the cover level... the trivial
+        # coverage does not minimize, but components R(x), R(u) are
+        # isomorphic and share one factor slot.
+        assert len(coverage.factors) == 1
+
+
+class TestStrictness:
+    def test_h0_trivial_coverage_is_strict(self):
+        coverage = trivial_coverage(parse("R(x), S(x,y), S(xp,yp), T(yp)"))
+        assert is_strict(coverage)
+
+    def test_example_2_4_trivial_not_strict(self):
+        coverage = trivial_coverage(parse("T(x), R(x,x,y), R(u,v,v)"))
+        assert not is_strict(coverage)
+
+    def test_symmetric_selfjoin_not_strict(self):
+        # Example 3.5: the unifier of R(x,y) with R(y,x) merges x and y.
+        coverage = trivial_coverage(parse("R(x,y), R(y,x)"))
+        assert not is_strict(coverage)
+
+
+class TestBuildStrictCoverage:
+    def test_already_strict_passthrough(self):
+        q = parse("R(x), S(x,y)")
+        coverage = build_strict_coverage(q)
+        assert coverage.covers == (q,)
+
+    def test_example_2_4_refines(self):
+        coverage = build_strict_coverage(parse("T(x), R(x,x,y), R(u,v,v)"))
+        assert is_strict(coverage)
+        assert len(coverage.covers) >= 3
+        # The all-merged cover T(x), R(x,x,x) must be present.
+        assert any(
+            len(cover.atoms) == 2 and not cover.predicates
+            for cover in coverage.covers
+        )
+
+    def test_symmetric_selfjoin_covers(self):
+        # Example 3.5: f1 = R(x,y),R(y,x),x<y (or >) and f2 = R(x,x).
+        coverage = build_strict_coverage(parse("R(x,y), R(y,x)"))
+        assert is_strict(coverage)
+        assert any(len(c.atoms) == 1 for c in coverage.covers)  # R(x,x)
+        assert any(c.predicates for c in coverage.covers)
+
+    def test_coverage_is_equivalent_to_query(self):
+        # Semantic check: on concrete instances, q holds iff some cover holds.
+        from repro.db import random_database_for_query
+        from repro.lineage import query_holds
+
+        q = parse("R(x,y), R(y,x)")
+        coverage = build_strict_coverage(q)
+        for seed in range(5):
+            db = random_database_for_query(q, 3, density=0.7, seed=seed)
+            deterministic = db.deterministic_view()
+            lhs = query_holds(q, deterministic)
+            rhs = any(
+                query_holds(cover, deterministic) for cover in coverage.covers
+            )
+            assert lhs == rhs
+
+    def test_describe_mentions_factors(self):
+        coverage = build_strict_coverage(parse("R(x), S(x,y)"))
+        assert "f0" in coverage.describe()
+
+    def test_factor_index_lookup(self):
+        coverage = build_strict_coverage(parse("R(x), S(x,y)"))
+        assert coverage.factor_index(coverage.factors[0]) == 0
+        with pytest.raises(KeyError):
+            coverage.factor_index(parse("Z(q)"))
+
+
+class TestSplitCovers:
+    def test_variable_pair_trichotomy(self):
+        covers = split_covers(
+            parse("R(x,y), R(y,x)"), [(Variable("x"), Variable("y"))]
+        )
+        # x<y / x=y / x>y, with the two asymmetric ones isomorphic
+        # (dropped as redundant) leaves 2.
+        assert len(covers) == 2
+
+    def test_constant_pair_binary(self):
+        q = parse("R(x), S(a)", constants=("a",))
+        covers = split_covers(q, [(Variable("x"), Constant("a"))])
+        assert len(covers) == 2
+        assert any(Constant("a") in c.constants and not c.predicates
+                   for c in covers)
+
+    def test_union_still_equivalent(self):
+        from repro.db import random_database_for_query
+        from repro.lineage import query_holds
+
+        q = parse("R(x), S(x,y), S(y,x)")
+        covers = split_covers(q, [(Variable("x"), Variable("y"))])
+        for seed in range(4):
+            db = random_database_for_query(q, 3, density=0.7, seed=seed)
+            deterministic = db.deterministic_view()
+            assert query_holds(q, deterministic) == any(
+                query_holds(c, deterministic) for c in covers
+            )

@@ -1,0 +1,116 @@
+"""Cross-validation between independent implementations of the same math.
+
+Each test pits two unrelated code paths against each other: the DP in
+``edge_case_probabilities`` vs brute-force chain enumeration; the
+classifier on automatic vs trivial coverages; ``split_covers`` vs
+query semantics under hypothesis-generated instances.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import parse
+from repro.core.terms import Variable
+from repro.coverage import split_covers
+from repro.db import ProbabilisticDatabase
+from repro.hardness import edge_case_probabilities
+from repro.lineage import query_holds
+
+
+class TestEdgeCaseProbabilitiesVsBruteForce:
+    @staticmethod
+    def brute(k, p1, p2, force_first, force_last):
+        probs = [p1 if level in (0, k) else p2 for level in range(k + 1)]
+        total = 0.0
+        for bits in itertools.product((0, 1), repeat=k + 1):
+            if force_first and bits[0]:
+                continue
+            if force_last and bits[-1]:
+                continue
+            if any(bits[i] and bits[i + 1] for i in range(k)):
+                continue
+            weight = 1.0
+            for bit, prob in zip(bits, probs):
+                weight *= prob if bit else 1.0 - prob
+            total += weight
+        return total
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("p1,p2", [(0.3, 0.6), (0.8, 0.2), (0.5, 0.5)])
+    def test_dp_equals_enumeration(self, k, p1, p2):
+        a, b, c = edge_case_probabilities(k, p1, p2)
+        assert a == pytest.approx(self.brute(k, p1, p2, True, True))
+        assert b == pytest.approx(self.brute(k, p1, p2, False, False))
+        assert c == pytest.approx(self.brute(k, p1, p2, True, False))
+
+    def test_symmetry_of_one_endpoint(self):
+        # Forcing the first or the last endpoint is symmetric because
+        # the probability sequence is palindromic.
+        for k in (1, 2, 3):
+            assert self.brute(k, 0.4, 0.7, True, False) == pytest.approx(
+                self.brute(k, 0.4, 0.7, False, True)
+            )
+
+
+class TestCoverageSemantics:
+    """split_covers must preserve the query as a disjunction."""
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2)),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_join_split(self, rows):
+        q = parse("R(x,y), R(y,x)")
+        covers = split_covers(q, [(Variable("x"), Variable("y"))])
+        db = ProbabilisticDatabase()
+        for row in rows:
+            db.add("R", row, 1)
+        assert query_holds(q, db) == any(query_holds(c, db) for c in covers)
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2)),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        ),
+        marks=st.lists(st.integers(0, 2), max_size=3, unique=True),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_marked_ring_split(self, rows, marks):
+        q = parse("R(x), S(x,y), S(y,x)")
+        covers = split_covers(q, [(Variable("x"), Variable("y"))])
+        db = ProbabilisticDatabase()
+        db.relation("R")
+        db.relation("S")
+        for mark in marks:
+            db.add("R", (mark,), 1)
+        for row in rows:
+            db.add("S", row, 1)
+        assert query_holds(q, db) == any(query_holds(c, db) for c in covers)
+
+
+class TestClassifierVsManualCoverage:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R(x), S(x,y), S(xp,yp), T(yp)",   # H0
+            "P(x), R(x,y), R(xp,yp), S(xp)",   # Example 2.14
+            "R(x), S(x,y), S(xp,yp), T(xp)",
+        ],
+    )
+    def test_trivial_coverage_agrees_with_automatic(self, text):
+        from repro.analysis import classify
+        from repro.analysis.classifier import classify_with_coverage
+
+        q = parse(text)
+        automatic = classify(q)
+        manual = classify_with_coverage(q, split_covers(q, []))
+        assert automatic.is_safe == manual.is_safe

@@ -1,0 +1,144 @@
+"""Tests for the probabilistic database substrate."""
+
+import pytest
+
+from repro.db import (
+    ProbabilisticDatabase,
+    Relation,
+    iterate_worlds,
+    world_count,
+    world_database,
+)
+
+
+class TestRelation:
+    def test_add_and_lookup(self):
+        r = Relation("R")
+        r.add((1, 2), 0.5)
+        assert r.probability((1, 2)) == 0.5
+        assert r.probability((2, 1)) == 0
+        assert (1, 2) in r
+        assert len(r) == 1
+        assert r.arity == 2
+
+    def test_arity_enforced(self):
+        r = Relation("R", arity=2)
+        with pytest.raises(ValueError):
+            r.add((1,), 0.5)
+
+    def test_probability_bounds(self):
+        r = Relation("R")
+        with pytest.raises(ValueError):
+            r.add((1,), 1.5)
+        with pytest.raises(ValueError):
+            r.add((1,), -0.1)
+
+    def test_overwrite(self):
+        r = Relation("R")
+        r.add((1,), 0.5)
+        r.add((1,), 0.7)
+        assert r.probability((1,)) == 0.7
+        assert len(r) == 1
+
+    def test_matching_index(self):
+        r = Relation("R")
+        r.add((1, 10), 0.5)
+        r.add((1, 11), 0.5)
+        r.add((2, 10), 0.5)
+        assert sorted(r.matching(0, 1)) == [(1, 10), (1, 11)]
+        assert r.matching(1, 10) == [(1, 10), (2, 10)]
+        assert r.matching(0, 99) == []
+
+    def test_index_stays_fresh_after_insert(self):
+        r = Relation("R")
+        r.add((1, 10), 0.5)
+        assert r.matching(0, 1) == [(1, 10)]
+        r.add((1, 11), 0.5)
+        assert sorted(r.matching(0, 1)) == [(1, 10), (1, 11)]
+
+    def test_values_at(self):
+        r = Relation("R")
+        r.add((1, 10), 0.5)
+        r.add((2, 10), 0.5)
+        assert r.values_at(0) == {1, 2}
+        assert r.values_at(1) == {10}
+
+    def test_deterministic_view(self):
+        r = Relation("R")
+        r.add((1,), 0.3)
+        assert r.deterministic_view().probability((1,)) == 1
+
+
+class TestProbabilisticDatabase:
+    def test_from_dict(self):
+        db = ProbabilisticDatabase.from_dict(
+            {"R": {(1,): 0.5}, "S": {(1, 2): 0.7}}
+        )
+        assert db.probability("R", (1,)) == 0.5
+        assert db.probability("S", (1, 2)) == 0.7
+        assert db.probability("S", (9, 9)) == 0
+        assert db.probability("T", (0,)) == 0
+
+    def test_duplicate_relation_rejected(self):
+        db = ProbabilisticDatabase([Relation("R")])
+        with pytest.raises(ValueError):
+            db.add_relation(Relation("R"))
+
+    def test_active_domain(self):
+        db = ProbabilisticDatabase.from_dict(
+            {"R": {(1, 3): 0.5}, "S": {(2,): 0.5}}
+        )
+        assert db.active_domain() == [1, 2, 3]
+
+    def test_tuple_keys_and_count(self):
+        db = ProbabilisticDatabase.from_dict(
+            {"R": {(1,): 0.5, (2,): 0.5}, "S": {(1, 2): 0.7}}
+        )
+        assert db.tuple_count() == 3
+        assert ("R", (1,)) in db.tuple_keys()
+
+    def test_copy_is_independent(self):
+        db = ProbabilisticDatabase.from_dict({"R": {(1,): 0.5}})
+        clone = db.copy()
+        clone.add("R", (2,), 0.9)
+        assert db.probability("R", (2,)) == 0
+
+    def test_with_probability(self):
+        db = ProbabilisticDatabase.from_dict({"R": {(1,): 0.5}})
+        changed = db.with_probability(("R", (1,)), 0.9)
+        assert db.probability("R", (1,)) == 0.5
+        assert changed.probability("R", (1,)) == 0.9
+
+
+class TestWorlds:
+    def test_world_count(self):
+        db = ProbabilisticDatabase.from_dict(
+            {"R": {(1,): 0.5, (2,): 1, (3,): 0.25}}
+        )
+        assert world_count(db) == 4  # only 2 uncertain tuples branch
+
+    def test_world_probabilities_sum_to_one(self):
+        db = ProbabilisticDatabase.from_dict(
+            {"R": {(1,): 0.3, (2,): 0.8}, "S": {(1, 2): 0.5}}
+        )
+        total = sum(weight for _world, weight in iterate_worlds(db))
+        assert total == pytest.approx(1.0)
+
+    def test_certain_tuples_always_present(self):
+        db = ProbabilisticDatabase.from_dict({"R": {(1,): 1, (2,): 0.5}})
+        for world, _weight in iterate_worlds(db):
+            assert ("R", (1,)) in world
+
+    def test_world_database(self):
+        db = ProbabilisticDatabase.from_dict({"R": {(1,): 0.5}})
+        worlds = dict(iterate_worlds(db))
+        full = frozenset({("R", (1,))})
+        materialized = world_database(db, full)
+        assert materialized.probability("R", (1,)) == 1
+
+    def test_refuses_huge_enumeration(self):
+        db = ProbabilisticDatabase()
+        for i in range(30):
+            db.add("R", (i,), 0.5)
+        with pytest.raises(ValueError):
+            list(iterate_worlds(db))

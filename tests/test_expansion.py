@@ -1,0 +1,69 @@
+"""Tests for the Theorem 2.13 expansion formula."""
+
+import pytest
+
+from repro.core import parse
+from repro.coverage import build_strict_coverage, trivial_coverage
+from repro.coverage.erasers import UpwardFamily
+from repro.coverage.expansion import (
+    expansion_coefficient,
+    unary_expansion_probability,
+)
+from repro.db import random_database_for_query
+from repro.engines import LineageEngine
+
+oracle = LineageEngine()
+
+
+class TestExpansionCoefficient:
+    def test_empty_signature_dropped(self):
+        psi = UpwardFamily([frozenset({0, 1})])
+        assert expansion_coefficient(frozenset(), psi) == 0
+
+    def test_example_2_14_values(self):
+        """The in-text values of Example 2.14: N({f1,f2}) = 1,
+        N({f3}) = -1 (covers {f1,f2} and {f3})."""
+        psi = UpwardFamily([frozenset({0, 1}), frozenset({2})])
+        assert expansion_coefficient(frozenset({0, 1}), psi) == 1
+        assert expansion_coefficient(frozenset({2}), psi) == -1
+        assert expansion_coefficient(frozenset({0}), psi) == 0
+
+
+class TestExpansionEqualsProbability:
+    @pytest.mark.parametrize(
+        "text,strict",
+        [
+            ("R(x), S(x,y)", False),
+            ("P(x), R(x,y), R(xp,yp), S(xp)", False),  # Example 2.14
+            ("R(x), S(x,y), T(u)", False),
+            ("R(x,y), R(y,x)", True),                  # multi-cover
+        ],
+    )
+    def test_matches_oracle(self, text, strict):
+        q = parse(text)
+        coverage = build_strict_coverage(q) if strict else trivial_coverage(q)
+        for seed in range(3):
+            db = random_database_for_query(q, 2, density=0.8, seed=seed)
+            expansion = unary_expansion_probability(coverage, db)
+            assert expansion == pytest.approx(
+                oracle.probability(q, db), abs=1e-9
+            )
+
+    def test_rejects_non_unary_factor(self):
+        # H0's factors need binary expansion variables; the unary
+        # evaluator must refuse rather than silently miscompute...
+        # (f2 = S(x',y'),T(y') does have root y', and f1 root x — the
+        # trivial coverage *is* unary here, so use a query with a
+        # rootless factor instead.)
+        q = parse("R(x,y), S(y,z), T(z,x)")  # cyclic: no root variable
+        coverage = trivial_coverage(q)
+        db = random_database_for_query(q, 2, density=0.8, seed=0)
+        with pytest.raises(ValueError):
+            unary_expansion_probability(coverage, db)
+
+    def test_domain_guard(self):
+        q = parse("R(x), S(x,y)")
+        coverage = trivial_coverage(q)
+        db = random_database_for_query(q, 30, density=0.2, seed=0)
+        with pytest.raises(ValueError):
+            unary_expansion_probability(coverage, db)

@@ -1,0 +1,118 @@
+"""Tests for the hierarchy structure (Definition 1.2, Section 3.4)."""
+
+import pytest
+
+from repro.core import parse
+from repro.core.hierarchy import (
+    HierarchyTree,
+    below,
+    equivalent_vars,
+    find_non_hierarchical_witness,
+    is_hierarchical,
+    maximal_variables,
+    root_variables,
+    strictly_below,
+    variable_classes,
+)
+from repro.core.terms import Variable
+
+
+class TestHierarchicalTest:
+    def test_paper_examples(self):
+        assert is_hierarchical(parse("R(x), S(x,y)"))
+        assert not is_hierarchical(parse("R(x), S(x,y), T(y)"))
+
+    def test_single_atom(self):
+        assert is_hierarchical(parse("R(x,y,z)"))
+
+    def test_disjoint_components(self):
+        assert is_hierarchical(parse("R(x), S(y)"))
+
+    def test_h0_is_hierarchical(self):
+        # H_k queries are the paper's hierarchical-but-hard family.
+        assert is_hierarchical(parse("R(x), S(x,y), S(xp,yp), T(yp)"))
+
+    def test_witness_structure(self):
+        q = parse("R(x), S(x,y), T(y)")
+        witness = find_non_hierarchical_witness(q)
+        assert witness is not None
+        atoms = q.atoms
+        assert witness.x in atoms[witness.only_x].variables
+        assert witness.y not in atoms[witness.only_x].variables
+        assert witness.x in atoms[witness.shared].variables
+        assert witness.y in atoms[witness.shared].variables
+        assert witness.y in atoms[witness.only_y].variables
+        assert witness.x not in atoms[witness.only_y].variables
+        assert "cross" in witness.describe(q)
+
+
+class TestOrderRelations:
+    def test_below(self):
+        q = parse("R(x), S(x,y)")
+        x, y = Variable("x"), Variable("y")
+        assert below(q, y, x)      # sg(y) ⊆ sg(x)
+        assert not below(q, x, y)
+        assert strictly_below(q, y, x)
+        assert not equivalent_vars(q, x, y)
+
+    def test_equivalent(self):
+        q = parse("R(x,y), S(x,y)")
+        assert equivalent_vars(q, Variable("x"), Variable("y"))
+
+    def test_maximal_variables(self):
+        q = parse("R(x), S(x,y)")
+        assert maximal_variables(q) == [Variable("x")]
+        q2 = parse("R(x,y), S(x,y)")
+        assert set(maximal_variables(q2)) == {Variable("x"), Variable("y")}
+
+    def test_root_variables(self):
+        q = parse("R(x), S(x,y)")
+        assert root_variables(q) == [Variable("x")]
+        assert root_variables(parse("R(x), T(y)")) == []
+
+    def test_variable_classes(self):
+        q = parse("R(x,y), S(x,y,z)")
+        classes = variable_classes(q)
+        assert sorted(tuple(v.name for v in c) for c in classes) == [
+            ("x", "y"), ("z",)
+        ]
+
+
+class TestHierarchyTree:
+    def test_chain(self):
+        tree = HierarchyTree(parse("R(x), S(x,y), T(x,y,z)"))
+        root = tree.root
+        assert tuple(v.name for v in root.variables) == ("x",)
+        assert len(root.children) == 1
+        child = root.children[0]
+        assert tuple(v.name for v in child.variables) == ("y",)
+        assert child.children[0].variables[0].name == "z"
+
+    def test_scope_accumulates(self):
+        tree = HierarchyTree(parse("R(x), S(x,y)"))
+        child = tree.root.children[0]
+        assert set(v.name for v in child.scope) == {"x", "y"}
+
+    def test_subgoal_assignment(self):
+        q = parse("R(x), S(x,y)")
+        tree = HierarchyTree(q)
+        # R(x) sits at the root ({x}); S(x,y) at the child.
+        assert tree.root.subgoals == (0,) or q.atoms[tree.root.subgoals[0]].relation == "R"
+        child = tree.root.children[0]
+        assert q.atoms[child.subgoals[0]].relation == "S"
+
+    def test_branching(self):
+        tree = HierarchyTree(parse("R(x), S(x,y), T(x,z)"))
+        assert len(tree.root.children) == 2
+
+    def test_rejects_non_hierarchical(self):
+        with pytest.raises(ValueError):
+            HierarchyTree(parse("R(x), S(x,y), T(y)"))
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            HierarchyTree(parse("R(x), T(y)"))
+
+    def test_walk_counts_nodes(self):
+        tree = HierarchyTree(parse("R(x), S(x,y), T(x,z)"))
+        assert len(tree.nodes()) == 3

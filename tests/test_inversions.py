@@ -1,0 +1,94 @@
+"""Tests for inversion detection and the unification graph (Sec. 2.2)."""
+
+import pytest
+
+from repro.core import parse, minimize
+from repro.analysis.inversions import (
+    analyze_inversions,
+    find_inversion,
+    has_inversion,
+    unification_graph,
+)
+from repro.coverage import build_strict_coverage, trivial_coverage
+from repro.hardness import hk_query
+
+
+class TestUnificationGraph:
+    def test_h0_edge_exists(self):
+        coverage = trivial_coverage(parse("R(x), S(x,y), S(xp,yp), T(yp)"))
+        graph = unification_graph(coverage)
+        edges = sum(len(v) for v in graph.values()) // 2
+        assert edges >= 1
+
+    def test_no_selfjoin_no_cross_edges(self):
+        coverage = trivial_coverage(parse("R(x), S(x,y)"))
+        graph = unification_graph(coverage)
+        # Only identity self-unification edges (loops on own pairs).
+        for node, neighbours in graph.items():
+            assert neighbours <= {node}
+
+
+class TestFindInversion:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("R(x), S(x,y)", False),
+            ("R(x), S(x,y), S(xp,yp), T(yp)", True),   # H0
+            ("R(x), S(x,y), S(xp,yp), T(xp)", False),
+            ("P(x), R(x,y), R(xp,yp), S(xp)", False),  # Example 2.14
+            ("R(x,y), R(y,x)", False),                 # Example 3.5
+            ("R(x,y), R(y,z)", True),                  # q_2path
+            ("R(x), S(x,y), S(y,x)", True),            # marked ring
+            ("R(x,y,y,x), R(x,y,x,z)", False),         # footnote 1
+        ],
+    )
+    def test_paper_queries(self, text, expected):
+        assert has_inversion(minimize(parse(text))) is expected
+
+    def test_hk_inversion_length_grows(self):
+        _, inv1 = analyze_inversions(minimize(hk_query(1)))
+        _, inv2 = analyze_inversions(minimize(hk_query(2)))
+        assert inv1 is not None and inv2 is not None
+        assert inv2.length >= inv1.length
+        assert len(inv2.path) > len(inv1.path)
+
+    def test_inversion_endpoints_orientation(self):
+        from repro.core.hierarchy import strictly_below
+
+        coverage, inversion = analyze_inversions(
+            minimize(parse("R(x), S(x,y), S(xp,yp), T(yp)"))
+        )
+        assert inversion is not None
+        first_factor, x, y = inversion.path[0]
+        last_factor, xp, yp = inversion.path[-1]
+        assert strictly_below(coverage.factors[first_factor], y, x)  # x ⊐ y
+        assert strictly_below(coverage.factors[last_factor], xp, yp)  # x' ⊏ y'
+
+    def test_describe(self):
+        _, inversion = analyze_inversions(
+            minimize(parse("R(x), S(x,y), S(xp,yp), T(yp)"))
+        )
+        assert "->" in inversion.describe()
+
+
+class TestFigureOne:
+    """Figure 1: spurious inversions removed by coverage hygiene."""
+
+    def test_row1_strictness_interrupts_inversion(self):
+        q = minimize(parse(
+            "R(x), S1(x,y,y), S1(u,v,w), S2(u,v,w), S2(xp,xp,yp), T(yp)"
+        ))
+        assert not has_inversion(q)
+
+    def test_row2_minimization_removes_inversion(self):
+        q = minimize(parse(
+            "R(x1,x2), S(x1,x2,y,y), S(x1,x1,x2,x2), S(xp,xp,yp,yp), T(yp)"
+        ))
+        assert not has_inversion(q)
+
+    def test_row3_redundant_cover_removed(self):
+        q = minimize(parse(
+            "R(x1,x2), S(x1,x2,y,y), S(x1,x2,x1,x2), S(xp,xp,y1p,y2p), "
+            "T(y1p,y2p)"
+        ))
+        assert not has_inversion(q)

@@ -1,0 +1,124 @@
+"""Tests for the lifted engine: safety decisions and exact values."""
+
+import pytest
+
+from repro.core import parse
+from repro.db import ProbabilisticDatabase, random_database_for_query
+from repro.engines import (
+    LiftedEngine,
+    LineageEngine,
+    UnsafeQueryError,
+    UnsupportedQueryError,
+    is_safe_query,
+    may_share_tuple,
+    queries_independent,
+)
+from repro.core.atoms import atom
+from repro.core.predicates import comparison
+
+lifted = LiftedEngine()
+lineage = LineageEngine()
+
+
+class TestIndependencePrimitives:
+    def test_may_share_plain(self):
+        assert may_share_tuple(atom("R", "x", "y"), (), atom("R", "u", "v"), ())
+
+    def test_constants_block_sharing(self):
+        assert not may_share_tuple(atom("R", 1, "y"), (), atom("R", 2, "v"), ())
+
+    def test_order_predicates_block_sharing(self):
+        assert not may_share_tuple(
+            atom("R", "x", "y"), (comparison("x", "<", "y"),),
+            atom("R", "u", "v"), (comparison("v", "<", "u"),),
+        )
+
+    def test_different_relations_never_share(self):
+        assert not may_share_tuple(atom("R", "x"), (), atom("S", "u"), ())
+
+    def test_queries_independent_symbol_disjoint(self):
+        assert queries_independent(parse("R(x)"), parse("S(y)"))
+
+    def test_queries_dependent_same_symbol(self):
+        assert not queries_independent(parse("R(x,y)"), parse("R(u,v)"))
+
+    def test_order_split_queries_independent(self):
+        q1 = parse("R(x,y), x < y")
+        q2 = parse("R(u,v), v < u")
+        assert queries_independent(q1, q2)
+
+
+class TestSafetyDecision:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("R(x), S(x,y)", True),
+            ("R(x), S(x,y), T(y)", False),
+            ("R(x,y), R(y,x)", True),
+            ("R(x), S(x,y), S(y,x)", False),
+            ("R(x,y), R(y,z)", False),
+            ("P(x), R(x,y), R(xp,yp), S(xp)", True),
+            ("R(x), S(x,y), S(xp,yp), T(xp)", True),
+            ("R(x), S(x,y), S(xp,yp), T(yp)", False),  # H0
+            ("R(x,y,y,x), R(x,y,x,z)", True),
+            ("R(x,y), S(x,y), S(xp,yp), T(yp)", True),  # Example 3.5 q1
+        ],
+    )
+    def test_agrees_with_paper(self, text, expected):
+        assert is_safe_query(parse(text)).safe is expected
+
+    def test_unsafe_report_has_witness(self):
+        report = is_safe_query(parse("R(x), S(x,y), T(y)"))
+        assert not report.safe
+        assert report.stuck_on
+
+    def test_rejects_unrestricted(self):
+        with pytest.raises(UnsupportedQueryError):
+            is_safe_query(parse("not R(x)"))
+
+
+class TestExactValues:
+    def test_unsafe_raises(self):
+        q = parse("R(x), S(x,y), T(y)")
+        db = ProbabilisticDatabase.from_dict(
+            {"R": {(1,): 0.5}, "S": {(1, 2): 0.5}, "T": {(2,): 0.5}}
+        )
+        with pytest.raises(UnsafeQueryError):
+            lifted.probability(q, db)
+
+    def test_symmetric_selfjoin_value(self):
+        # R(x,y), R(y,x): handled through the ranking split.
+        db = ProbabilisticDatabase.from_dict(
+            {"R": {(1, 2): 0.5, (2, 1): 0.4, (3, 3): 0.9}}
+        )
+        q = parse("R(x,y), R(y,x)")
+        expected = 1 - (1 - 0.5 * 0.4) * (1 - 0.9)
+        assert lifted.probability(q, db) == pytest.approx(expected)
+
+    def test_ground_with_predicates(self):
+        db = ProbabilisticDatabase.from_dict({"R": {(1, 2): 0.5}})
+        assert lifted.probability(parse("R(1,2), 1 < 2"), db) == pytest.approx(0.5)
+        assert lifted.probability(parse("R(1,2), 2 < 1"), db) == 0.0
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R(x), S(x,y)",
+            "R(x,y), R(y,x)",
+            "P(x), R(x,y), R(xp,yp), S(xp)",
+            "R(x), S(x,y), S(xp,yp), T(xp)",
+            "R(x,y,y,x), R(x,y,x,z)",
+            "R(x,y), S(x,y), S(xp,yp), T(yp)",
+        ],
+    )
+    def test_matches_oracle_on_random_instances(self, text):
+        q = parse(text)
+        for seed in range(3):
+            db = random_database_for_query(q, 3, density=0.55, seed=seed)
+            assert lifted.probability(q, db) == pytest.approx(
+                lineage.probability(q, db), abs=1e-9
+            )
+
+    def test_rule_counts_populated(self):
+        report = is_safe_query(parse("R(x), S(x,y)"))
+        assert report.rule_counts.get("separator", 0) >= 1

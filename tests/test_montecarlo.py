@@ -1,0 +1,108 @@
+"""Tests for the Monte Carlo estimators and the router."""
+
+import pytest
+
+from repro.core import parse
+from repro.db import ProbabilisticDatabase, random_database_for_query
+from repro.engines import (
+    LineageEngine,
+    MonteCarloEngine,
+    RouterEngine,
+    estimate_with_error,
+)
+
+lineage = LineageEngine()
+
+
+@pytest.fixture
+def triangle_db():
+    return ProbabilisticDatabase.from_dict(
+        {"R": {(1, 2): 0.5, (2, 3): 0.6, (3, 1): 0.4, (1, 3): 0.7}}
+    )
+
+
+class TestMonteCarlo:
+    def test_karp_luby_converges(self, triangle_db):
+        q = parse("R(x,y), R(y,z)")  # unsafe query
+        exact = lineage.probability(q, triangle_db)
+        mc = MonteCarloEngine(samples=30_000, seed=7)
+        assert mc.probability(q, triangle_db) == pytest.approx(exact, abs=0.02)
+
+    def test_naive_converges(self, triangle_db):
+        q = parse("R(x,y), R(y,z)")
+        exact = lineage.probability(q, triangle_db)
+        mc = MonteCarloEngine(samples=30_000, method="naive", seed=7)
+        assert mc.probability(q, triangle_db) == pytest.approx(exact, abs=0.02)
+
+    def test_trivial_cases(self):
+        db = ProbabilisticDatabase.from_dict({"R": {(1,): 1}})
+        mc = MonteCarloEngine(samples=10, seed=0)
+        assert mc.probability(parse("R(x)"), db) == 1.0
+        assert mc.probability(parse("R(9)"), db) == 0.0
+
+    def test_error_bound_contains_truth(self, triangle_db):
+        q = parse("R(x,y), R(y,z)")
+        exact = lineage.probability(q, triangle_db)
+        estimate, half_width = estimate_with_error(
+            q, triangle_db, samples=20_000, seed=3
+        )
+        assert abs(estimate - exact) < max(3 * half_width, 0.03)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            MonteCarloEngine(method="quantum")
+
+    def test_karp_luby_small_probability(self):
+        # Tiny-probability query: naive would need huge samples;
+        # Karp-Luby keeps relative error bounded.
+        db = ProbabilisticDatabase.from_dict(
+            {"R": {(1, 2): 0.001, (2, 1): 0.001}}
+        )
+        q = parse("R(x,y), R(y,x)")
+        exact = lineage.probability(q, db)
+        mc = MonteCarloEngine(samples=20_000, seed=11)
+        estimate = mc.probability(q, db)
+        assert estimate == pytest.approx(exact, rel=0.2)
+
+
+class TestRouter:
+    def test_routes_safe_to_plan(self):
+        router = RouterEngine(mc_seed=1)
+        q = parse("R(x), S(x,y)")
+        db = random_database_for_query(q, 3, seed=0)
+        p = router.probability(q, db)
+        assert router.history[-1].engine == "safe-plan"
+        assert router.history[-1].safe
+        assert p == pytest.approx(lineage.probability(q, db), abs=1e-9)
+
+    def test_routes_selfjoin_safe_to_lifted(self):
+        router = RouterEngine(mc_seed=1)
+        q = parse("R(x,y), R(y,x)")
+        db = random_database_for_query(q, 3, seed=0)
+        p = router.probability(q, db)
+        assert router.history[-1].engine == "lifted"
+        assert p == pytest.approx(lineage.probability(q, db), abs=1e-9)
+
+    def test_routes_unsafe_to_monte_carlo(self):
+        router = RouterEngine(mc_samples=5_000, mc_seed=1)
+        q = parse("R(x), S(x,y), T(y)")
+        db = random_database_for_query(q, 3, seed=0)
+        p = router.probability(q, db)
+        assert router.history[-1].engine == "monte-carlo"
+        assert not router.history[-1].safe
+        assert p == pytest.approx(lineage.probability(q, db), abs=0.05)
+
+    def test_exact_fallback(self):
+        router = RouterEngine(exact_fallback=True)
+        q = parse("R(x,y), R(y,z)")
+        db = random_database_for_query(q, 3, seed=2)
+        p = router.probability(q, db)
+        assert router.history[-1].engine == "lineage-wmc"
+        assert p == pytest.approx(lineage.probability(q, db), abs=1e-9)
+
+    def test_safety_cache(self):
+        router = RouterEngine()
+        q = parse("R(x,y), R(y,x)")
+        assert router.is_safe(q)
+        assert router.is_safe(q)  # second call hits the cache
+        assert len(router._safety_cache) == 1

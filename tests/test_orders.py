@@ -1,0 +1,134 @@
+"""Tests for repro.core.predicates and repro.core.orders."""
+
+import pytest
+
+from repro.core.orders import OrderConstraints, order_type
+from repro.core.predicates import (
+    Comparison,
+    comparison,
+    constants_order_consistent,
+    trichotomy,
+)
+from repro.core.terms import Constant, Variable
+
+
+class TestComparison:
+    def test_normalizes_greater_than(self):
+        assert comparison("x", ">", "y") == comparison("y", "<", "x")
+
+    def test_commutative_ops_canonicalized(self):
+        assert comparison("x", "=", "y") == comparison("y", "=", "x")
+        assert comparison("x", "!=", "y") == comparison("y", "!=", "x")
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Comparison("~", Variable("x"), Variable("y"))
+
+    def test_rejects_nonstrict(self):
+        with pytest.raises(ValueError):
+            Comparison("<=", Variable("x"), Variable("y"))
+
+    def test_negation_disjuncts(self):
+        lt = comparison("x", "<", "y")
+        assert set(lt.negation_disjuncts()) == {
+            comparison("x", "=", "y"),
+            comparison("y", "<", "x"),
+        }
+        eq = comparison("x", "=", "y")
+        assert set(eq.negation_disjuncts()) == {
+            comparison("x", "<", "y"),
+            comparison("y", "<", "x"),
+        }
+        ne = comparison("x", "!=", "y")
+        assert set(ne.negation_disjuncts()) == {comparison("x", "=", "y")}
+
+    def test_evaluate(self):
+        assert comparison("x", "<", "y").evaluate(1, 2)
+        assert not comparison("x", "<", "y").evaluate(2, 1)
+        assert comparison("x", "=", "y").evaluate(3, 3)
+        assert comparison("x", "!=", "y").evaluate(3, 4)
+
+    def test_trichotomy(self):
+        x, y = Variable("x"), Variable("y")
+        cases = trichotomy(x, y)
+        assert len(cases) == 3
+        assert cases[0] == comparison("x", "<", "y")
+        assert cases[1] == comparison("x", "=", "y")
+        assert cases[2] == comparison("y", "<", "x")
+
+    def test_constants_order_consistent(self):
+        assert constants_order_consistent(comparison(1, "<", 2))
+        assert not constants_order_consistent(comparison(2, "<", 1))
+        assert constants_order_consistent(comparison("x", "<", 2))
+
+
+class TestOrderConstraints:
+    def test_empty_is_satisfiable(self):
+        assert OrderConstraints().is_satisfiable()
+
+    def test_simple_cycle_unsat(self):
+        oc = OrderConstraints([comparison("x", "<", "y"), comparison("y", "<", "x")])
+        assert not oc.is_satisfiable()
+
+    def test_reflexive_less_unsat(self):
+        assert not OrderConstraints([comparison("x", "<", "x")]).is_satisfiable()
+
+    def test_equality_merging_with_disequality(self):
+        oc = OrderConstraints(
+            [comparison("x", "=", "y"), comparison("y", "=", "z"),
+             comparison("x", "!=", "z")]
+        )
+        assert not oc.is_satisfiable()
+
+    def test_constants_clash(self):
+        oc = OrderConstraints([comparison("x", "=", 1), comparison("x", "=", 2)])
+        assert not oc.is_satisfiable()
+
+    def test_constant_order_respected(self):
+        oc = OrderConstraints([comparison("x", "<", 1), comparison(2, "<", "x")])
+        assert not oc.is_satisfiable()
+        ok = OrderConstraints([comparison(1, "<", "x"), comparison("x", "<", 2)])
+        assert ok.is_satisfiable()  # dense domain: room between 1 and 2
+
+    def test_transitive_entailment(self):
+        oc = OrderConstraints([comparison("x", "<", "y"), comparison("y", "<", "z")])
+        assert oc.entails(comparison("x", "<", "z"))
+        assert oc.entails(comparison("x", "!=", "z"))
+        assert not oc.entails(comparison("x", "=", "z"))
+        assert not oc.entails(comparison("z", "<", "x"))
+
+    def test_equality_entailment(self):
+        oc = OrderConstraints([comparison("x", "=", "y")])
+        assert oc.entails(comparison("x", "=", "y"))
+        assert oc.equivalent_terms(Variable("x"), Variable("y"))
+        assert not oc.entails(comparison("x", "<", "y"))
+
+    def test_unsat_entails_everything(self):
+        oc = OrderConstraints([comparison("x", "<", "x")])
+        assert oc.entails(comparison("a", "=", "b"))
+
+    def test_extended_does_not_mutate(self):
+        oc = OrderConstraints([comparison("x", "<", "y")])
+        oc2 = oc.extended(comparison("y", "<", "x"))
+        assert oc.is_satisfiable()
+        assert not oc2.is_satisfiable()
+
+    def test_satisfied_by(self):
+        oc = OrderConstraints([comparison("x", "<", "y"), comparison("x", "!=", 5)])
+        assert oc.satisfied_by({Variable("x"): 1, Variable("y"): 2})
+        assert not oc.satisfied_by({Variable("x"): 5, Variable("y"): 6})
+        assert not oc.satisfied_by({Variable("x"): 3, Variable("y"): 3})
+
+
+class TestOrderType:
+    def test_basic(self):
+        assert order_type((3, 3, 5)) == ("0=1", "0<2", "1<2")
+        assert order_type((2, 1)) == ("0>1",)
+        assert order_type((7,)) == ()
+
+    def test_same_order_type_same_predicates(self):
+        assert order_type((1, 2, 2)) == order_type((10, 30, 30))
+
+    def test_mixed_types_total(self):
+        tokens = order_type((1, "a"))
+        assert len(tokens) == 1

@@ -1,0 +1,59 @@
+"""Additional parser and public-API surface tests."""
+
+import pytest
+
+import repro
+from repro.core import parse
+from repro.core.parser import QueryParseError
+
+
+class TestParserEdgeCases:
+    def test_whitespace_tolerance(self):
+        assert parse("  R( x ,y ) ,S(y)  ") == parse("R(x,y), S(y)")
+
+    def test_nested_commas_stay_inside(self):
+        q = parse("R(x,y,z), S(x)")
+        assert q.atoms[0].arity in (1, 3)
+        assert {a.arity for a in q.atoms} == {1, 3}
+
+    def test_negated_with_spaces(self):
+        q = parse("R(x), not   S(x)")
+        assert len(q.negative_atoms) == 1
+
+    def test_comparison_with_constant(self):
+        q = parse("R(x), x != 'lit'")
+        assert len(q.predicates) == 1
+
+    def test_double_quoted(self):
+        q = parse('R("abc")')
+        assert q.atoms[0].is_ground()
+
+    def test_rejects_empty(self):
+        assert parse("").atoms == ()
+
+    def test_unbalanced(self):
+        with pytest.raises(QueryParseError):
+            parse("R(x))")
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_round_trip_example(self):
+        db = repro.ProbabilisticDatabase.from_dict(
+            {"R": {(1,): 0.5}, "S": {(1, 2): 0.4, (1, 3): 0.7}}
+        )
+        q = repro.parse("R(x), S(x,y)")
+        assert repro.classify(q).is_safe
+        p = repro.RouterEngine().probability(q, db)
+        expected = 0.5 * (1 - 0.6 * 0.3)
+        assert p == pytest.approx(expected)
+
+    def test_is_ptime_shorthand(self):
+        assert repro.is_ptime(repro.parse("R(x), S(x,y)"))
+        assert not repro.is_ptime(repro.parse("R(x), S(x,y), T(y)"))

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import parse
+from repro.core.homomorphism import contained_in, equivalent, minimize
+from repro.core.orders import OrderConstraints, order_type
+from repro.core.predicates import Comparison
+from repro.core.query import ConjunctiveQuery
+from repro.core.atoms import Atom
+from repro.core.terms import Constant, Variable
+from repro.db import ProbabilisticDatabase
+from repro.lineage import exact_probability, ground_lineage
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+variables = st.sampled_from([Variable(n) for n in "xyzuvw"])
+terms = st.one_of(variables, st.integers(0, 2).map(Constant))
+relations = st.sampled_from(["R", "S", "T"])
+
+
+@st.composite
+def atoms(draw, max_arity=3):
+    relation = draw(relations)
+    arity = draw(st.integers(1, max_arity))
+    return Atom(relation + str(arity), tuple(draw(terms) for _ in range(arity)))
+
+
+@st.composite
+def queries(draw, max_atoms=4):
+    count = draw(st.integers(1, max_atoms))
+    atom_list = [draw(atoms()) for _ in range(count)]
+    q = ConjunctiveQuery(atom_list)
+    if not q.is_range_restricted():  # pragma: no cover - terms strategy
+        q = ConjunctiveQuery([a.positive() for a in atom_list])
+    return q
+
+
+@st.composite
+def small_databases(draw):
+    db = ProbabilisticDatabase()
+    for relation, arity in (("R1", 1), ("S2", 2)):
+        rows = draw(
+            st.lists(
+                st.tuples(*[st.integers(0, 2)] * arity),
+                max_size=4,
+                unique=True,
+            )
+        )
+        for row in rows:
+            db.add(relation, row, draw(st.floats(0.05, 0.95)))
+    return db
+
+
+@st.composite
+def comparisons(draw):
+    op = draw(st.sampled_from(["<", "=", "!="]))
+    return Comparison(op, draw(terms), draw(terms))
+
+
+# ----------------------------------------------------------------------
+# Order constraints
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(comparisons(), max_size=6))
+@settings(max_examples=150, deadline=None)
+def test_entailment_of_members(preds):
+    oc = OrderConstraints(preds)
+    if oc.is_satisfiable():
+        for pred in preds:
+            assert oc.entails(pred)
+
+
+@given(st.lists(comparisons(), max_size=5), comparisons())
+@settings(max_examples=150, deadline=None)
+def test_extension_monotone_unsat(preds, extra):
+    oc = OrderConstraints(preds)
+    if not oc.is_satisfiable():
+        assert not oc.extended(extra).is_satisfiable()
+
+
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=5))
+@settings(max_examples=100, deadline=None)
+def test_order_type_token_count(values):
+    n = len(values)
+    assert len(order_type(tuple(values))) == n * (n - 1) // 2
+
+
+# ----------------------------------------------------------------------
+# Minimization and containment
+# ----------------------------------------------------------------------
+
+
+@given(queries())
+@settings(max_examples=80, deadline=None)
+def test_minimize_preserves_equivalence(q):
+    core = minimize(q)
+    assert equivalent(q, core)
+    assert len(core.atoms) <= len(q.atoms)
+
+
+@given(queries())
+@settings(max_examples=80, deadline=None)
+def test_minimize_idempotent(q):
+    core = minimize(q)
+    assert minimize(core) == core
+
+
+@given(queries(), queries())
+@settings(max_examples=60, deadline=None)
+def test_conjunction_contained_in_parts(q1, q2):
+    renamed, _ = q2.rename_apart(q1.variables)
+    joint = q1.conjoin(renamed)
+    assert contained_in(joint, q1)
+    assert contained_in(joint, renamed)
+
+
+# ----------------------------------------------------------------------
+# Probability semantics
+# ----------------------------------------------------------------------
+
+FIXED_QUERIES = [
+    parse("R1(x), S2(x,y)"),
+    parse("S2(x,y), S2(y,x)"),
+    parse("R1(x), S2(x,x)"),
+]
+
+
+@given(small_databases())
+@settings(max_examples=60, deadline=None)
+def test_probability_in_unit_interval(db):
+    for q in FIXED_QUERIES:
+        p = exact_probability(ground_lineage(q, db))
+        assert -1e-12 <= p <= 1 + 1e-12
+
+
+@given(small_databases(), st.floats(0.0, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_probability_monotone_in_tuple_marginals(db, bump):
+    """Raising one tuple's probability cannot lower p(q) (positive q)."""
+    q = parse("R1(x), S2(x,y)")
+    base = exact_probability(ground_lineage(q, db))
+    keys = db.tuple_keys()
+    if not keys:
+        return
+    key = keys[0]
+    raised = db.with_probability(
+        key, min(1.0, float(db.probability(*key)) + bump)
+    )
+    higher = exact_probability(ground_lineage(q, raised))
+    assert higher >= base - 1e-9
+
+
+@given(small_databases())
+@settings(max_examples=40, deadline=None)
+def test_conjunction_bounded_by_parts(db):
+    """p(q1 ∧ q2) <= min(p(q1), p(q2)) for positive queries."""
+    q1 = parse("R1(x)")
+    q2 = parse("S2(x,y)")
+    joint = parse("R1(x), S2(u,v)")
+    p1 = exact_probability(ground_lineage(q1, db))
+    p2 = exact_probability(ground_lineage(q2, db))
+    pj = exact_probability(ground_lineage(joint, db))
+    assert pj <= min(p1, p2) + 1e-9
+    # Positive correlation of monotone events (FKG): p(q1 q2) >= p1 p2.
+    assert pj >= p1 * p2 - 1e-9
+
+
+@given(small_databases())
+@settings(max_examples=40, deadline=None)
+def test_safe_plan_matches_oracle_property(db):
+    from repro.engines import SafePlanEngine
+
+    q = parse("R1(x), S2(x,y)")
+    p_plan = SafePlanEngine().probability(q, db)
+    p_oracle = exact_probability(ground_lineage(q, db))
+    assert math.isclose(p_plan, p_oracle, abs_tol=1e-9)
+
+
+@given(small_databases())
+@settings(max_examples=30, deadline=None)
+def test_lifted_matches_oracle_property(db):
+    from repro.engines import LiftedEngine
+
+    q = parse("S2(x,y), S2(y,x)")
+    p_lifted = LiftedEngine().probability(q, db)
+    p_oracle = exact_probability(ground_lineage(q, db))
+    assert math.isclose(p_lifted, p_oracle, abs_tol=1e-9)

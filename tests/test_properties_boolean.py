@@ -1,0 +1,127 @@
+"""Tests for Boolean properties of CQs (Theorem 3.11)."""
+
+import pytest
+
+from repro.analysis.properties import (
+    conj,
+    disj,
+    holds,
+    is_inversion_free_property,
+    neg,
+    property_probability,
+)
+from repro.core import parse
+from repro.db import (
+    ProbabilisticDatabase,
+    iterate_worlds,
+    random_database_for_query,
+    world_database,
+)
+from repro.engines import LiftedEngine
+from repro.lineage import query_holds
+
+
+def brute_property(prop, db):
+    total = 0.0
+    leaves = prop.leaves()
+    for world, weight in iterate_worlds(db):
+        materialized = world_database(db, world)
+        truth = {q: query_holds(q, materialized) for q in leaves}
+        if prop.evaluate(truth):
+            total += weight
+    return total
+
+
+@pytest.fixture
+def db():
+    return ProbabilisticDatabase.from_dict(
+        {
+            "R": {(1,): 0.5, (2,): 0.3},
+            "S": {(1, 2): 0.4, (2, 1): 0.7, (2, 2): 0.2},
+        }
+    )
+
+
+class TestStructure:
+    def test_leaves_deduplicated(self):
+        q = parse("R(x)")
+        prop = disj(q, conj(q, parse("S(x,y)")))
+        assert len(prop.leaves()) == 2
+
+    def test_str(self):
+        text = str(conj(parse("R(x)"), neg(parse("S(x,y)"))))
+        assert "and" in text and "not" in text
+
+
+class TestProbability:
+    def test_single_query(self, db):
+        q = parse("R(x)")
+        assert property_probability(holds(q), db) == pytest.approx(
+            brute_property(holds(q), db)
+        )
+
+    def test_negation(self, db):
+        prop = neg(parse("R(x)"))
+        assert property_probability(prop, db) == pytest.approx(
+            brute_property(prop, db)
+        )
+
+    def test_conjunction_of_queries(self, db):
+        prop = conj(parse("R(x)"), parse("S(x,y)"))
+        assert property_probability(prop, db) == pytest.approx(
+            brute_property(prop, db)
+        )
+
+    def test_disjunction(self, db):
+        prop = disj(parse("R(x), S(x,y)"), parse("S(x,x)"))
+        assert property_probability(prop, db) == pytest.approx(
+            brute_property(prop, db)
+        )
+
+    def test_mixed_nesting(self, db):
+        prop = disj(
+            conj(parse("R(x)"), neg(parse("S(x,x)"))),
+            neg(parse("R(2)")),
+        )
+        assert property_probability(prop, db) == pytest.approx(
+            brute_property(prop, db)
+        )
+
+    def test_tautology_and_contradiction(self, db):
+        q = parse("R(x)")
+        assert property_probability(disj(q, neg(q)), db) == pytest.approx(1.0)
+        assert property_probability(conj(q, neg(q)), db) == pytest.approx(0.0)
+
+    def test_with_lifted_engine(self):
+        # Inversion-free property evaluated through the PTIME engine.
+        q1 = parse("R(x), S(x,y)")
+        q2 = parse("S(u,v)")
+        prop = conj(q1, neg(q2))
+        db = random_database_for_query(q1, 2, density=0.8, seed=4)
+        exact = property_probability(prop, db)
+        lifted = property_probability(prop, db, engine=LiftedEngine())
+        assert lifted == pytest.approx(exact, abs=1e-9)
+
+    def test_random_agreement(self):
+        q1 = parse("R(x), S(x,y)")
+        q2 = parse("S(x, x)")
+        prop = disj(conj(q1, neg(q2)), conj(q2, neg(q1)))  # XOR
+        for seed in range(3):
+            db = random_database_for_query(q1, 2, density=0.7, seed=seed)
+            assert property_probability(prop, db) == pytest.approx(
+                brute_property(prop, db), abs=1e-9
+            )
+
+
+class TestInversionFreeness:
+    def test_safe_combo(self):
+        prop = conj(parse("R(x), S(x,y)"), neg(parse("T(u)")))
+        assert is_inversion_free_property(prop)
+
+    def test_unsafe_combo(self):
+        # The leaves conjoin to (a renaming of) H0: has an inversion.
+        prop = conj(parse("R(x), S(x,y)"), parse("S(u,v), T(v)"))
+        assert not is_inversion_free_property(prop)
+
+    def test_empty_property(self):
+        assert is_inversion_free_property(conj())

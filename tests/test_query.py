@@ -1,0 +1,176 @@
+"""Tests for repro.core.query, substitution, and the parser."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.parser import QueryParseError, parse
+from repro.core.predicates import comparison
+from repro.core.query import ConjunctiveQuery, canonical_string, query
+from repro.core.substitution import IDENTITY, Substitution, fresh_renaming
+from repro.core.terms import Constant, Variable
+
+
+class TestSubstitution:
+    def test_apply(self):
+        s = Substitution.of(x=Constant(1))
+        assert s.apply(Variable("x")) == Constant(1)
+        assert s.apply(Variable("y")) == Variable("y")
+        assert s.apply(Constant(9)) == Constant(9)
+
+    def test_compose(self):
+        s1 = Substitution.of(x="y")
+        s2 = Substitution.of(y=Constant(3))
+        composed = s1.compose(s2)
+        assert composed.apply(Variable("x")) == Constant(3)
+        assert composed.apply(Variable("y")) == Constant(3)
+
+    def test_one_to_one(self):
+        assert Substitution.of(x="u", y="v").is_one_to_one()
+        assert not Substitution.of(x="u", y="u").is_one_to_one()
+        assert not Substitution.of(x=Constant(1)).is_one_to_one()
+
+    def test_identity_is_empty(self):
+        assert not IDENTITY
+        assert len(IDENTITY) == 0
+
+    def test_bind_and_restrict(self):
+        s = IDENTITY.bind(Variable("x"), Constant(1))
+        assert Variable("x") in s
+        r = s.restrict([Variable("y")])
+        assert Variable("x") not in r
+
+    def test_fresh_renaming_avoids_collisions(self):
+        renaming = fresh_renaming(
+            [Variable("x"), Variable("y")], [Variable("x")]
+        )
+        image = renaming.apply(Variable("x"))
+        assert image != Variable("x")
+        assert renaming.apply(Variable("y")) == Variable("y")
+
+    def test_rejects_non_variable_keys(self):
+        with pytest.raises(TypeError):
+            Substitution({Constant(1): Variable("x")})
+
+
+class TestParser:
+    def test_basic(self):
+        q = parse("R(x), S(x,y)")
+        assert len(q.atoms) == 2
+        assert q.relations == ("R", "S")
+
+    def test_predicates(self):
+        q = parse("R(x,y), x < y, x != 3")
+        assert len(q.predicates) == 2
+
+    def test_negation(self):
+        q = parse("R(x), not S(x)")
+        assert len(q.negative_atoms) == 1
+
+    def test_constants_parameter(self):
+        q = parse("R(a,x)", constants=("a",))
+        assert Constant("a") in q.constants
+
+    def test_quoted_and_numeric_constants(self):
+        q = parse("R('lit', 42, x)")
+        assert Constant("lit") in q.constants
+        assert Constant(42) in q.constants
+
+    def test_parse_errors(self):
+        with pytest.raises(QueryParseError):
+            parse("R(x")
+        with pytest.raises(QueryParseError):
+            parse("R()")
+        with pytest.raises(QueryParseError):
+            parse("x y z")
+
+
+class TestConjunctiveQuery:
+    def test_dedup_atoms(self):
+        q = ConjunctiveQuery([atom("R", "x"), atom("R", "x")])
+        assert len(q.atoms) == 1
+
+    def test_equality_is_set_like(self):
+        q1 = parse("R(x), S(x,y)")
+        q2 = parse("S(x,y), R(x)")
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+
+    def test_variables_and_constants(self):
+        q = parse("R(x, 1), S(x, y), x < z, T(z)")
+        assert set(q.variables) == {Variable("x"), Variable("y"), Variable("z")}
+        assert q.constants == (Constant(1),)
+
+    def test_has_self_join(self):
+        assert parse("R(x,y), R(y,z)").has_self_join()
+        assert not parse("R(x), S(x,y)").has_self_join()
+
+    def test_range_restricted(self):
+        assert parse("R(x), S(x,y)").is_range_restricted()
+        assert not parse("not R(x)").is_range_restricted()
+
+    def test_substitute(self):
+        q = parse("R(x), S(x,y)").substitute(Variable("x"), Constant(1))
+        assert Variable("x") not in q.variables
+        assert Constant(1) in q.constants
+
+    def test_connected_components(self):
+        q = parse("R(x,y), S(y), T(u,v), U(1,2)")
+        components = q.connected_components()
+        assert len(components) == 3
+        sizes = sorted(len(c.atoms) for c in components)
+        assert sizes == [1, 1, 2]
+
+    def test_component_predicates_follow_variables(self):
+        q = parse("R(x,y), T(u), x < y, u < 3")
+        components = q.connected_components()
+        by_rel = {c.relations[0]: c for c in components}
+        assert comparison("x", "<", "y") in by_rel["R"].predicates
+        assert comparison("u", "<", 3) in by_rel["T"].predicates
+        assert comparison("x", "<", "y") not in by_rel["T"].predicates
+
+    def test_ground_subgoals_are_separate_components(self):
+        q = parse("R(1), R(2), S(x)")
+        assert len(q.connected_components()) == 3
+
+    def test_conjoin_and_rename_apart(self):
+        q1 = parse("R(x)")
+        q2 = parse("S(x)")
+        renamed, renaming = q2.rename_apart(q1.variables)
+        assert set(q1.variables).isdisjoint(renamed.variables)
+        joint = q1.conjoin(renamed)
+        assert len(joint.atoms) == 2
+
+    def test_positive_part(self):
+        q = parse("R(x), not S(x)")
+        assert not q.positive_part().negative_atoms
+
+    def test_drop_trivial_predicates(self):
+        q = parse("R(x), 1 < 2")
+        assert not q.drop_trivial_predicates().predicates
+        q2 = parse("R(x), x < 2")
+        assert q2.drop_trivial_predicates().predicates
+
+    def test_subgoal_map(self):
+        q = parse("R(x), S(x,y)")
+        x, y = Variable("x"), Variable("y")
+        assert q.subgoal_map[x] == frozenset({0, 1})
+        assert q.subgoal_map[y] == frozenset({1})
+
+    def test_max_variables_per_subgoal(self):
+        assert parse("R(x), S(x,y,z)").max_variables_per_subgoal() == 3
+
+    def test_query_builder(self):
+        q = query(atom("R", "x"), comparison("x", "<", 2))
+        assert len(q.atoms) == 1 and len(q.predicates) == 1
+        with pytest.raises(TypeError):
+            query("not a part")
+
+    def test_canonical_string_renaming_invariant(self):
+        q1 = parse("R(foo), S(foo, bar)")
+        q2 = parse("R(alpha), S(alpha, beta)")
+        assert canonical_string(q1) == canonical_string(q2)
+
+    def test_canonical_string_distinguishes(self):
+        assert canonical_string(parse("R(x,y), R(y,x)")) != canonical_string(
+            parse("R(x,y), R(x,z)")
+        )

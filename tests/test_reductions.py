@@ -1,0 +1,162 @@
+"""End-to-end tests of the executable hardness reductions."""
+
+import pytest
+
+from repro.core import parse
+from repro.engines import LineageEngine
+from repro.hardness import (
+    Bipartite2DNF,
+    P3_QUERY,
+    TRIANGLE_QUERY,
+    b5_instance,
+    count_via_hk,
+    edge_case_probabilities,
+    hk_component_queries,
+    hk_instance,
+    hk_query,
+    p3_instance,
+    random_formula,
+    triangle_instance,
+    union_probability,
+)
+
+engine = LineageEngine()
+
+
+class TestBipartite2DNF:
+    def test_count_small(self):
+        # Φ = (x0 ∧ y0): satisfied by 1 of 4 assignments over (x0, y0).
+        f = Bipartite2DNF(1, 1, ((0, 0),))
+        assert f.count_satisfying() == 1
+        assert f.probability() == pytest.approx(0.25)
+
+    def test_probability_with_marginals(self):
+        f = Bipartite2DNF(1, 1, ((0, 0),), (0.3,), (0.7,))
+        assert f.probability() == pytest.approx(0.21)
+
+    def test_census_totals(self):
+        f = random_formula(3, 2, 3, seed=1)
+        census = f.assignment_census()
+        assert sum(census.values()) == 2 ** (f.num_x + f.num_y)
+        satisfied = sum(c for (i, _j), c in census.items() if i >= 1)
+        assert satisfied == f.count_satisfying()
+
+    def test_clause_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Bipartite2DNF(1, 1, ((0, 5),))
+
+    def test_random_formula_distinct_clauses(self):
+        f = random_formula(3, 3, 6, seed=0)
+        assert len(set(f.clauses)) == 6
+        with pytest.raises(ValueError):
+            random_formula(1, 1, 5)
+
+
+class TestPropositionB3:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_p3_equals_formula(self, seed):
+        f = random_formula(3, 3, 4, seed=seed, random_marginals=True)
+        assert engine.probability(P3_QUERY, p3_instance(f)) == pytest.approx(
+            f.probability(), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_triangle_equals_formula(self, seed):
+        f = random_formula(3, 2, 4, seed=seed, random_marginals=True)
+        assert engine.probability(
+            TRIANGLE_QUERY, triangle_instance(f)
+        ) == pytest.approx(f.probability(), abs=1e-9)
+
+
+class TestTheoremB5:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R(x), S(x,y), T(y)",
+            "R(x,u), S(y,x), T(y,v)",
+            "R(x), S(x,y), R(y)",   # repeated relation name
+        ],
+    )
+    def test_pattern_reduction(self, text):
+        q = parse(text)
+        for seed in range(2):
+            f = random_formula(2, 3, 3, seed=seed, random_marginals=True)
+            p = engine.probability(q, b5_instance(q, f))
+            assert p == pytest.approx(f.probability(), abs=1e-9)
+
+    def test_rejects_hierarchical_pattern(self):
+        with pytest.raises(ValueError):
+            b5_instance(parse("R(x), S(x,y)"), random_formula(2, 2, 2, seed=0))
+
+
+class TestAppendixC:
+    def test_edge_cases_sum_rule(self):
+        # With no forcing, survival is a probability in (0, 1].
+        a, b, c = edge_case_probabilities(2, 0.5, 0.5)
+        assert 0 < a <= b <= 1
+        assert 0 < c <= 1
+        # Forcing endpoints only lowers survival.
+        assert a <= c <= b
+
+    def test_identity_against_census(self):
+        f = random_formula(2, 2, 2, seed=7)
+        census = f.assignment_census()
+        k, p1, p2 = 2, 0.35, 0.65
+        a, b, c = edge_case_probabilities(k, p1, p2)
+        db = hk_instance(f, k, p1, p2)
+        none_true = 1.0 - union_probability(hk_component_queries(k), db)
+        lhs = none_true * 2 ** (f.num_x + f.num_y)
+        t = f.num_clauses
+        rhs = sum(
+            count * a**i * b**j * c ** (t - i - j)
+            for (i, j), count in census.items()
+        )
+        assert lhs == pytest.approx(rhs, abs=1e-9)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_count_via_hk(self, k):
+        f = random_formula(2, 2, 2, seed=7)
+        assert count_via_hk(f, k) == f.count_satisfying()
+
+    def test_count_via_hk_bigger_formula(self):
+        f = random_formula(3, 2, 4, seed=11)
+        assert count_via_hk(f, 2) == f.count_satisfying()
+
+    def test_rejects_small_k(self):
+        f = random_formula(2, 2, 2, seed=0)
+        with pytest.raises(ValueError):
+            count_via_hk(f, 1)
+
+    def test_rejects_biased_marginals(self):
+        f = random_formula(2, 2, 2, seed=0, random_marginals=True)
+        with pytest.raises(ValueError):
+            count_via_hk(f, 2)
+
+    def test_custom_evaluator_callback(self):
+        calls = []
+
+        def spy(queries, db):
+            calls.append(len(queries))
+            return union_probability(queries, db)
+
+        f = random_formula(2, 2, 2, seed=3)
+        assert count_via_hk(f, 2, probability_of_union=spy) == f.count_satisfying()
+        assert calls and all(n == 4 for n in calls)  # φ_0..φ_3 for k=2
+
+
+class TestHkQueries:
+    def test_structure(self):
+        q = hk_query(2)
+        assert len(q.atoms) == 2 + 2 * 2 + 2
+        assert "S0" in q.relations and "S2" in q.relations
+
+    def test_h0(self):
+        assert hk_query(0) == parse("R(x), S0(x,y), S0(xp,yp), T(yp)")
+
+    def test_components_conjoin_to_hk(self):
+        components = hk_component_queries(1)
+        assert len(components) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hk_query(-1)

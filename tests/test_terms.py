@@ -1,0 +1,88 @@
+"""Tests for repro.core.terms."""
+
+import pytest
+
+from repro.core.terms import (
+    Constant,
+    Variable,
+    const,
+    is_constant,
+    is_variable,
+    make_term,
+    var,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_ordering(self):
+        assert Variable("a") < Variable("b")
+        assert Variable("b") > Variable("a")
+
+    def test_str(self):
+        assert str(Variable("foo")) == "foo"
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant(4)
+        assert Constant("a") != Constant(3)
+
+    def test_ordering_same_type(self):
+        assert Constant(1) < Constant(2)
+        assert Constant("a") < Constant("b")
+
+    def test_ordering_cross_type_is_total(self):
+        # Must not raise; exact order is canonical but arbitrary.
+        assert (Constant(1) < Constant("a")) != (Constant("a") < Constant(1))
+
+    def test_variables_sort_before_constants(self):
+        assert Variable("z") < Constant(0)
+        assert not Constant(0) < Variable("z")
+
+    def test_str_quotes_strings(self):
+        assert str(Constant("a")) == "'a'"
+        assert str(Constant(7)) == "7"
+
+
+class TestMakeTerm:
+    def test_passthrough(self):
+        x = Variable("x")
+        assert make_term(x) is x
+        c = Constant(1)
+        assert make_term(c) is c
+
+    def test_numbers_become_constants(self):
+        assert make_term(5) == Constant(5)
+        assert make_term(2.5) == Constant(2.5)
+
+    def test_quoted_strings_become_constants(self):
+        assert make_term("'abc'") == Constant("abc")
+
+    def test_digit_strings_become_int_constants(self):
+        assert make_term("42") == Constant(42)
+        assert make_term("-3") == Constant(-3)
+
+    def test_identifiers_become_variables(self):
+        assert make_term("x") == Variable("x")
+        assert make_term("foo_bar") == Variable("foo_bar")
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            make_term(object())
+
+
+def test_shorthand_constructors():
+    assert var("x") == Variable("x")
+    assert const(1) == Constant(1)
+    assert is_variable(var("x"))
+    assert not is_variable(const(1))
+    assert is_constant(const(1))
+    assert not is_constant(var("x"))

@@ -1,0 +1,75 @@
+"""The headline reproduction test: every paper query classifies as claimed.
+
+Figures 1 and 2 plus every worked example form the paper's evaluation;
+this module asserts our classifier and the lifted engine's safety
+decision against the paper's claims (the disputed footnote entry is
+checked for its *documented* behaviour instead).
+"""
+
+import pytest
+
+from repro.analysis import Verdict
+from repro.engines import is_safe_query
+from repro.queries import fast_entries, get, zoo
+
+
+FAST = [e for e in fast_entries() if not e.disputed]
+SLOW = [e for e in zoo() if e.slow and not e.disputed]
+
+
+@pytest.mark.parametrize("entry", FAST, ids=lambda e: e.name)
+def test_fast_entries_match_paper(entry):
+    result = entry.classify()
+    assert result.is_safe == entry.claimed_ptime, (
+        f"{entry.name} ({entry.source}): paper claims "
+        f"{'PTIME' if entry.claimed_ptime else '#P-hard'}, classifier says "
+        f"{result.verdict.value} [{result.reason.name}]"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("entry", SLOW, ids=lambda e: e.name)
+def test_slow_entries_match_paper(entry):
+    result = entry.classify()
+    assert result.is_safe == entry.claimed_ptime
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [e for e in FAST if not e.query.has_self_join() or len(e.query.atoms) <= 4],
+    ids=lambda e: e.name,
+)
+def test_lifted_engine_agrees(entry):
+    """The lifted engine's safety decision matches the classifier."""
+    report = is_safe_query(entry.query)
+    assert report.safe == entry.claimed_ptime, (
+        f"{entry.name}: lifted engine says safe={report.safe}, paper claims "
+        f"{'PTIME' if entry.claimed_ptime else '#P-hard'}"
+    )
+
+
+def test_disputed_entry_documented():
+    """The footnote-1 5-ary hard claim: our implementation of the
+    paper's formal definitions finds a strict inversion-free coverage,
+    so the classifier answers PTIME.  This test pins that documented
+    behaviour (see EXPERIMENTS.md for the analysis)."""
+    entry = get("footnote1_5ary_hard")
+    assert entry.disputed
+    result = entry.classify()
+    assert result.verdict is Verdict.PTIME
+
+
+def test_zoo_integrity():
+    entries = zoo()
+    assert len(entries) >= 20
+    names = [e.name for e in entries]
+    assert len(names) == len(set(names))
+    for entry in entries:
+        assert entry.query.atoms, entry.name
+        assert entry.source, entry.name
+
+
+def test_hk_family_in_zoo():
+    assert not get("H0").claimed_ptime
+    assert not get("H1").claimed_ptime
+    assert not get("H2").claimed_ptime

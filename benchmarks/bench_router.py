@@ -36,7 +36,9 @@ def test_safe_query_latency(benchmark, db):
 
 @pytest.mark.bench_table("E7")
 def test_unsafe_query_latency(benchmark, db):
-    router = RouterEngine(mc_samples=20_000, mc_seed=1)
+    # compile_budget=None reproduces the paper-era MystiQ architecture
+    # (safe plan or Monte Carlo, nothing in between).
+    router = RouterEngine(mc_samples=20_000, mc_seed=1, compile_budget=None)
     p = benchmark(router.probability, UNSAFE, db)
     assert router.history[-1].engine == "monte-carlo"
     assert 0.0 <= p <= 1.0
@@ -46,8 +48,9 @@ def test_unsafe_query_latency(benchmark, db):
 def test_order_of_magnitude_gap(report, db):
     # Accuracy-matched comparison: the Monte Carlo side gets enough
     # samples for ~1e-3 absolute error, which is what a user would need
-    # to trust the fallback answer.
-    router = RouterEngine(mc_samples=100_000, mc_seed=1)
+    # to trust the fallback answer.  Compilation is disabled so the
+    # comparison stays safe-plan vs Monte Carlo, as in the paper.
+    router = RouterEngine(mc_samples=100_000, mc_seed=1, compile_budget=None)
     t0 = time.perf_counter()
     router.probability(SAFE, db)
     safe_seconds = time.perf_counter() - t0

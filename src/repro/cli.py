@@ -6,7 +6,11 @@ Commands:
   verdict with its witness.
 * ``evaluate "R(x), S(x,y)" data.json`` — evaluate over a database
   given as JSON ``{"R": [[[1], 0.5], ...], ...}``; routes through the
-  MystiQ-style router.
+  MystiQ-style router and reports the routing decision (including why
+  safer engines were skipped).
+* ``compile "R(x), S(x,y), T(y)" data.json`` — compile the query's
+  lineage into an OBDD or d-DNNF circuit and report circuit size, the
+  variable ordering used, and the exact probability.
 * ``zoo`` — print the paper's query table with our verdicts.
 """
 
@@ -53,6 +57,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use the exact oracle instead of Monte Carlo for unsafe queries",
     )
 
+    p_compile = sub.add_parser(
+        "compile", help="compile the lineage into a circuit and evaluate"
+    )
+    p_compile.add_argument("query")
+    p_compile.add_argument(
+        "database",
+        help='JSON file: {"R": [[[1], 0.5], [[2], 0.3]], "S": ...}',
+    )
+    p_compile.add_argument("--constants", default="")
+    p_compile.add_argument(
+        "--mode", choices=("obdd", "dnnf", "auto"), default="auto",
+        help="compilation target (default: auto = OBDD, d-DNNF fallback)",
+    )
+    p_compile.add_argument(
+        "--ordering", default="auto",
+        help="OBDD variable ordering: lineage, min-width, hierarchy, "
+             "auto, or best (try all, keep the smallest)",
+    )
+    p_compile.add_argument(
+        "--max-nodes", type=int, default=None,
+        help="node budget; compilation aborts when exceeded",
+    )
+    p_compile.add_argument(
+        "--show-circuit", action="store_true",
+        help="also print the circuit nodes (small circuits only)",
+    )
+    p_compile.add_argument(
+        "--compare-oracle", action="store_true",
+        help="also run the Shannon-expansion WMC oracle for comparison "
+             "(exponential worst case; only for lineages it can handle)",
+    )
+
     sub.add_parser("zoo", help="classify every query named in the paper")
     return parser
 
@@ -87,7 +123,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         decision = router.history[-1]
         print(f"p(q) = {probability:.10f}")
         print(f"engine: {decision.engine} ({decision.seconds * 1e3:.1f} ms)")
+        if decision.fallback_reason:
+            print(f"fallback: {decision.fallback_reason}")
         return 0
+
+    if args.command == "compile":
+        return _run_compile(args)
 
     if args.command == "zoo":
         from .queries import zoo
@@ -103,6 +144,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     return 1  # pragma: no cover
+
+
+def _run_compile(args) -> int:
+    import time
+
+    from .compile.cache import CircuitCache
+    from .compile.obdd import CompiledOBDD
+    from .engines.compiled import CompiledEngine
+    from .lineage.grounding import ground_lineage
+    from .lineage.wmc import shannon_expansion_count
+
+    query = parse(args.query, constants=_constants(args.constants))
+    db = _load_database(args.database)
+    lineage = ground_lineage(query, db)
+    print(f"lineage: {lineage.clause_count()} clauses over "
+          f"{lineage.variable_count} tuple events")
+    if lineage.certainly_true or lineage.is_false:
+        print(f"p(q) = {1.0 if lineage.certainly_true else 0.0:.10f} (trivial)")
+        return 0
+    from .engines.base import UnsupportedQueryError
+
+    engine = CompiledEngine(
+        mode=args.mode, ordering=args.ordering, max_nodes=args.max_nodes,
+        cache=CircuitCache(),
+    )
+    start = time.perf_counter()
+    try:
+        artifact = engine.compile_lineage(lineage, query)
+    except (UnsupportedQueryError, ValueError) as error:
+        print(f"compilation failed: {error}", file=sys.stderr)
+        return 1
+    compile_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    probability = float(artifact.probability(lineage.weights))
+    evaluate_ms = (time.perf_counter() - start) * 1e3
+    report = engine.last_report
+    print(report.describe())
+    print(f"compile: {compile_ms:.2f} ms, evaluate: {evaluate_ms:.3f} ms")
+    if args.compare_oracle:
+        print(f"WMC oracle would expand {shannon_expansion_count(lineage)} "
+              f"nodes per query")
+    print(f"p(q) = {min(max(probability, 0.0), 1.0):.10f}")
+    if args.show_circuit:
+        if isinstance(artifact, CompiledOBDD):
+            circuit, root = artifact.obdd.to_circuit(artifact.root)
+        else:
+            circuit, root = artifact.circuit, artifact.root
+        print(circuit.describe(root))
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

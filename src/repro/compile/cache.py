@@ -1,0 +1,78 @@
+"""A keyed cache of compiled circuits.
+
+Compilation is the expensive step; the artifact depends only on the
+lineage's *clause structure* and the compiler configuration — never on
+the tuple marginals, which enter at evaluation time.  Caching on that
+structural key means:
+
+* repeated queries over the same database reuse their circuit;
+* parameterized workloads (same query, updated marginals) pay
+  compilation once and re-evaluate in linear time;
+* distinct queries whose groundings produce the same DNF shape share
+  one artifact.
+
+A plain LRU with hit/miss counters; thread-unsafe by design (the
+engines are single-threaded).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+from ..lineage.boolean import Lineage
+
+
+class CircuitCache:
+    """LRU cache from structural keys to compiled artifacts."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._store: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key_for(
+        lineage: Lineage, mode: str, strategy: str = ""
+    ) -> Tuple[Hashable, ...]:
+        """The structural cache key: clauses + compiler configuration.
+
+        ``lineage.clauses`` is a frozenset of frozensets of hashable
+        literals, so the key is hashable and weight-independent.
+        """
+        return (mode, strategy, lineage.certainly_true, lineage.clauses)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        artifact = self._store.get(key)
+        if artifact is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return artifact
+
+    def put(self, key: Hashable, artifact: Any) -> None:
+        self._store[key] = artifact
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def stats(self) -> str:
+        total = self.hits + self.misses
+        rate = (100.0 * self.hits / total) if total else 0.0
+        return (
+            f"{len(self._store)}/{self.maxsize} entries, "
+            f"{self.hits} hits / {self.misses} misses ({rate:.0f}%), "
+            f"{self.evictions} evictions"
+        )

@@ -1,0 +1,263 @@
+"""A structurally-hashed Boolean circuit IR for compiled lineages.
+
+Knowledge compilation turns a lineage DNF into a *circuit* whose shape
+guarantees tractable queries: the compilers in this package only emit
+
+* **decomposable** AND nodes (children over disjoint event sets) and
+* **deterministic** OR nodes (children mutually exclusive),
+
+which is the d-DNNF contract — plus free-standing NOT nodes, which are
+harmless for probability computation over independent events
+(``P(¬φ) = 1 − P(φ)``).  Under that contract the exact probability of
+the root is a single bottom-up pass (:mod:`repro.compile.evaluate`).
+
+Nodes are interned: building the same sub-circuit twice returns the
+same node id, so shared sub-formulas are stored and evaluated once and
+circuit size is a faithful complexity measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+#: Node ids are dense ints; 0/1 are reserved for the two constants.
+NodeId = int
+
+
+class BudgetExceeded(RuntimeError):
+    """A compiler exceeded its node budget.
+
+    Raised by the OBDD and d-DNNF compilers when ``max_nodes`` is set;
+    the router treats it as "this lineage does not compile small" and
+    falls through to Monte Carlo.
+    """
+
+#: Node kinds.
+CONST = "const"
+LIT = "lit"
+AND = "and"
+OR = "or"
+NOT = "not"
+
+#: Interned node payloads:
+#:   ("const", bool)
+#:   ("lit", var, polarity)
+#:   ("and", (child, ...))   children sorted, deduplicated, flattened
+#:   ("or", (child, ...))
+#:   ("not", child)
+Node = Tuple
+
+
+class Circuit:
+    """An interning store of circuit nodes.
+
+    One :class:`Circuit` can hold many roots (the compiled-circuit
+    cache shares a store per lineage); sizes are therefore reported per
+    root via :meth:`node_count`.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: List[Node] = []
+        self._intern: Dict[Node, NodeId] = {}
+        self.FALSE = self._mk((CONST, False))
+        self.TRUE = self._mk((CONST, True))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _mk(self, node: Node) -> NodeId:
+        existing = self._intern.get(node)
+        if existing is not None:
+            return existing
+        node_id = len(self._nodes)
+        self._nodes.append(node)
+        self._intern[node] = node_id
+        return node_id
+
+    def constant(self, value: bool) -> NodeId:
+        return self.TRUE if value else self.FALSE
+
+    def literal(self, var: Hashable, polarity: bool = True) -> NodeId:
+        """The literal ``var`` (or ``¬var`` when ``polarity`` is False)."""
+        return self._mk((LIT, var, bool(polarity)))
+
+    def negate(self, node: NodeId) -> NodeId:
+        kind = self.kind(node)
+        payload = self._nodes[node]
+        if kind == CONST:
+            return self.FALSE if payload[1] else self.TRUE
+        if kind == LIT:
+            return self.literal(payload[1], not payload[2])
+        if kind == NOT:
+            return payload[1]
+        return self._mk((NOT, node))
+
+    def conjoin(self, children: Iterable[NodeId]) -> NodeId:
+        """AND with flattening, constant folding and complement check."""
+        flat = self._gather(children, AND, absorbing=self.FALSE,
+                            neutral=self.TRUE)
+        if flat is None:
+            return self.FALSE
+        if not flat:
+            return self.TRUE
+        if len(flat) == 1:
+            return flat[0]
+        return self._mk((AND, tuple(flat)))
+
+    def disjoin(self, children: Iterable[NodeId]) -> NodeId:
+        """OR with flattening, constant folding and complement check."""
+        flat = self._gather(children, OR, absorbing=self.TRUE,
+                            neutral=self.FALSE)
+        if flat is None:
+            return self.TRUE
+        if not flat:
+            return self.FALSE
+        if len(flat) == 1:
+            return flat[0]
+        return self._mk((OR, tuple(flat)))
+
+    def decision(self, var: Hashable, high: NodeId, low: NodeId) -> NodeId:
+        """The Shannon node ``(var ∧ high) ∨ (¬var ∧ low)``.
+
+        The OR is deterministic by construction (the branches disagree
+        on ``var``) and the ANDs are decomposable whenever the branch
+        circuits do not mention ``var`` — which every compiler here
+        guarantees.
+        """
+        if high == low:
+            return high
+        return self.disjoin((
+            self.conjoin((self.literal(var, True), high)),
+            self.conjoin((self.literal(var, False), low)),
+        ))
+
+    def _gather(self, children, kind, absorbing, neutral):
+        """Flatten/canonicalize; ``None`` signals the absorbing result."""
+        seen: Set[NodeId] = set()
+        out: List[NodeId] = []
+        stack = list(children)
+        stack.reverse()
+        while stack:
+            child = stack.pop()
+            if child == absorbing:
+                return None
+            if child == neutral:
+                continue
+            payload = self._nodes[child]
+            if payload[0] == kind:
+                stack.extend(reversed(payload[1]))
+                continue
+            if child in seen:
+                continue
+            seen.add(child)
+            out.append(child)
+        # x ∧ ¬x → ⊥ and x ∨ ¬x → ⊤ (cheap complement check on ids;
+        # restricted to kinds whose negation never interns a new node).
+        for child in out:
+            if self.kind(child) in (LIT, NOT) and self.negate(child) in seen:
+                return None
+        out.sort()
+        return out
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def kind(self, node: NodeId) -> str:
+        return self._nodes[node][0]
+
+    def payload(self, node: NodeId) -> Node:
+        return self._nodes[node]
+
+    def children(self, node: NodeId) -> Tuple[NodeId, ...]:
+        payload = self._nodes[node]
+        if payload[0] in (AND, OR):
+            return payload[1]
+        if payload[0] == NOT:
+            return (payload[1],)
+        return ()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def topological(self, root: NodeId) -> List[NodeId]:
+        """Nodes reachable from ``root``, children before parents."""
+        order: List[NodeId] = []
+        seen: Set[NodeId] = set()
+        stack: List[Tuple[NodeId, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.append((node, True))
+            for child in self.children(node):
+                if child not in seen:
+                    stack.append((child, False))
+        return order
+
+    def node_count(self, root: NodeId) -> int:
+        """Number of distinct nodes reachable from ``root``."""
+        return len(self.topological(root))
+
+    def edge_count(self, root: NodeId) -> int:
+        return sum(len(self.children(n)) for n in self.topological(root))
+
+    def variables(self, root: NodeId) -> Set[Hashable]:
+        """All decision variables mentioned under ``root``."""
+        found: Set[Hashable] = set()
+        for node in self.topological(root):
+            payload = self._nodes[node]
+            if payload[0] == LIT:
+                found.add(payload[1])
+        return found
+
+    def describe(self, root: NodeId, max_nodes: int = 40) -> str:
+        """A compact textual rendering (for the CLI and debugging)."""
+        lines: List[str] = []
+        order = self.topological(root)
+        for node in order[-max_nodes:]:
+            payload = self._nodes[node]
+            if payload[0] == CONST:
+                lines.append(f"n{node}: {'⊤' if payload[1] else '⊥'}")
+            elif payload[0] == LIT:
+                sign = "" if payload[2] else "¬"
+                lines.append(f"n{node}: {sign}{payload[1]}")
+            elif payload[0] == NOT:
+                lines.append(f"n{node}: NOT n{payload[1]}")
+            else:
+                args = " ".join(f"n{c}" for c in payload[1])
+                lines.append(f"n{node}: {payload[0].upper()}({args})")
+        if len(order) > max_nodes:
+            lines.insert(0, f"... ({len(order) - max_nodes} more nodes)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Structural checks (used by tests; compilers guarantee these)
+    # ------------------------------------------------------------------
+
+    def is_decomposable(self, root: NodeId) -> bool:
+        """Every AND node's children mention disjoint variable sets."""
+        scope: Dict[NodeId, frozenset] = {}
+        for node in self.topological(root):
+            payload = self._nodes[node]
+            if payload[0] == CONST:
+                scope[node] = frozenset()
+            elif payload[0] == LIT:
+                scope[node] = frozenset((payload[1],))
+            elif payload[0] == NOT:
+                scope[node] = scope[payload[1]]
+            else:
+                union: Set[Hashable] = set()
+                total = 0
+                for child in payload[1]:
+                    union.update(scope[child])
+                    total += len(scope[child])
+                if payload[0] == AND and total != len(union):
+                    return False
+                scope[node] = frozenset(union)
+        return True

@@ -1,0 +1,126 @@
+"""Top-down d-DNNF-style compilation of lineage DNFs.
+
+This compiler runs exactly the trace of the Shannon-expansion WMC
+oracle (:mod:`repro.lineage.wmc`) — independent-component split,
+most-frequent-event pivot, memoization on the residual clause set —
+but instead of multiplying numbers it *records the trace* as a circuit
+in the shared IR:
+
+* an independent-component split becomes
+  ``¬(¬c₁ ∧ … ∧ ¬cₖ)`` — a decomposable AND under negations, the
+  circuit form of ``P(∨) = 1 − Π (1 − Pᵢ)``;
+* a Shannon pivot becomes a deterministic decision node
+  ``(x ∧ f|ₓ) ∨ (¬x ∧ f|₋ₓ)``;
+* a single clause becomes a decomposable AND of literals.
+
+Memoization on residual clause sets makes shared sub-DNFs *shared
+sub-circuits* — the artifact is a DAG, not a tree.  The resulting
+circuit answers any re-weighted probability query in time linear in
+its size, which is what the WMC oracle cannot do: it must recount from
+scratch for every weight change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from ..core.query import ConjunctiveQuery
+from ..db.database import TupleKey
+from ..lineage.boolean import Clause, Lineage
+from ..lineage.wmc import condition_clauses, most_frequent_event, split_components
+from .circuit import BudgetExceeded, Circuit, NodeId
+from .evaluate import probability as circuit_probability
+
+
+@dataclass
+class CompiledDNNF:
+    """The result of :func:`compile_dnnf`."""
+
+    circuit: Circuit
+    root: NodeId
+    #: Number of Shannon pivots taken (decomposition quality measure;
+    #: compare with :func:`repro.lineage.wmc.shannon_expansion_count`).
+    pivots: int = 0
+
+    @property
+    def size(self) -> int:
+        return self.circuit.node_count(self.root)
+
+    def probability(self, weights: Mapping[TupleKey, float]):
+        return circuit_probability(self.circuit, self.root, weights)
+
+
+def compile_dnnf(
+    lineage: Lineage,
+    query: Optional[ConjunctiveQuery] = None,
+    max_nodes: Optional[int] = None,
+) -> CompiledDNNF:
+    """Compile a lineage DNF into a d-DNNF-style circuit.
+
+    ``query`` is accepted for signature parity with the OBDD compiler
+    (the decomposition is ordering-free).  ``max_nodes`` bounds the
+    circuit store; exceeding it raises :class:`BudgetExceeded`.
+    """
+    circuit = Circuit()
+    if lineage.certainly_true:
+        return CompiledDNNF(circuit, circuit.TRUE)
+    if lineage.is_false:
+        return CompiledDNNF(circuit, circuit.FALSE)
+
+    memo: Dict[FrozenSet[Clause], NodeId] = {}
+    budget = None if max_nodes is None else max_nodes + len(circuit)
+    # Node interning means a lot of *work* can produce few new nodes
+    # (conditioning and memo hashing scale with the residual clause
+    # count); bound the total clauses touched by expansions too, so a
+    # doomed compilation fails fast instead of thrashing the memo.
+    max_work = None if max_nodes is None else 30 * max_nodes + 1000
+    work = 0
+    pivots = 0
+
+    def check_budget() -> None:
+        if budget is not None and len(circuit) > budget:
+            raise BudgetExceeded(
+                f"d-DNNF circuit exceeded the {max_nodes}-node budget"
+            )
+
+    def compile_set(clauses: FrozenSet[Clause]) -> NodeId:
+        nonlocal pivots, work
+        if not clauses:
+            return circuit.FALSE
+        if frozenset() in clauses:
+            return circuit.TRUE
+        cached = memo.get(clauses)
+        if cached is not None:
+            return cached
+        work += len(clauses)
+        if max_work is not None and work > max_work:
+            raise BudgetExceeded(
+                f"d-DNNF compilation exceeded its work budget "
+                f"({max_work} residual clauses touched)"
+            )
+        if len(clauses) == 1:
+            (clause,) = clauses
+            node = circuit.conjoin(
+                circuit.literal(key, polarity) for key, polarity in clause
+            )
+        else:
+            components = split_components(clauses)
+            if len(components) > 1:
+                # P(∨ independent cᵢ) = 1 − Π (1 − P(cᵢ)), as a circuit.
+                node = circuit.negate(circuit.conjoin(
+                    circuit.negate(compile_set(component))
+                    for component in components
+                ))
+            else:
+                pivots += 1
+                pivot = most_frequent_event(clauses)
+                high = compile_set(condition_clauses(clauses, pivot, True))
+                low = compile_set(condition_clauses(clauses, pivot, False))
+                node = circuit.decision(pivot, high, low)
+        memo[clauses] = node
+        check_budget()
+        return node
+
+    root = compile_set(frozenset(lineage.clauses))
+    return CompiledDNNF(circuit, root, pivots=pivots)

@@ -1,0 +1,164 @@
+"""Evaluation services over compiled circuits.
+
+Everything here is linear in circuit size — that is the entire point
+of compiling: the #P-hard work happens once, at compilation, and every
+probability query afterwards is a cheap pass.
+
+* :func:`probability` — exact probability in one bottom-up sweep.
+* :func:`model_count` — exact model counting via the weight-½ trick
+  with :class:`fractions.Fraction` arithmetic (no float loss).
+* :class:`IncrementalEvaluator` — re-weighting without recompilation:
+  change one tuple's marginal and only the literal's ancestors are
+  recomputed, typically a tiny fraction of the circuit.
+
+Soundness rests on the compilers' structural contract (decomposable
+AND, deterministic OR, see :mod:`repro.compile.circuit`): then
+``P(AND) = Π``, ``P(OR) = Σ``, ``P(NOT) = 1 − P``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set
+
+from .circuit import AND, CONST, LIT, NOT, OR, Circuit, NodeId
+
+
+def _node_value(circuit: Circuit, node: NodeId, weights, value, one, zero):
+    payload = circuit.payload(node)
+    kind = payload[0]
+    if kind == CONST:
+        return one if payload[1] else zero
+    if kind == LIT:
+        weight = weights[payload[1]]
+        return weight if payload[2] else one - weight
+    if kind == NOT:
+        return one - value[payload[1]]
+    if kind == AND:
+        result = one
+        for child in payload[1]:
+            result = result * value[child]
+        return result
+    result = zero  # OR: deterministic, so probabilities add
+    for child in payload[1]:
+        result = result + value[child]
+    return result
+
+
+def probability(
+    circuit: Circuit, root: NodeId, weights: Mapping[Hashable, float]
+):
+    """Exact probability of ``root`` — one linear bottom-up pass.
+
+    Generic over the weight type: pass floats for probabilities or
+    :class:`fractions.Fraction` for exact rational results.
+    """
+    sample = next(iter(weights.values()), 1.0)
+    one, zero = type(sample)(1), type(sample)(0)
+    value: Dict[NodeId, object] = {}
+    for node in circuit.topological(root):
+        value[node] = _node_value(circuit, node, weights, value, one, zero)
+    return value[root]
+
+
+def model_count(
+    circuit: Circuit,
+    root: NodeId,
+    variables: Optional[Iterable[Hashable]] = None,
+) -> int:
+    """Satisfying assignments of ``root`` over ``variables``.
+
+    ``variables`` defaults to the variables mentioned under ``root``;
+    pass the full lineage event set to count over unmentioned events
+    too (each doubles the count).
+    """
+    if variables is None:
+        variables = circuit.variables(root)
+    variables = list(variables)
+    half = Fraction(1, 2)
+    weights = {var: half for var in variables}
+    mentioned = circuit.variables(root)
+    missing = mentioned - set(variables)
+    if missing:
+        raise ValueError(f"circuit mentions variables outside the count "
+                         f"scope: {sorted(map(str, missing))[:3]}")
+    if not variables:
+        return 1 if probability(circuit, root, {"_": half}) == 1 else 0
+    scaled = probability(circuit, root, weights) * 2 ** len(variables)
+    return int(scaled)
+
+
+class IncrementalEvaluator:
+    """Re-weighting service: update marginals, not the circuit.
+
+    Keeps the per-node values of one bottom-up evaluation plus the
+    reverse edges; :meth:`update` recomputes only the cone of ancestors
+    of the changed literals, in topological rank order.  For local
+    weight changes on a large shared circuit this touches a small
+    fraction of the nodes — the benchmark in
+    ``benchmarks/bench_compile.py`` shows the resulting ≥10× speedup
+    over recompiling and recounting from scratch.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        root: NodeId,
+        weights: Mapping[Hashable, float],
+    ) -> None:
+        self.circuit = circuit
+        self.root = root
+        self.weights: Dict[Hashable, float] = dict(weights)
+        self._topo: List[NodeId] = circuit.topological(root)
+        self._rank: Dict[NodeId, int] = {
+            node: i for i, node in enumerate(self._topo)
+        }
+        self._parents: Dict[NodeId, List[NodeId]] = {}
+        self._literals: Dict[Hashable, List[NodeId]] = {}
+        for node in self._topo:
+            payload = circuit.payload(node)
+            if payload[0] == LIT:
+                self._literals.setdefault(payload[1], []).append(node)
+            for child in circuit.children(node):
+                self._parents.setdefault(child, []).append(node)
+        self._value: Dict[NodeId, float] = {}
+        for node in self._topo:
+            self._value[node] = _node_value(
+                circuit, node, self.weights, self._value, 1.0, 0.0
+            )
+        self.nodes_recomputed = 0
+
+    def probability(self) -> float:
+        return self._value[self.root]
+
+    def update(self, var: Hashable, weight: float) -> float:
+        """Set ``var``'s marginal and return the new root probability."""
+        return self.update_many({var: weight})
+
+    def update_many(self, changes: Mapping[Hashable, float]) -> float:
+        dirty: List[int] = []
+        queued: Set[NodeId] = set()
+        for var, weight in changes.items():
+            if var not in self._literals and var not in self.weights:
+                raise KeyError(f"unknown event {var!r}")
+            self.weights[var] = weight
+            for node in self._literals.get(var, ()):
+                if node not in queued:
+                    queued.add(node)
+                    heapq.heappush(dirty, self._rank[node])
+        while dirty:
+            node = self._topo[heapq.heappop(dirty)]
+            queued.discard(node)
+            fresh = _node_value(
+                self.circuit, node, self.weights, self._value, 1.0, 0.0
+            )
+            self.nodes_recomputed += 1
+            if fresh == self._value[node]:
+                continue
+            self._value[node] = fresh
+            for parent in self._parents.get(node, ()):
+                if parent not in queued:
+                    queued.add(parent)
+                    heapq.heappush(dirty, self._rank[parent])
+        return self._value[self.root]

@@ -1,0 +1,235 @@
+"""Variable orderings for the OBDD compiler.
+
+OBDD size is notoriously sensitive to the variable order.  Three
+heuristics are provided, all deterministic:
+
+* ``lineage`` — events in first-appearance order over the canonically
+  sorted clauses.  Cheap, and already groups each clause's events.
+* ``min-width`` — greedy minimization of the number of *active*
+  clauses (clauses with both placed and unplaced events) at every
+  prefix of the order.  Small width bounds the OBDD frontier.
+* ``hierarchy`` — derived from the query's hierarchy tree
+  (:mod:`repro.core.hierarchy`): events are sorted by the ground values
+  of the root-to-leaf scope variables, so all events touching one
+  root-variable value are contiguous.  On hierarchical queries this
+  yields the linear-size OBDDs that mirror the safe plan's independence
+  structure.
+
+``make_order`` dispatches by name; ``auto`` picks ``hierarchy`` when a
+hierarchical connected query is supplied and ``min-width`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.hierarchy import HierarchyTree, is_hierarchical
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Variable
+from ..db.database import TupleKey
+from ..lineage.boolean import Lineage
+
+#: Ordering strategy names accepted by the compilers and the CLI.
+STRATEGIES = ("lineage", "min-width", "hierarchy", "auto", "best")
+
+
+def _event_key(event: TupleKey) -> Tuple:
+    name, row = event
+    return (name, tuple((type(v).__name__, str(v)) for v in row))
+
+
+def _sorted_clauses(lineage: Lineage) -> List[List[TupleKey]]:
+    clauses = []
+    for clause in lineage.clauses:
+        clauses.append(sorted({key for key, _ in clause}, key=_event_key))
+    clauses.sort(key=lambda events: [_event_key(e) for e in events])
+    return clauses
+
+
+def lineage_order(
+    lineage: Lineage, query: Optional[ConjunctiveQuery] = None
+) -> List[TupleKey]:
+    """Events in first-appearance order over canonically sorted clauses."""
+    order: List[TupleKey] = []
+    seen: Set[TupleKey] = set()
+    for clause in _sorted_clauses(lineage):
+        for event in clause:
+            if event not in seen:
+                seen.add(event)
+                order.append(event)
+    return order
+
+
+def min_width_order(
+    lineage: Lineage, query: Optional[ConjunctiveQuery] = None
+) -> List[TupleKey]:
+    """Greedy width minimization over the clause/event incidence.
+
+    At each step pick the event that, once placed, leaves the fewest
+    *active* clauses — clauses partially placed.  Ties break toward
+    events finishing more clauses, then canonically.
+
+    The greedy scan is O(events × incidence); on huge lineages that
+    cost would land *before* the OBDD compiler's node budget can
+    fire, so past a fixed work bound this falls back to the linear
+    :func:`lineage_order` (the budget then fails fast as intended).
+    """
+    clauses = _sorted_clauses(lineage)
+    incidence = sum(len(events) for events in clauses)
+    if lineage.variable_count * incidence > 20_000_000:
+        return lineage_order(lineage, query)
+    remaining: Dict[int, Set[TupleKey]] = {
+        i: set(events) for i, events in enumerate(clauses)
+    }
+    touched: Set[int] = set()
+    by_event: Dict[TupleKey, List[int]] = {}
+    for i, events in enumerate(clauses):
+        for event in events:
+            by_event.setdefault(event, []).append(i)
+    order: List[TupleKey] = []
+    unplaced = set(by_event)
+    while unplaced:
+        best = None
+        best_score = None
+        for event in unplaced:
+            finishes = sum(
+                1 for i in by_event[event]
+                if remaining[i] == {event}
+            )
+            opens = sum(
+                1 for i in by_event[event]
+                if i not in touched and len(remaining[i]) > 1
+            )
+            # width delta: newly active minus newly finished
+            score = (opens - finishes, -finishes, _event_key(event))
+            if best_score is None or score < best_score:
+                best, best_score = event, score
+        order.append(best)
+        unplaced.discard(best)
+        for i in by_event[best]:
+            touched.add(i)
+            remaining[i].discard(best)
+    return order
+
+
+def hierarchy_order(
+    lineage: Lineage, query: Optional[ConjunctiveQuery] = None
+) -> List[TupleKey]:
+    """Hierarchy-guided order: group events by root-variable values.
+
+    For a connected hierarchical query, walking the hierarchy tree
+    gives each relation a scope ``⌈x⌉`` (root variables first).  An
+    event's sort key is the ground value of those scope variables in
+    root-to-leaf order — so all tuples sharing a root value are
+    adjacent, which is exactly the independence the safe plan exploits
+    and what keeps the OBDD frontier constant.
+
+    Falls back to :func:`lineage_order` when no query is supplied or
+    the query is not hierarchical/connected.
+    """
+    if query is None or not query.atoms:
+        return lineage_order(lineage, query)
+    try:
+        components = query.connected_components()
+    except Exception:
+        return lineage_order(lineage, query)
+
+    #: relation -> (component rank, depth rank, scope positions)
+    plans: Dict[str, Tuple[int, int, Tuple[int, ...]]] = {}
+    for comp_rank, component in enumerate(components):
+        if not is_hierarchical(component) or not component.variables:
+            continue
+        try:
+            tree = HierarchyTree(component)
+        except ValueError:
+            continue
+        depth = 0
+        for root in tree.roots:
+            for node in root.walk():
+                for index in node.subgoals:
+                    atom = component.atoms[index]
+                    positions = _scope_positions(atom, node.scope)
+                    plans.setdefault(
+                        atom.relation, (comp_rank, depth, positions)
+                    )
+                depth += 1
+    if not plans:
+        return lineage_order(lineage, query)
+
+    def key(event: TupleKey):
+        name, row = event
+        plan = plans.get(name)
+        if plan is None:
+            return (1, (), 0, _event_key(event))
+        comp_rank, depth, positions = plan
+        values = tuple(
+            (type(row[p]).__name__, str(row[p]))
+            for p in positions if p < len(row)
+        )
+        return (0, (comp_rank, values), depth, _event_key(event))
+
+    return sorted(lineage.events(), key=key)
+
+
+def _scope_positions(atom, scope: Sequence[Variable]) -> Tuple[int, ...]:
+    """First term position of each scope variable in the atom."""
+    positions: List[int] = []
+    for variable in scope:
+        for position, term in enumerate(atom.terms):
+            if term == variable:
+                positions.append(position)
+                break
+    return tuple(positions)
+
+
+ORDERINGS = {
+    "lineage": lineage_order,
+    "min-width": min_width_order,
+    "hierarchy": hierarchy_order,
+}
+
+
+def make_order(
+    lineage: Lineage,
+    strategy: str = "auto",
+    query: Optional[ConjunctiveQuery] = None,
+) -> Tuple[str, List[TupleKey]]:
+    """Resolve a strategy name to ``(effective name, event order)``.
+
+    ``auto`` picks ``hierarchy`` when the query is supplied, connected
+    and hierarchical, else ``min-width``.  ``best`` is resolved by the
+    OBDD compiler (it needs candidate compilations); here it maps to
+    the full candidate list via :func:`candidate_orders`.
+    """
+    if strategy == "auto":
+        if (
+            query is not None
+            and query.atoms
+            and query.is_connected()
+            and is_hierarchical(query)
+        ):
+            strategy = "hierarchy"
+        else:
+            strategy = "min-width"
+    if strategy not in ORDERINGS:
+        raise ValueError(
+            f"unknown ordering strategy {strategy!r}; "
+            f"expected one of {sorted(ORDERINGS) + ['auto', 'best']}"
+        )
+    return strategy, ORDERINGS[strategy](lineage, query)
+
+
+def candidate_orders(
+    lineage: Lineage, query: Optional[ConjunctiveQuery] = None
+) -> List[Tuple[str, List[TupleKey]]]:
+    """All heuristic orders, deduplicated, for ``best``-mode search."""
+    out: List[Tuple[str, List[TupleKey]]] = []
+    seen: Set[Tuple] = set()
+    for name in ("hierarchy", "min-width", "lineage"):
+        order = ORDERINGS[name](lineage, query)
+        fingerprint = tuple(order)
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        out.append((name, order))
+    return out

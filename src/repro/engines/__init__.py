@@ -2,6 +2,7 @@
 
 from .base import Engine, EngineError, UnsafeQueryError, UnsupportedQueryError
 from .bruteforce import BruteForceEngine
+from .compiled import CompilationReport, CompiledEngine
 from .lifted import (
     LiftedEngine,
     SafetyReport,
@@ -17,6 +18,8 @@ from .sql_plan import SQLSafePlanEngine
 
 __all__ = [
     "BruteForceEngine",
+    "CompilationReport",
+    "CompiledEngine",
     "Engine",
     "EngineError",
     "LiftedEngine",

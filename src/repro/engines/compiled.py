@@ -1,0 +1,139 @@
+"""Exact evaluation through knowledge compilation.
+
+The second exact backend next to :class:`LineageEngine`: ground the
+query to its lineage DNF, compile the DNF into a structured circuit
+(OBDD or d-DNNF), evaluate in time linear in circuit size.  The
+compiled artifact is cached on the lineage's clause structure, so
+repeated or re-weighted queries skip compilation entirely — the
+capability the recursive WMC oracle fundamentally lacks.
+
+Modes:
+
+* ``obdd`` — bottom-up Apply compilation under a variable-ordering
+  heuristic (see :mod:`repro.compile.ordering`);
+* ``dnnf`` — top-down decomposition mirroring the WMC oracle's trace;
+* ``auto`` — try the OBDD first (smaller, canonical, cheapest to
+  re-evaluate), fall back to d-DNNF when the OBDD blows the node
+  budget.
+
+With ``max_nodes`` set, compilation failure raises
+:class:`UnsupportedQueryError`, which the router interprets as "fall
+through to Monte Carlo".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..compile.cache import CircuitCache
+from ..compile.circuit import BudgetExceeded
+from ..compile.dnnf import CompiledDNNF, compile_dnnf
+from ..compile.obdd import CompiledOBDD, compile_obdd
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from ..lineage.boolean import Lineage
+from ..lineage.grounding import ground_lineage
+from .base import Engine, UnsupportedQueryError
+
+MODES = ("obdd", "dnnf", "auto")
+
+Artifact = Union[CompiledOBDD, CompiledDNNF]
+
+
+@dataclass
+class CompilationReport:
+    """What the last compilation produced (CLI and benchmark output)."""
+
+    mode: str
+    ordering: str
+    size: int
+    variables: int
+    clauses: int
+    cached: bool
+
+    def describe(self) -> str:
+        origin = "cache" if self.cached else "fresh"
+        ordering = f", ordering={self.ordering}" if self.ordering else ""
+        return (
+            f"{self.mode} circuit: {self.size} nodes over "
+            f"{self.variables} events / {self.clauses} clauses "
+            f"({origin}{ordering})"
+        )
+
+
+class CompiledEngine(Engine):
+    """Ground to lineage, compile to a circuit, evaluate linearly."""
+
+    name = "compiled"
+
+    def __init__(
+        self,
+        mode: str = "auto",
+        ordering: str = "auto",
+        max_nodes: Optional[int] = None,
+        cache: Optional[CircuitCache] = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+        self.mode = mode
+        self.ordering = ordering
+        self.max_nodes = max_nodes
+        self.cache = cache if cache is not None else CircuitCache()
+        self.last_report: Optional[CompilationReport] = None
+
+    def probability(
+        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+    ) -> float:
+        lineage = ground_lineage(query, db)
+        if lineage.certainly_true:
+            return 1.0
+        if lineage.is_false:
+            return 0.0
+        artifact = self.compile_lineage(lineage, query)
+        value = float(artifact.probability(lineage.weights))
+        # Deterministic sums can drift by float epsilons on huge circuits.
+        return min(max(value, 0.0), 1.0)
+
+    def compile_lineage(
+        self, lineage: Lineage, query: Optional[ConjunctiveQuery] = None
+    ) -> Artifact:
+        """The compiled artifact for a lineage, via the structural cache."""
+        key = CircuitCache.key_for(lineage, self.mode, self.ordering)
+        artifact = self.cache.get(key)
+        cached = artifact is not None
+        if not cached:
+            artifact = self._compile(lineage, query)
+            self.cache.put(key, artifact)
+        self.last_report = CompilationReport(
+            mode="obdd" if isinstance(artifact, CompiledOBDD) else "dnnf",
+            ordering=getattr(artifact, "ordering", ""),
+            size=artifact.size,
+            variables=lineage.variable_count,
+            clauses=lineage.clause_count(),
+            cached=cached,
+        )
+        return artifact
+
+    def _compile(
+        self, lineage: Lineage, query: Optional[ConjunctiveQuery]
+    ) -> Artifact:
+        try:
+            if self.mode == "obdd":
+                return compile_obdd(
+                    lineage, self.ordering, query, self.max_nodes
+                )
+            if self.mode == "dnnf":
+                return compile_dnnf(lineage, query, self.max_nodes)
+            try:
+                return compile_obdd(
+                    lineage, self.ordering, query, self.max_nodes
+                )
+            except BudgetExceeded:
+                return compile_dnnf(lineage, query, self.max_nodes)
+        except (BudgetExceeded, RecursionError) as error:
+            raise UnsupportedQueryError(
+                f"lineage did not compile within budget "
+                f"({lineage.variable_count} events, "
+                f"{lineage.clause_count()} clauses): {error}"
+            ) from error

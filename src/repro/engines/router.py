@@ -1,21 +1,24 @@
-"""The MystiQ-style router: safe plan when possible, fallback otherwise.
+"""The MystiQ-style router: cheapest correct engine, in order.
 
 Section 1 of the paper describes MystiQ's strategy: test whether the
 query has a PTIME plan; if yes run it, otherwise run a Monte Carlo
 simulation — with execution times differing by one to two orders of
-magnitude.  :class:`RouterEngine` reproduces exactly that architecture
-on top of this repository's engines.
+magnitude.  :class:`RouterEngine` reproduces that architecture and
+extends it with a knowledge-compilation tier: unsafe queries whose
+lineage compiles to a small circuit get *exact* answers before any
+sampling happens.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..core.query import ConjunctiveQuery
 from ..db.database import ProbabilisticDatabase
 from .base import Engine, UnsafeQueryError, UnsupportedQueryError
+from .compiled import CompiledEngine
 from .lifted import LiftedEngine, is_safe_query
 from .lineage_engine import LineageEngine
 from .montecarlo import MonteCarloEngine
@@ -24,13 +27,28 @@ from .safe_plan import SafePlanEngine
 
 @dataclass
 class RoutingDecision:
-    """Record of how a query was answered."""
+    """Record of how a query was answered.
+
+    ``fallback_reason`` explains why the safer/cheaper engines above
+    the chosen one were skipped — empty when the top-preference engine
+    answered.
+    """
 
     query: str
     engine: str
     probability: float
     seconds: float
     safe: bool
+    fallback_reason: str = ""
+
+    def describe(self) -> str:
+        line = (
+            f"{self.engine}: p={self.probability:.6f} "
+            f"({self.seconds * 1e3:.1f} ms)"
+        )
+        if self.fallback_reason:
+            line += f" — {self.fallback_reason}"
+        return line
 
 
 class RouterEngine(Engine):
@@ -40,8 +58,13 @@ class RouterEngine(Engine):
 
     1. the Equation-(3) safe plan (hierarchical, self-join-free);
     2. the lifted engine (safe queries with self-joins);
-    3. the fallback for #P-hard queries — Monte Carlo by default, or
-       the exact lineage oracle when ``exact_fallback`` is set.
+    3. the compiled engine — exact answers for #P-hard queries whose
+       lineage compiles into a circuit within ``compile_budget`` nodes;
+    4. the fallback — Monte Carlo by default, or the exact lineage
+       oracle when ``exact_fallback`` is set.
+
+    Set ``compile_budget=None`` to disable tier 3 (the pre-compilation
+    MystiQ architecture, kept for the paper-artifact benchmarks).
     """
 
     name = "router"
@@ -51,10 +74,16 @@ class RouterEngine(Engine):
         exact_fallback: bool = False,
         mc_samples: int = 20_000,
         mc_seed: Optional[int] = None,
+        compile_budget: Optional[int] = 10_000,
     ) -> None:
         self.safe_plan = SafePlanEngine()
         self.lifted = LiftedEngine()
         self.lineage = LineageEngine()
+        self.compiled: Optional[CompiledEngine] = (
+            CompiledEngine(mode="auto", max_nodes=compile_budget)
+            if compile_budget
+            else None
+        )
         self.monte_carlo = MonteCarloEngine(samples=mc_samples, seed=mc_seed)
         self.exact_fallback = exact_fallback
         self.history: list[RoutingDecision] = []
@@ -72,7 +101,7 @@ class RouterEngine(Engine):
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
     ) -> float:
         start = time.perf_counter()
-        engine, value, safe = self._route(query, db)
+        engine, value, safe, reason = self._route(query, db)
         elapsed = time.perf_counter() - start
         self.history.append(
             RoutingDecision(
@@ -81,25 +110,45 @@ class RouterEngine(Engine):
                 probability=value,
                 seconds=elapsed,
                 safe=safe,
+                fallback_reason=reason,
             )
         )
         return value
 
-    def _route(self, query: ConjunctiveQuery, db: ProbabilisticDatabase):
+    def _route(
+        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+    ) -> Tuple[str, float, bool, str]:
+        reasons = []
         if not query.has_self_join():
             try:
-                return self.safe_plan.name, self.safe_plan.probability(query, db), True
+                return self.safe_plan.name, self.safe_plan.probability(query, db), True, ""
             except UnsupportedQueryError:
-                pass  # non-hierarchical: fall through to the fallback
+                reasons.append("no safe plan (non-hierarchical)")
         elif self.is_safe(query):
             try:
-                return self.lifted.name, self.lifted.probability(query, db), True
+                return self.lifted.name, self.lifted.probability(query, db), True, ""
             except UnsafeQueryError:  # pragma: no cover - safety said yes
-                pass
+                reasons.append("lifted decomposition failed")
+        else:
+            reasons.append(
+                "self-join without a safe decomposition (#P-hard by the dichotomy)"
+            )
+        if self.compiled is not None:
+            try:
+                value = self.compiled.probability(query, db)
+                return self.compiled.name, value, False, "; ".join(reasons)
+            except UnsupportedQueryError as error:
+                reasons.append(str(error))
         if self.exact_fallback:
-            return self.lineage.name, self.lineage.probability(query, db), False
+            return (
+                self.lineage.name,
+                self.lineage.probability(query, db),
+                False,
+                "; ".join(reasons),
+            )
         return (
             self.monte_carlo.name,
             self.monte_carlo.probability(query, db),
             False,
+            "; ".join(reasons),
         )

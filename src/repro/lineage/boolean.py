@@ -41,13 +41,25 @@ class Lineage:
         """No matches at all: ``p(q) = 0``."""
         return not self.clauses and not self.certainly_true
 
-    def events(self) -> Set[TupleKey]:
-        """All tuple events mentioned by some clause."""
-        found: Set[TupleKey] = set()
-        for clause in self.clauses:
-            for key, _polarity in clause:
-                found.add(key)
-        return found
+    def events(self) -> FrozenSet[TupleKey]:
+        """All tuple events mentioned by some clause.
+
+        Computed once and cached on the instance — WMC, Monte Carlo and
+        the circuit compilers all hit this in hot paths, and the clause
+        set is immutable.
+        """
+        cached = self.__dict__.get("_events")
+        if cached is None:
+            cached = frozenset(
+                key for clause in self.clauses for key, _polarity in clause
+            )
+            object.__setattr__(self, "_events", cached)
+        return cached
+
+    @property
+    def variable_count(self) -> int:
+        """Number of distinct tuple events (circuit compiler input size)."""
+        return len(self.events())
 
     def clause_count(self) -> int:
         return len(self.clauses)

@@ -70,30 +70,34 @@ class _Counter:
         self.expansions += 1
         pivot = _most_frequent_event(clauses)
         weight = self.weights[pivot]
-        positive = self._condition(clauses, pivot, True)
-        negative = self._condition(clauses, pivot, False)
+        positive = condition_clauses(clauses, pivot, True)
+        negative = condition_clauses(clauses, pivot, False)
         return weight * self.probability(positive) + (1.0 - weight) * self.probability(negative)
 
-    @staticmethod
-    def _condition(
-        clauses: FrozenSet[Clause], event: TupleKey, value: bool
-    ) -> FrozenSet[Clause]:
-        """Set ``event := value`` in the DNF."""
-        result: Set[Clause] = set()
-        for clause in clauses:
-            keep: List[Literal] = []
-            dropped = False
-            for literal in clause:
-                key, polarity = literal
-                if key != event:
-                    keep.append(literal)
-                elif polarity != value:
-                    dropped = True  # literal falsified: clause dies
-                    break
-            if dropped:
-                continue
-            result.add(frozenset(keep))
-        return frozenset(result)
+
+def condition_clauses(
+    clauses: FrozenSet[Clause], event: TupleKey, value: bool
+) -> FrozenSet[Clause]:
+    """Set ``event := value`` in the DNF.
+
+    Shared by the Shannon-expansion counter and the d-DNNF compiler
+    (:mod:`repro.compile.dnnf`), which mirrors its decomposition.
+    """
+    result: Set[Clause] = set()
+    for clause in clauses:
+        keep: List[Literal] = []
+        dropped = False
+        for literal in clause:
+            key, polarity = literal
+            if key != event:
+                keep.append(literal)
+            elif polarity != value:
+                dropped = True  # literal falsified: clause dies
+                break
+        if dropped:
+            continue
+        result.add(frozenset(keep))
+    return frozenset(result)
 
 
 def _split_components(clauses: FrozenSet[Clause]) -> List[FrozenSet[Clause]]:
@@ -128,6 +132,12 @@ def _most_frequent_event(clauses: FrozenSet[Clause]) -> TupleKey:
         for key, _polarity in clause:
             counts[key] = counts.get(key, 0) + 1
     return max(counts, key=lambda k: (counts[k], str(k)))
+
+
+#: Public names for the decomposition helpers shared with the
+#: knowledge-compilation subsystem.
+split_components = _split_components
+most_frequent_event = _most_frequent_event
 
 
 def shannon_expansion_count(lineage: Lineage) -> int:

@@ -11,11 +11,15 @@ from repro.core import parse
 from repro.db import random_database_for_query
 from repro.engines import (
     BruteForceEngine,
+    CompiledEngine,
     LiftedEngine,
     LineageEngine,
     RouterEngine,
     SafePlanEngine,
 )
+from repro.lineage.grounding import ground_lineage
+from repro.lineage.wmc import exact_probability
+from repro.queries import zoo
 
 brute = BruteForceEngine()
 lineage = LineageEngine()
@@ -93,6 +97,64 @@ def test_router_always_close_to_oracle(text):
     p_exact = lineage.probability(q, db)
     tolerance = 1e-9 if router.history[-1].safe else 0.05
     assert p_router == pytest.approx(p_exact, abs=tolerance)
+
+
+# ----------------------------------------------------------------------
+# CompiledEngine: both circuit backends must match the WMC oracle
+# ----------------------------------------------------------------------
+
+ALL_QUERIES = SAFE_NO_SELFJOIN + SAFE_SELFJOIN + UNSAFE
+
+
+@pytest.mark.parametrize("mode", ["obdd", "dnnf"])
+@pytest.mark.parametrize("text", ALL_QUERIES)
+@pytest.mark.parametrize("seed", range(3))
+def test_compiled_vs_oracle_random_sweep(mode, text, seed):
+    """Property-style sweep: compiled circuits agree with the oracle."""
+    q = parse(text)
+    db = random_database_for_query(q, 3, density=0.5, seed=seed)
+    engine = CompiledEngine(mode=mode)
+    want = exact_probability(ground_lineage(q, db))
+    assert engine.probability(q, db) == pytest.approx(want, abs=1e-9)
+
+
+@pytest.mark.parametrize("mode", ["obdd", "dnnf"])
+@pytest.mark.parametrize("entry", zoo(), ids=lambda entry: entry.name)
+def test_compiled_vs_oracle_on_zoo(mode, entry):
+    """Every zoo query: CompiledEngine matches the oracle to 1e-9.
+
+    Grounding/compilation is cheap even for entries whose *analysis*
+    is slow, so the whole zoo is covered, over several instances.
+    """
+    engine = CompiledEngine(mode=mode)
+    for domain, density, seed in ((2, 0.8, 7), (3, 0.5, 11)):
+        db = random_database_for_query(
+            entry.query, domain, density=density, seed=seed
+        )
+        want = exact_probability(ground_lineage(entry.query, db))
+        assert engine.probability(entry.query, db) == pytest.approx(
+            want, abs=1e-9
+        )
+
+
+@pytest.mark.parametrize("ordering", ["lineage", "min-width", "hierarchy", "best"])
+def test_compiled_obdd_orderings_agree(ordering):
+    q = parse("R(x), S(x,y), T(y)")
+    db = random_database_for_query(q, 4, density=0.5, seed=13)
+    engine = CompiledEngine(mode="obdd", ordering=ordering)
+    want = exact_probability(ground_lineage(q, db))
+    assert engine.probability(q, db) == pytest.approx(want, abs=1e-9)
+
+
+def test_compiled_engine_reuses_cached_circuit():
+    q = parse("R(x), S(x,y), T(y)")
+    db = random_database_for_query(q, 3, density=0.5, seed=4)
+    engine = CompiledEngine()
+    engine.probability(q, db)
+    assert not engine.last_report.cached
+    engine.probability(q, db)
+    assert engine.last_report.cached
+    assert engine.cache.hits == 1
 
 
 def test_probabilities_in_unit_interval():

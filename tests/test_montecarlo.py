@@ -83,17 +83,40 @@ class TestRouter:
         assert router.history[-1].engine == "lifted"
         assert p == pytest.approx(lineage.probability(q, db), abs=1e-9)
 
-    def test_routes_unsafe_to_monte_carlo(self):
+    def test_routes_unsafe_to_compiled(self):
         router = RouterEngine(mc_samples=5_000, mc_seed=1)
+        q = parse("R(x), S(x,y), T(y)")
+        db = random_database_for_query(q, 3, density=0.8, seed=0)
+        p = router.probability(q, db)
+        decision = router.history[-1]
+        assert decision.engine == "compiled"
+        assert not decision.safe
+        assert "#P-hard" in decision.fallback_reason or "safe plan" in decision.fallback_reason
+        assert p == pytest.approx(lineage.probability(q, db), abs=1e-9)
+
+    def test_routes_unsafe_to_monte_carlo_without_compiler(self):
+        router = RouterEngine(mc_samples=5_000, mc_seed=1, compile_budget=None)
         q = parse("R(x), S(x,y), T(y)")
         db = random_database_for_query(q, 3, seed=0)
         p = router.probability(q, db)
-        assert router.history[-1].engine == "monte-carlo"
-        assert not router.history[-1].safe
+        decision = router.history[-1]
+        assert decision.engine == "monte-carlo"
+        assert not decision.safe
+        assert decision.fallback_reason
+        assert p == pytest.approx(lineage.probability(q, db), abs=0.05)
+
+    def test_tiny_compile_budget_falls_through_to_monte_carlo(self):
+        router = RouterEngine(mc_samples=40_000, mc_seed=1, compile_budget=1)
+        q = parse("R(x), S(x,y), T(y)")
+        db = random_database_for_query(q, 3, density=0.8, seed=0)
+        p = router.probability(q, db)
+        decision = router.history[-1]
+        assert decision.engine == "monte-carlo"
+        assert "budget" in decision.fallback_reason
         assert p == pytest.approx(lineage.probability(q, db), abs=0.05)
 
     def test_exact_fallback(self):
-        router = RouterEngine(exact_fallback=True)
+        router = RouterEngine(exact_fallback=True, compile_budget=None)
         q = parse("R(x,y), R(y,z)")
         db = random_database_for_query(q, 3, seed=2)
         p = router.probability(q, db)

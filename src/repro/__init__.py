@@ -36,9 +36,11 @@ from .core import (
     query,
 )
 from .db import (
+    DatabaseFormatError,
     ProbabilisticDatabase,
     Relation,
     SQLiteStore,
+    load_database,
     random_database,
     random_database_for_query,
 )
@@ -54,7 +56,7 @@ from .engines import (
     is_safe_query,
 )
 from .hardness import Bipartite2DNF, count_via_hk, hk_query, random_formula
-from .lineage import exact_probability, ground_lineage
+from .lineage import exact_probability, ground_answer_lineages, ground_lineage
 
 __version__ = "1.0.0"
 
@@ -66,6 +68,7 @@ __all__ = [
     "Comparison",
     "ConjunctiveQuery",
     "Constant",
+    "DatabaseFormatError",
     "LiftedEngine",
     "LineageEngine",
     "MonteCarloEngine",
@@ -85,11 +88,13 @@ __all__ = [
     "comparison",
     "count_via_hk",
     "exact_probability",
+    "ground_answer_lineages",
     "ground_lineage",
     "hk_query",
     "is_hierarchical",
     "is_ptime",
     "is_safe_query",
+    "load_database",
     "minimize",
     "parse",
     "query",

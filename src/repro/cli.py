@@ -8,22 +8,30 @@ Commands:
   given as JSON ``{"R": [[[1], 0.5], ...], ...}``; routes through the
   MystiQ-style router and reports the routing decision (including why
   safer engines were skipped).
+* ``answers "Q(x) :- R(x), S(x,y)" data.json --top 5`` — rank the
+  answer tuples of a non-Boolean query by probability, one routing
+  decision per answer.
 * ``compile "R(x), S(x,y), T(y)" data.json`` — compile the query's
   lineage into an OBDD or d-DNNF circuit and report circuit size, the
   variable ordering used, and the exact probability.
 * ``zoo`` — print the paper's query table with our verdicts.
+
+Databases load through :func:`repro.db.io.load_database`, which accepts
+both the list format above and the ``from_dict``-style mapping format
+``{"R": {"[1]": 0.5}}`` and reports malformed files with a validating
+error instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List, Optional
 
 from .analysis import classify
-from .core.parser import parse
+from .core.parser import QueryParseError, parse
 from .db.database import ProbabilisticDatabase
+from .db.io import DatabaseFormatError, load_database
 from .engines import RouterEngine
 
 
@@ -55,6 +63,29 @@ def _build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument(
         "--exact", action="store_true",
         help="use the exact oracle instead of Monte Carlo for unsafe queries",
+    )
+
+    p_answers = sub.add_parser(
+        "answers", help="ranked answer tuples of a non-Boolean query"
+    )
+    p_answers.add_argument("query", help='e.g. "Q(x) :- R(x), S(x,y)"')
+    p_answers.add_argument(
+        "database",
+        help='JSON file: {"R": [[[1], 0.5], ...]} or {"R": {"[1]": 0.5}}',
+    )
+    p_answers.add_argument("--constants", default="")
+    p_answers.add_argument(
+        "--top", type=int, default=None, metavar="K",
+        help="only the K most probable answers (multisimulation prunes "
+             "Monte Carlo work for the rest)",
+    )
+    p_answers.add_argument(
+        "--samples", type=int, default=20000,
+        help="Monte Carlo sample cap per answer for unsafe residuals",
+    )
+    p_answers.add_argument(
+        "--exact", action="store_true",
+        help="use the exact oracle instead of Monte Carlo for unsafe residuals",
     )
 
     p_compile = sub.add_parser(
@@ -93,16 +124,6 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_database(path: str) -> ProbabilisticDatabase:
-    with open(path) as handle:
-        raw = json.load(handle)
-    db = ProbabilisticDatabase()
-    for relation, rows in raw.items():
-        for row, probability in rows:
-            db.add(relation, tuple(row), probability)
-    return db
-
-
 def _constants(spec: str) -> tuple:
     return tuple(token.strip() for token in spec.split(",") if token.strip())
 
@@ -110,25 +131,32 @@ def _constants(spec: str) -> tuple:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
-    if args.command == "classify":
-        result = classify(parse(args.query, constants=_constants(args.constants)))
-        print(result.describe())
-        return 0
+    try:
+        if args.command == "classify":
+            result = classify(parse(args.query, constants=_constants(args.constants)))
+            print(result.describe())
+            return 0
 
-    if args.command == "evaluate":
-        query = parse(args.query, constants=_constants(args.constants))
-        db = _load_database(args.database)
-        router = RouterEngine(exact_fallback=args.exact, mc_samples=args.samples)
-        probability = router.probability(query, db)
-        decision = router.history[-1]
-        print(f"p(q) = {probability:.10f}")
-        print(f"engine: {decision.engine} ({decision.seconds * 1e3:.1f} ms)")
-        if decision.fallback_reason:
-            print(f"fallback: {decision.fallback_reason}")
-        return 0
+        if args.command == "evaluate":
+            query = parse(args.query, constants=_constants(args.constants))
+            db = load_database(args.database)
+            router = RouterEngine(exact_fallback=args.exact, mc_samples=args.samples)
+            probability = router.probability(query, db)
+            decision = router.history[-1]
+            print(f"p(q) = {probability:.10f}")
+            print(f"engine: {decision.engine} ({decision.seconds * 1e3:.1f} ms)")
+            if decision.fallback_reason:
+                print(f"fallback: {decision.fallback_reason}")
+            return 0
 
-    if args.command == "compile":
-        return _run_compile(args)
+        if args.command == "answers":
+            return _run_answers(args)
+
+        if args.command == "compile":
+            return _run_compile(args)
+    except (DatabaseFormatError, QueryParseError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     if args.command == "zoo":
         from .queries import zoo
@@ -146,6 +174,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 1  # pragma: no cover
 
 
+def _run_answers(args) -> int:
+    query = parse(args.query, constants=_constants(args.constants))
+    db = load_database(args.database)
+    router = RouterEngine(exact_fallback=args.exact, mc_samples=args.samples)
+    results = router.answers(query, db, k=args.top)
+    if not results:
+        print("no answers")
+        return 0
+    decisions = {
+        decision.answer: decision
+        for decision in router.history
+        if decision.answer is not None
+    }
+    width = max(len(_answer_text(answer)) for answer, _ in results)
+    print(f"{'#':>3}  {'answer':<{width}}  {'probability':>12}  engine")
+    for rank, (answer, probability) in enumerate(results, start=1):
+        decision = decisions.get(answer)
+        engine = decision.engine if decision else router.name
+        extra = ""
+        if decision and decision.interval is not None:
+            extra = f" ±{decision.interval:.6f}"
+        print(
+            f"{rank:>3}  {_answer_text(answer):<{width}}  "
+            f"{probability:>12.8f}  {engine}{extra}"
+        )
+    reasons = {
+        decision.fallback_reason
+        for decision in decisions.values()
+        if decision.fallback_reason
+    }
+    for reason in sorted(reasons):
+        print(f"fallback: {reason}")
+    return 0
+
+
+def _answer_text(answer: tuple) -> str:
+    return "(" + ", ".join(repr(v) for v in answer) + ")"
+
+
 def _run_compile(args) -> int:
     import time
 
@@ -156,7 +223,7 @@ def _run_compile(args) -> int:
     from .lineage.wmc import shannon_expansion_count
 
     query = parse(args.query, constants=_constants(args.constants))
-    db = _load_database(args.database)
+    db = load_database(args.database)
     lineage = ground_lineage(query, db)
     print(f"lineage: {lineage.clause_count()} clauses over "
           f"{lineage.variable_count} tuple events")

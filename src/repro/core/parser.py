@@ -1,19 +1,25 @@
 """A small text parser for conjunctive queries.
 
-Grammar (comma-separated items)::
+Grammar (comma-separated items, with an optional datalog-style head)::
 
-    query      ::= item ("," item)*
+    query      ::= [head ":-"] item ("," item)*
+    head       ::= NAME "(" [term ("," term)*] ")"
     item       ::= ["not"] NAME "(" term ("," term)* ")"   -- sub-goal
                  | term OP term                            -- predicate
     term       ::= NAME | NUMBER | "'" chars "'"
     OP         ::= "<" | ">" | "=" | "!="
 
-By default identifiers are variables and numbers / quoted tokens are
-constants; names listed in ``constants`` are parsed as string constants,
-matching the paper's habit of writing constants ``a, b, c`` unquoted.
+A plain body (``R(x), S(x,y)``) is a Boolean query, so all existing
+call sites keep working; ``Q(x) :- R(x), S(x,y)`` is an answer-tuple
+query whose head variables must occur in the body.  By default
+identifiers are variables and numbers / quoted tokens are constants;
+names listed in ``constants`` are parsed as string constants, matching
+the paper's habit of writing constants ``a, b, c`` unquoted.
 
 >>> parse("R(x), S(x,y)")
 ConjunctiveQuery(R(x), S(x, y))
+>>> parse("Q(x) :- R(x), S(x,y)")
+ConjunctiveQuery(Q(x) :- R(x), S(x, y))
 >>> parse("R(a,x), x < y, S(x,y)", constants=("a",))
 ConjunctiveQuery(R('a', x), S(x, y), x < y)
 """
@@ -21,7 +27,7 @@ ConjunctiveQuery(R('a', x), S(x, y), x < y)
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from .atoms import Atom
 from .predicates import Comparison
@@ -41,14 +47,25 @@ class QueryParseError(ValueError):
     """Raised on malformed query text."""
 
 
+_HEAD_RE = re.compile(
+    r"^(?P<rel>[A-Za-z_][A-Za-z0-9_]*)\s*\((?P<args>[^()]*)\)$"
+)
+
+
 def parse(text: str, constants: Iterable[str] = ()) -> ConjunctiveQuery:
     """Parse ``text`` into a :class:`ConjunctiveQuery`.
 
     Args:
-        text: the query, e.g. ``"R(x), S(x,y), x != y"``.
+        text: the query, e.g. ``"R(x), S(x,y), x != y"`` (Boolean) or
+            ``"Q(x) :- R(x), S(x,y)"`` (answer-tuple).
         constants: identifier names to treat as string constants.
     """
     constant_names = set(constants)
+    head: Optional[Tuple[Term, ...]] = None
+    head_text, body_text = _split_on_neck(text)
+    if head_text is not None:
+        head = _parse_head(head_text.strip(), constant_names)
+        text = body_text
     atoms: List[Atom] = []
     predicates: List[Comparison] = []
     for item in _split_items(text):
@@ -72,7 +89,53 @@ def parse(text: str, constants: Iterable[str] = ()) -> ConjunctiveQuery:
             predicates.append(Comparison(predicate.group("op"), left, right))
             continue
         raise QueryParseError(f"cannot parse query item: {item!r}")
-    return ConjunctiveQuery(atoms, predicates)
+    try:
+        return ConjunctiveQuery(atoms, predicates, head=head)
+    except ValueError as error:
+        raise QueryParseError(str(error)) from error
+
+
+def _split_on_neck(text: str) -> Tuple[Optional[str], str]:
+    """Split ``head :- body`` at the first ``:-`` outside quotes.
+
+    Returns ``(None, text)`` for a Boolean query; a ``:-`` inside a
+    quoted constant is part of the constant, not a head separator.
+    """
+    positions = []
+    quote = None
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+        elif char == ":" and text[index:index + 2] == ":-":
+            positions.append(index)
+            index += 2
+            continue
+        index += 1
+    if not positions:
+        return None, text
+    if len(positions) > 1:
+        raise QueryParseError(f"more than one ':-' in {text!r}")
+    split = positions[0]
+    return text[:split], text[split + 2:]
+
+
+def _parse_head(text: str, constant_names: set) -> Tuple[Term, ...]:
+    match = _HEAD_RE.match(text)
+    if not match:
+        raise QueryParseError(
+            f"cannot parse query head {text!r} (expected e.g. 'Q(x, y)')"
+        )
+    args = match.group("args").strip()
+    if not args:
+        return ()
+    return tuple(
+        _parse_term(token.strip(), constant_names) for token in args.split(",")
+    )
 
 
 def _split_items(text: str) -> List[str]:

@@ -1,12 +1,16 @@
-"""Conjunctive queries (Boolean, with optional negation and predicates).
+"""Conjunctive queries (Boolean or with head variables).
 
 A query is a conjunction of sub-goals (atoms) plus restricted arithmetic
-predicates, all variables implicitly existentially quantified (Section
-1).  Conjunction is idempotent, so atoms and predicates are stored
-deduplicated in a canonical order; syntactic equality of
-:class:`ConjunctiveQuery` objects is equality of those sets.  Semantic
-equivalence (via homomorphisms) lives in
-:mod:`repro.core.homomorphism`.
+predicates (Section 1).  By default every variable is existentially
+quantified — a *Boolean* query.  An optional ``head`` tuple of
+variables turns it into an *answer-tuple* query ``Q(x̄) :- body``: the
+free head variables range over the active domain, and each valuation
+making the body true is an answer tuple (MystiQ's ranked-answers
+workload from the paper's introduction).  Conjunction is idempotent, so
+atoms and predicates are stored deduplicated in a canonical order;
+syntactic equality of :class:`ConjunctiveQuery` objects is equality of
+those sets plus the head.  Semantic equivalence (via homomorphisms)
+lives in :mod:`repro.core.homomorphism`.
 """
 
 from __future__ import annotations
@@ -22,22 +26,82 @@ from .terms import Constant, Term, Variable
 
 
 class ConjunctiveQuery:
-    """A Boolean conjunctive query ``q = g1, ..., gm, p1, ..., pn``.
+    """A conjunctive query ``q = g1, ..., gm, p1, ..., pn``.
 
     Attributes:
         atoms: deduplicated sub-goals in canonical order.
         predicates: deduplicated arithmetic predicates in canonical order.
+        head: ``None`` for a Boolean query, otherwise the tuple of head
+            terms of ``Q(x̄) :- body`` (variables, or constants left by
+            substitution).  Head variables must occur in the body.
     """
 
-    __slots__ = ("atoms", "predicates", "__dict__")
+    __slots__ = ("atoms", "predicates", "head", "__dict__")
 
     def __init__(
         self,
         atoms: Iterable[Atom],
         predicates: Iterable[Comparison] = (),
+        head: Optional[Sequence[Term]] = None,
     ) -> None:
         self.atoms: Tuple[Atom, ...] = _canonical_atoms(atoms)
         self.predicates: Tuple[Comparison, ...] = _canonical_predicates(predicates)
+        self.head: Optional[Tuple[Term, ...]] = _validated_head(head, self.atoms)
+
+    # ------------------------------------------------------------------
+    # Head (answer-tuple queries)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_boolean(self) -> bool:
+        """True for a Boolean query (no head)."""
+        return self.head is None
+
+    @cached_property
+    def head_variables(self) -> Tuple[Variable, ...]:
+        """Distinct head variables, in head order (empty when Boolean)."""
+        seen: Dict[Variable, None] = {}
+        for term in self.head or ():
+            if isinstance(term, Variable):
+                seen.setdefault(term, None)
+        return tuple(seen)
+
+    def boolean(self) -> "ConjunctiveQuery":
+        """The Boolean (existential-closure) query: head dropped."""
+        if self.head is None:
+            return self
+        return ConjunctiveQuery(self.atoms, self.predicates)
+
+    def bind_head(self, values: Sequence) -> "ConjunctiveQuery":
+        """The residual *Boolean* query for one answer tuple.
+
+        ``values`` aligns positionally with ``head``; each head variable
+        is replaced by the corresponding constant.  A repeated head
+        variable (or a constant head term) must be given a consistent
+        value.
+        """
+        if self.head is None:
+            raise ValueError("bind_head on a Boolean query")
+        if len(values) != len(self.head):
+            raise ValueError(
+                f"answer arity {len(values)} != head arity {len(self.head)}"
+            )
+        mapping: Dict[Variable, Term] = {}
+        for term, value in zip(self.head, values):
+            constant = value if isinstance(value, Constant) else Constant(value)
+            if isinstance(term, Variable):
+                bound = mapping.setdefault(term, constant)
+                if bound != constant:
+                    raise ValueError(
+                        f"inconsistent values {bound}, {constant} for head "
+                        f"variable {term}"
+                    )
+            elif term != constant:
+                raise ValueError(
+                    f"answer value {constant} does not match head constant {term}"
+                )
+        bound_query = self.apply(Substitution(mapping))
+        return ConjunctiveQuery(bound_query.atoms, bound_query.predicates)
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -140,7 +204,8 @@ class ConjunctiveQuery:
     # ------------------------------------------------------------------
 
     def apply(self, substitution: Substitution) -> "ConjunctiveQuery":
-        """The query with ``substitution`` applied to atoms and predicates."""
+        """The query with ``substitution`` applied to atoms, predicates
+        and head."""
         new_atoms = [
             atom.with_terms(substitution.apply(t) for t in atom.terms)
             for atom in self.atoms
@@ -149,7 +214,12 @@ class ConjunctiveQuery:
             Comparison(p.op, substitution.apply(p.left), substitution.apply(p.right))
             for p in self.predicates
         ]
-        return ConjunctiveQuery(new_atoms, new_preds)
+        new_head = (
+            None
+            if self.head is None
+            else tuple(substitution.apply(t) for t in self.head)
+        )
+        return ConjunctiveQuery(new_atoms, new_preds, head=new_head)
 
     def substitute(self, variable: Variable, term: Term) -> "ConjunctiveQuery":
         """``q[a/x]``: replace one variable."""
@@ -162,19 +232,25 @@ class ConjunctiveQuery:
         return self.apply(renaming), renaming
 
     def conjoin(self, other: "ConjunctiveQuery") -> "ConjunctiveQuery":
-        """The conjunction ``q q'`` (caller renames apart when needed)."""
+        """The conjunction ``q q'`` (caller renames apart when needed).
+
+        The receiver's head (if any) is kept; the argument's is dropped.
+        """
         return ConjunctiveQuery(
-            self.atoms + other.atoms, self.predicates + other.predicates
+            self.atoms + other.atoms,
+            self.predicates + other.predicates,
+            head=self.head,
         )
 
     def without_predicates(self) -> "ConjunctiveQuery":
         """The query with all arithmetic predicates dropped."""
-        return ConjunctiveQuery(self.atoms)
+        return ConjunctiveQuery(self.atoms, head=self.head)
 
     def positive_part(self) -> "ConjunctiveQuery":
         """All sub-goals made positive (Def. 3.9's inversion-freeness test)."""
         return ConjunctiveQuery(
-            tuple(a.positive() for a in self.atoms), self.predicates
+            tuple(a.positive() for a in self.atoms), self.predicates,
+            head=self.head,
         )
 
     def drop_trivial_predicates(self) -> "ConjunctiveQuery":
@@ -186,7 +262,7 @@ class ConjunctiveQuery:
         kept = [p for p in self.predicates if not empty.entails(p)]
         if len(kept) == len(self.predicates):
             return self
-        return ConjunctiveQuery(self.atoms, kept)
+        return ConjunctiveQuery(self.atoms, kept, head=self.head)
 
     # ------------------------------------------------------------------
     # Connected components (the paper's factors)
@@ -251,7 +327,7 @@ class ConjunctiveQuery:
     # ------------------------------------------------------------------
 
     def _key(self) -> Tuple:
-        return (self.atoms, self.predicates)
+        return (self.atoms, self.predicates, self.head)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ConjunctiveQuery):
@@ -266,7 +342,11 @@ class ConjunctiveQuery:
 
     def __str__(self) -> str:
         parts = [str(a) for a in self.atoms] + [str(p) for p in self.predicates]
-        return ", ".join(parts) if parts else "(empty)"
+        body = ", ".join(parts) if parts else "(empty)"
+        if self.head is None:
+            return body
+        head = ", ".join(str(t) for t in self.head)
+        return f"Q({head}) :- {body}"
 
     def __repr__(self) -> str:
         return f"ConjunctiveQuery({self})"
@@ -283,6 +363,31 @@ def _canonical_atoms(atoms: Iterable[Atom]) -> Tuple[Atom, ...]:
             raise TypeError(f"expected Atom, got {atom!r}")
         unique.setdefault(atom, None)
     return tuple(sorted(unique, key=_atom_sort_key))
+
+
+def _validated_head(
+    head: Optional[Sequence[Term]], atoms: Tuple[Atom, ...]
+) -> Optional[Tuple[Term, ...]]:
+    if head is None:
+        return None
+    # Positive occurrences only: a head variable seen just in negated
+    # sub-goals has no range-restricted answer set, and engines would
+    # diverge between silent emptiness and raw ValueErrors.
+    body_variables: Set[Variable] = set()
+    for atom in atoms:
+        if not atom.negated:
+            body_variables.update(atom.variables)
+    validated: List[Term] = []
+    for term in head:
+        if not isinstance(term, (Variable, Constant)):
+            raise TypeError(f"head term must be a Term, got {term!r}")
+        if isinstance(term, Variable) and term not in body_variables:
+            raise ValueError(
+                f"head variable {term} does not occur in a positive sub-goal "
+                f"of the query body"
+            )
+        validated.append(term)
+    return tuple(validated)
 
 
 def _canonical_predicates(predicates: Iterable[Comparison]) -> Tuple[Comparison, ...]:
@@ -321,8 +426,10 @@ def canonical_string(query: ConjunctiveQuery) -> str:
     return previous if previous is not None else str(current)
 
 
-def query(*parts) -> ConjunctiveQuery:
+def query(*parts, head: Optional[Sequence] = None) -> ConjunctiveQuery:
     """Build a query from a mix of atoms and comparisons.
+
+    ``head`` (variable names or Terms) makes it an answer-tuple query.
 
     >>> from repro.core.atoms import atom
     >>> from repro.core.predicates import comparison
@@ -340,4 +447,10 @@ def query(*parts) -> ConjunctiveQuery:
             preds.extend(part.predicates)
         else:
             raise TypeError(f"cannot add {part!r} to a conjunctive query")
-    return ConjunctiveQuery(atoms, preds)
+    head_terms: Optional[List[Term]] = None
+    if head is not None:
+        head_terms = [
+            t if isinstance(t, (Variable, Constant)) else Variable(t)
+            for t in head
+        ]
+    return ConjunctiveQuery(atoms, preds, head=head_terms)

@@ -1,6 +1,7 @@
 """Tuple-independent probabilistic database substrate."""
 
 from .database import ProbabilisticDatabase, TupleKey
+from .io import DatabaseFormatError, load_database, parse_database
 from .generators import (
     four_partite_graph,
     grid_edges,
@@ -10,7 +11,13 @@ from .generators import (
     star_join_instance,
     triangled_graph,
 )
-from .relation import GroundTuple, Probability, Relation, Value
+from .relation import (
+    GroundTuple,
+    Probability,
+    Relation,
+    Value,
+    canonical_row_key,
+)
 from .sqlstore import SQLiteStore
 from .worlds import (
     MAX_ENUMERABLE_TUPLES,
@@ -21,6 +28,7 @@ from .worlds import (
 )
 
 __all__ = [
+    "DatabaseFormatError",
     "GroundTuple",
     "MAX_ENUMERABLE_TUPLES",
     "Probability",
@@ -30,9 +38,12 @@ __all__ = [
     "TupleKey",
     "Value",
     "World",
+    "canonical_row_key",
     "four_partite_graph",
     "grid_edges",
     "iterate_worlds",
+    "load_database",
+    "parse_database",
     "random_database",
     "random_database_for_query",
     "schema_of",

@@ -1,0 +1,164 @@
+"""Loading probabilistic databases from JSON files.
+
+Two interchangeable on-disk formats, both a JSON object keyed by
+relation name:
+
+* the **list format** (what the CLI has always documented)::
+
+      {"R": [[[1], 0.5], [[2], 0.3]], "S": [[[1, 2], 0.4]]}
+
+  each row is a ``[tuple, probability]`` pair;
+
+* the **mapping format**, mirroring
+  :meth:`~repro.db.database.ProbabilisticDatabase.from_dict` (JSON has
+  no tuple keys, so rows are encoded as strings)::
+
+      {"R": {"[1]": 0.5, "[2]": 0.3}, "S": {"[1, 2]": 0.4}}
+
+  a key is a JSON array (``"[1, 2]"``), a bare scalar (``"1"``,
+  ``"brando"``) for unary relations, or a comma-separated list
+  (``"1, 2"``).
+
+Malformed input raises :class:`DatabaseFormatError` with the relation
+and row that failed — never a raw ``KeyError``/``TypeError`` traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import IO, List, Union
+
+from .database import ProbabilisticDatabase
+
+_INT_RE = re.compile(r"^-?\d+$")
+
+
+class DatabaseFormatError(ValueError):
+    """Raised when a database file does not match either JSON format."""
+
+
+def load_database(source: Union[str, IO]) -> ProbabilisticDatabase:
+    """Load a :class:`ProbabilisticDatabase` from a JSON file.
+
+    ``source`` is a path or an open text file.  Accepts the list and
+    the mapping format (see module docstring), validating as it goes.
+    """
+    if hasattr(source, "read"):
+        name = getattr(source, "name", "<stream>")
+        text = source.read()
+    else:
+        name = source
+        with open(source) as handle:
+            text = handle.read()
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise DatabaseFormatError(f"{name}: not valid JSON: {error}") from error
+    try:
+        return parse_database(raw)
+    except DatabaseFormatError as error:
+        raise DatabaseFormatError(f"{name}: {error}") from error
+
+
+def parse_database(raw) -> ProbabilisticDatabase:
+    """Build a database from already-decoded JSON data."""
+    if not isinstance(raw, dict):
+        raise DatabaseFormatError(
+            f"top level must be an object mapping relation names to rows, "
+            f"got {type(raw).__name__}"
+        )
+    db = ProbabilisticDatabase()
+    for relation, rows in raw.items():
+        if isinstance(rows, list):
+            _add_list_rows(db, relation, rows)
+        elif isinstance(rows, dict):
+            _add_mapping_rows(db, relation, rows)
+        else:
+            raise DatabaseFormatError(
+                f"relation {relation!r}: expected a list of [row, probability] "
+                f"pairs or a row->probability mapping, got {type(rows).__name__}"
+            )
+    return db
+
+
+def _add_list_rows(
+    db: ProbabilisticDatabase, relation: str, rows: list
+) -> None:
+    arity = None
+    for index, entry in enumerate(rows):
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+        ):
+            raise DatabaseFormatError(
+                f"relation {relation!r}, entry {index}: expected a "
+                f"[row, probability] pair, got {entry!r}"
+            )
+        row, probability = entry
+        if not isinstance(row, (list, tuple)):
+            raise DatabaseFormatError(
+                f"relation {relation!r}, entry {index}: row must be an array, "
+                f"got {row!r} (write [[{row!r}], p] for a unary tuple)"
+            )
+        arity = _check_arity(relation, index, row, arity)
+        _check_probability(relation, index, probability)
+        db.add(relation, tuple(row), float(probability))
+
+
+def _add_mapping_rows(
+    db: ProbabilisticDatabase, relation: str, rows: dict
+) -> None:
+    arity = None
+    for index, (key, probability) in enumerate(rows.items()):
+        row = _parse_row_key(relation, key)
+        arity = _check_arity(relation, index, row, arity)
+        _check_probability(relation, f"key {key!r}", probability)
+        db.add(relation, tuple(row), float(probability))
+
+
+def _parse_row_key(relation: str, key) -> List:
+    if not isinstance(key, str):
+        raise DatabaseFormatError(
+            f"relation {relation!r}: mapping keys must be strings, "
+            f"got {key!r}"
+        )
+    text = key.strip()
+    if text.startswith("["):
+        try:
+            decoded = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise DatabaseFormatError(
+                f"relation {relation!r}: row key {key!r} is not a JSON array: "
+                f"{error}"
+            ) from error
+        if not isinstance(decoded, list):
+            raise DatabaseFormatError(
+                f"relation {relation!r}: row key {key!r} must decode to an "
+                f"array"
+            )
+        return decoded
+    tokens = [token.strip() for token in text.split(",")] if text else [""]
+    return [int(token) if _INT_RE.match(token) else token for token in tokens]
+
+
+def _check_arity(relation: str, index, row, arity):
+    if arity is not None and len(row) != arity:
+        raise DatabaseFormatError(
+            f"relation {relation!r}, entry {index}: ragged arity — row "
+            f"{list(row)!r} has {len(row)} columns, earlier rows have {arity}"
+        )
+    return len(row) if arity is None else arity
+
+
+def _check_probability(relation: str, index, probability) -> None:
+    if isinstance(probability, bool) or not isinstance(probability, (int, float)):
+        raise DatabaseFormatError(
+            f"relation {relation!r}, entry {index}: probability must be a "
+            f"number, got {probability!r}"
+        )
+    if not 0.0 <= float(probability) <= 1.0:
+        raise DatabaseFormatError(
+            f"relation {relation!r}, entry {index}: probability "
+            f"{probability!r} outside [0, 1]"
+        )

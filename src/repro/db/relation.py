@@ -16,6 +16,16 @@ GroundTuple = Tuple[Value, ...]
 Probability = Union[float, Fraction]
 
 
+def canonical_row_key(row: Iterable[Value]) -> Tuple:
+    """Deterministic sort key for mixed-type ground tuples.
+
+    Python refuses ``3 < "a"``; keying every value by (type name,
+    string form) gives one total order used everywhere rows, answers
+    and events are ranked, so all layers agree on tie-breaks.
+    """
+    return tuple((type(value).__name__, str(value)) for value in row)
+
+
 class Relation:
     """A named relation with per-tuple probabilities.
 

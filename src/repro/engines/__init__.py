@@ -1,8 +1,15 @@
 """Evaluation engines for probabilistic conjunctive queries."""
 
-from .base import Engine, EngineError, UnsafeQueryError, UnsupportedQueryError
+from .base import (
+    Answer,
+    Engine,
+    EngineError,
+    UnsafeQueryError,
+    UnsupportedQueryError,
+    rank_answers,
+)
 from .bruteforce import BruteForceEngine
-from .compiled import CompilationReport, CompiledEngine
+from .compiled import CompilationReport, CompiledEngine, canonicalize_lineage
 from .lifted import (
     LiftedEngine,
     SafetyReport,
@@ -11,17 +18,24 @@ from .lifted import (
     queries_independent,
 )
 from .lineage_engine import LineageEngine
-from .montecarlo import MonteCarloEngine, estimate_with_error, karp_luby_estimate
+from .montecarlo import (
+    KarpLubySampler,
+    MonteCarloEngine,
+    estimate_with_error,
+    karp_luby_estimate,
+)
 from .router import RouterEngine, RoutingDecision
-from .safe_plan import SafePlanEngine
+from .safe_plan import SafePlanEngine, generic_residual
 from .sql_plan import SQLSafePlanEngine
 
 __all__ = [
+    "Answer",
     "BruteForceEngine",
     "CompilationReport",
     "CompiledEngine",
     "Engine",
     "EngineError",
+    "KarpLubySampler",
     "LiftedEngine",
     "LineageEngine",
     "MonteCarloEngine",
@@ -32,9 +46,12 @@ __all__ = [
     "SafetyReport",
     "UnsafeQueryError",
     "UnsupportedQueryError",
+    "canonicalize_lineage",
     "estimate_with_error",
+    "generic_residual",
     "is_safe_query",
     "karp_luby_estimate",
     "may_share_tuple",
     "queries_independent",
+    "rank_answers",
 ]

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..core.query import ConjunctiveQuery
-from ..db.database import ProbabilisticDatabase
+from ..db.database import GroundTuple, ProbabilisticDatabase
+from ..db.relation import canonical_row_key
+
+#: One ranked answer: (answer tuple, probability).
+Answer = Tuple[GroundTuple, float]
 
 
 class EngineError(Exception):
@@ -44,7 +48,48 @@ class Engine(abc.ABC):
     def probability(
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
     ) -> float:
-        """The probability that ``query`` is true on ``db``."""
+        """The probability that ``query`` is true on ``db``.
+
+        An answer-tuple query is read as its Boolean existential
+        closure (the head does not add sub-goals).
+        """
+
+    def answers(
+        self,
+        query: ConjunctiveQuery,
+        db: ProbabilisticDatabase,
+        k: Optional[int] = None,
+    ) -> List[Answer]:
+        """The answer tuples of ``query``, ranked by probability.
+
+        A Boolean query yields the single answer ``()`` with ``p(q)``.
+        The default implementation enumerates candidate answers with
+        one shared grounding pass, then evaluates each *residual*
+        Boolean query (head variables bound to the answer's constants)
+        through :meth:`probability`; engines override this with
+        shared-work plans.  ``k`` truncates to the top-k answers.
+        """
+        if query.head is None:
+            return rank_answers([((), self.probability(query, db))], k)
+        from ..lineage.grounding import answer_tuples
+
+        results = [
+            (answer, self.probability(query.bind_head(answer), db))
+            for answer in answer_tuples(query, db)
+        ]
+        return rank_answers(results, k)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+def rank_answers(
+    results: List[Answer], k: Optional[int] = None
+) -> List[Answer]:
+    """Sort by descending probability (ties by canonical tuple order),
+    drop exact zeros, truncate to the top ``k``."""
+    ranked = sorted(
+        (item for item in results if item[1] > 0.0),
+        key=lambda item: (-item[1], canonical_row_key(item[0])),
+    )
+    return ranked if k is None else ranked[:k]

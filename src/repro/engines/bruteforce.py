@@ -6,11 +6,13 @@ reference implementation for tests and tiny examples.
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional
+
 from ..core.query import ConjunctiveQuery
-from ..db.database import ProbabilisticDatabase
+from ..db.database import GroundTuple, ProbabilisticDatabase
 from ..db.worlds import iterate_worlds, world_database
-from ..lineage.grounding import query_holds
-from .base import Engine
+from ..lineage.grounding import answers_holding, query_holds
+from .base import Answer, Engine, rank_answers
 
 
 class BruteForceEngine(Engine):
@@ -28,3 +30,20 @@ class BruteForceEngine(Engine):
             if query_holds(query, world_database(db, world)):
                 total += weight
         return total
+
+    def answers(
+        self,
+        query: ConjunctiveQuery,
+        db: ProbabilisticDatabase,
+        k: Optional[int] = None,
+    ) -> List[Answer]:
+        """Equation (2) per answer tuple, in a single world sweep."""
+        if query.head is None:
+            return super().answers(query, db, k)
+        if not query.is_satisfiable():
+            return []
+        totals: Dict[GroundTuple, float] = {}
+        for world, weight in iterate_worlds(db):
+            for answer in answers_holding(query, world_database(db, world)):
+                totals[answer] = totals.get(answer, 0.0) + weight
+        return rank_answers(list(totals.items()), k)

@@ -24,17 +24,18 @@ through to Monte Carlo".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..compile.cache import CircuitCache
 from ..compile.circuit import BudgetExceeded
 from ..compile.dnnf import CompiledDNNF, compile_dnnf
 from ..compile.obdd import CompiledOBDD, compile_obdd
 from ..core.query import ConjunctiveQuery
-from ..db.database import ProbabilisticDatabase
+from ..db.database import ProbabilisticDatabase, TupleKey
+from ..db.relation import canonical_row_key
 from ..lineage.boolean import Lineage
-from ..lineage.grounding import ground_lineage
-from .base import Engine, UnsupportedQueryError
+from ..lineage.grounding import ground_answer_lineages, ground_lineage
+from .base import Answer, Engine, UnsupportedQueryError, rank_answers
 
 MODES = ("obdd", "dnnf", "auto")
 
@@ -86,6 +87,12 @@ class CompiledEngine(Engine):
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
     ) -> float:
         lineage = ground_lineage(query, db)
+        return self.probability_of_lineage(lineage, query)
+
+    def probability_of_lineage(
+        self, lineage: Lineage, query: Optional[ConjunctiveQuery] = None
+    ) -> float:
+        """Exact probability of an already-grounded lineage."""
         if lineage.certainly_true:
             return 1.0
         if lineage.is_false:
@@ -93,6 +100,41 @@ class CompiledEngine(Engine):
         artifact = self.compile_lineage(lineage, query)
         value = float(artifact.probability(lineage.weights))
         # Deterministic sums can drift by float epsilons on huge circuits.
+        return min(max(value, 0.0), 1.0)
+
+    def answers(
+        self,
+        query: ConjunctiveQuery,
+        db: ProbabilisticDatabase,
+        k: Optional[int] = None,
+    ) -> List[Answer]:
+        """Per-answer lineages compiled through one shared circuit.
+
+        The per-answer lineages of one query are instances of the same
+        clause *shape* — only the tuple events differ.  Each lineage is
+        renamed onto canonical integer events before compilation, so
+        the structural cache key collides across answers and the
+        circuit is compiled once, then re-evaluated per answer with
+        that answer's marginals (the amortization the cache was built
+        for, now within a single call).
+        """
+        if query.head is None:
+            return super().answers(query, db, k)
+        results: List[Answer] = []
+        for answer, lineage in ground_answer_lineages(query, db).items():
+            results.append((answer, self.answer_probability(lineage)))
+        return rank_answers(results, k)
+
+    def answer_probability(self, lineage: Lineage) -> float:
+        """Probability of one answer's lineage via the shape-canonical
+        circuit cache."""
+        if lineage.certainly_true:
+            return 1.0
+        if lineage.is_false:
+            return 0.0
+        canonical, weights = canonicalize_lineage(lineage)
+        artifact = self.compile_lineage(canonical, None)
+        value = float(artifact.probability(weights))
         return min(max(value, 0.0), 1.0)
 
     def compile_lineage(
@@ -137,3 +179,69 @@ class CompiledEngine(Engine):
                 f"({lineage.variable_count} events, "
                 f"{lineage.clause_count()} clauses): {error}"
             ) from error
+
+
+def canonicalize_lineage(
+    lineage: Lineage,
+) -> Tuple[Lineage, Dict[TupleKey, float]]:
+    """Rename tuple events onto canonical integer ids.
+
+    Events are ordered by an iteratively-refined structural signature
+    (clause sizes and polarities they appear under, then the signatures
+    of their co-literals), so isomorphic lineages — e.g. the per-answer
+    lineages of one query — usually map to the *same* renamed clause
+    set and share a cache entry.  Signature ties fall back to the
+    original event key: that can only miss a cache hit, never conflate
+    two lineages, because the cache key is the renamed clause set
+    itself.
+
+    Returns the renamed lineage and the weight map for its events.
+    """
+    occurrence_lists: Dict[TupleKey, List[tuple]] = {}
+    for clause in lineage.clauses:
+        for key, polarity in clause:
+            occurrence_lists.setdefault(key, []).append((len(clause), polarity))
+    signatures: Dict[TupleKey, tuple] = {
+        key: tuple(sorted(entries))
+        for key, entries in occurrence_lists.items()
+    }
+    # One refinement pass: extend each occurrence with the signatures
+    # of its co-literals, again visiting every clause only once.
+    refined_lists: Dict[TupleKey, List[tuple]] = {key: [] for key in signatures}
+    for clause in lineage.clauses:
+        members = sorted(clause, key=lambda lit: (signatures[lit[0]], lit[1]))
+        member_signatures = [
+            (signatures[key], polarity) for key, polarity in members
+        ]
+        for position, (key, polarity) in enumerate(members):
+            others = tuple(
+                member_signatures[:position] + member_signatures[position + 1:]
+            )
+            refined_lists[key].append((len(clause), polarity, others))
+    refined: Dict[TupleKey, tuple] = {
+        key: tuple(sorted(entries))
+        for key, entries in refined_lists.items()
+    }
+    order = sorted(
+        signatures,
+        key=lambda key: (refined[key], signatures[key], _event_tiebreak(key)),
+    )
+    renamed_key: Dict[TupleKey, TupleKey] = {
+        key: ("e", (index,)) for index, key in enumerate(order)
+    }
+    renamed_clauses = frozenset(
+        frozenset((renamed_key[k], polarity) for k, polarity in clause)
+        for clause in lineage.clauses
+    )
+    weights = {
+        renamed_key[k]: lineage.weights[k] for k in order
+    }
+    return (
+        Lineage(renamed_clauses, weights, certainly_true=lineage.certainly_true),
+        weights,
+    )
+
+
+def _event_tiebreak(key: TupleKey):
+    name, row = key
+    return (name, canonical_row_key(row))

@@ -63,7 +63,46 @@ class LiftedEngine(Engine):
     ) -> float:
         _check_query(query)
         solver = _Solver(db, minimize_queries=self.minimize_queries)
-        return solver.union([query], 0)
+        return solver.union([query.boolean()], 0)
+
+    def answers(self, query, db, k=None, assume_safe=False):
+        """Residual-query evaluation with the decomposition shared.
+
+        The residual queries of all answers are one query up to the
+        head constants, so (a) safety is decided *once* on the generic
+        residual instead of once per answer (``assume_safe`` skips even
+        that — the router passes it after its own cached check), and
+        (b) a single solver with a canonical-form memo table evaluates
+        all residuals — sub-unions that do not depend on the head
+        constants (shared components, common separator instances) are
+        computed once and reused across answers.
+        """
+        if query.head is None:
+            return super().answers(query, db, k)
+        _check_query(query.boolean())
+        if not assume_safe:
+            from .safe_plan import generic_residual
+
+            report = is_safe_query(
+                generic_residual(query), self.minimize_queries
+            )
+            if not report.safe:
+                raise UnsafeQueryError(
+                    f"no PTIME decomposition for the residual of {query} "
+                    f"(stuck on {report.stuck_on})",
+                    query=query,
+                )
+        from ..lineage.grounding import answer_tuples
+        from .base import rank_answers
+
+        solver = _Solver(
+            db, minimize_queries=self.minimize_queries, memoize=True
+        )
+        results = [
+            (answer, solver.union([query.bind_head(answer)], 0))
+            for answer in answer_tuples(query, db)
+        ]
+        return rank_answers(results, k)
 
 
 @dataclass
@@ -177,6 +216,7 @@ class _Solver:
         self,
         db: Optional[ProbabilisticDatabase],
         minimize_queries: bool = True,
+        memoize: bool = False,
     ) -> None:
         self.db = db
         self.minimize_queries = minimize_queries
@@ -186,6 +226,13 @@ class _Solver:
         #: repeat means inclusion–exclusion is going in circles, i.e.
         #: the decomposition makes no progress on this union.
         self._in_progress: Set[frozenset] = set()
+        #: With ``memoize`` (used by ``answers``): completed union
+        #: results keyed canonically, shared across residual queries.
+        #: Sound because the canonical string is a faithful rendering —
+        #: equal keys mean equal-up-to-renaming unions, which have
+        #: equal probability on the solver's fixed database.
+        self._memo: Optional[Dict[frozenset, float]] = {} if memoize else None
+        self.memo_hits = 0
 
     def _count(self, rule: str) -> None:
         self.rule_counts[rule] = self.rule_counts.get(rule, 0) + 1
@@ -202,6 +249,21 @@ class _Solver:
             return 1.0
         if not normalized:
             return 0.0
+        memo_key: Optional[frozenset] = None
+        if self._memo is not None:
+            memo_key = _canonical_key(normalized)
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                self.memo_hits += 1
+                return cached
+        result = self._union_normalized(normalized, depth)
+        if memo_key is not None:
+            self._memo[memo_key] = result
+        return result
+
+    def _union_normalized(
+        self, normalized: List[ConjunctiveQuery], depth: int
+    ) -> float:
         if len(normalized) == 1:
             return self.cq(normalized[0], depth)
 

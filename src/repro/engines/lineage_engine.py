@@ -8,11 +8,13 @@ repository's oracle and as the router's exact fallback.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 from ..core.query import ConjunctiveQuery
 from ..db.database import ProbabilisticDatabase
-from ..lineage.grounding import ground_lineage
+from ..lineage.grounding import ground_answer_lineages, ground_lineage
 from ..lineage.wmc import exact_probability
-from .base import Engine
+from .base import Answer, Engine, rank_answers
 
 
 class LineageEngine(Engine):
@@ -24,3 +26,18 @@ class LineageEngine(Engine):
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
     ) -> float:
         return exact_probability(ground_lineage(query, db))
+
+    def answers(
+        self,
+        query: ConjunctiveQuery,
+        db: ProbabilisticDatabase,
+        k: Optional[int] = None,
+    ) -> List[Answer]:
+        """One shared grounding pass, one WMC run per answer lineage."""
+        if query.head is None:
+            return super().answers(query, db, k)
+        results = [
+            (answer, exact_probability(lineage))
+            for answer, lineage in ground_answer_lineages(query, db).items()
+        ]
+        return rank_answers(results, k)

@@ -12,19 +12,26 @@ Two estimators over the grounded DNF lineage:
 The paper's introduction motivates the dichotomy with exactly this
 trade-off: safe plans answer in seconds, simulation in minutes — one
 to two orders of magnitude apart for comparable accuracy.
+
+For answer-tuple queries, :meth:`MonteCarloEngine.answers` runs a
+*multisimulation*: one incremental Karp–Luby sampler per answer, with
+sampling focused on the answers whose confidence intervals still
+overlap the top-k boundary.  Answers whose interval is dominated stop
+consuming samples, so ranking the top k converges far faster than k
+independent full-precision runs.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.query import ConjunctiveQuery
-from ..db.database import ProbabilisticDatabase, TupleKey
+from ..db.database import GroundTuple, ProbabilisticDatabase, TupleKey
 from ..lineage.boolean import Clause, Lineage
-from ..lineage.grounding import ground_lineage
-from .base import Engine
+from ..lineage.grounding import ground_answer_lineages, ground_lineage
+from .base import Answer, Engine, rank_answers
 
 
 class MonteCarloEngine(Engine):
@@ -43,6 +50,10 @@ class MonteCarloEngine(Engine):
         self.samples = samples
         self.method = method
         self.seed = seed
+        #: After ``answers``: per-answer (estimate, 95% half-width).
+        self.last_intervals: Dict[GroundTuple, Tuple[float, float]] = {}
+        #: After ``answers``: total samples drawn across all answers.
+        self.last_samples_drawn: int = 0
 
     def probability(
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
@@ -58,6 +69,121 @@ class MonteCarloEngine(Engine):
         estimate = karp_luby_estimate(lineage, self.samples, rng)
         # The unbiased estimator can land slightly outside [0, 1].
         return min(max(estimate, 0.0), 1.0)
+
+    def estimate_with_interval(
+        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+    ) -> Tuple[float, float]:
+        """Karp–Luby estimate and its 95% confidence half-width."""
+        return estimate_with_error(query, db, self.samples, self.seed)
+
+    def answers(
+        self,
+        query: ConjunctiveQuery,
+        db: ProbabilisticDatabase,
+        k: Optional[int] = None,
+    ) -> List[Answer]:
+        """Multisimulation-style ranked answers.
+
+        Grounds all per-answer lineages in one pass, then interleaves
+        incremental Karp–Luby rounds: each round samples only the
+        *critical* answers — those whose confidence interval still
+        overlaps the boundary between the current top-k and the rest.
+        Settled answers keep their estimate; each answer is capped at
+        ``self.samples`` draws, so the worst case matches k independent
+        runs while separated instances stop much earlier.
+
+        Per-answer intervals and the total sample count are left in
+        ``last_intervals`` / ``last_samples_drawn``.
+        """
+        if query.head is None:
+            lineages = {(): ground_lineage(query, db)}
+        else:
+            lineages = ground_answer_lineages(query, db)
+        return self.answers_from_lineages(lineages, k)
+
+    def answers_from_lineages(
+        self,
+        lineages: Dict[GroundTuple, Lineage],
+        k: Optional[int] = None,
+    ) -> List[Answer]:
+        """Multisimulation over already-grounded per-answer lineages."""
+        rng = random.Random(self.seed)
+        samplers: Dict[GroundTuple, KarpLubySampler] = {}
+        intervals: Dict[GroundTuple, Tuple[float, float]] = {}
+        for answer, lineage in lineages.items():
+            if lineage.certainly_true:
+                intervals[answer] = (1.0, 0.0)
+            elif lineage.is_false:
+                continue
+            else:
+                samplers[answer] = KarpLubySampler(
+                    lineage, random.Random(rng.randrange(2**31))
+                )
+                intervals[answer] = (0.0, 1.0)
+        drawn = 0
+        batch = max(64, self.samples // 16)
+        while True:
+            critical = self._critical_answers(intervals, samplers, k)
+            runnable = [
+                answer for answer in critical
+                if samplers[answer].drawn < self.samples
+            ]
+            if not runnable:
+                break
+            for answer in runnable:
+                sampler = samplers[answer]
+                step = min(batch, self.samples - sampler.drawn)
+                sampler.extend(step)
+                drawn += step
+                intervals[answer] = sampler.interval()
+        self.last_intervals = dict(intervals)
+        self.last_samples_drawn = drawn
+        results = [
+            (answer, min(max(estimate, 0.0), 1.0))
+            for answer, (estimate, _half_width) in intervals.items()
+        ]
+        return rank_answers(results, k)
+
+    @staticmethod
+    def _critical_answers(
+        intervals: Dict[GroundTuple, Tuple[float, float]],
+        samplers: Dict[GroundTuple, "KarpLubySampler"],
+        k: Optional[int],
+    ) -> List[GroundTuple]:
+        """Answers whose interval still straddles the top-k boundary.
+
+        Without ``k`` every unsettled sampler is critical (all answers
+        need full precision).  With ``k``, take the answers with the k
+        largest estimates as the provisional winners: a winner is
+        settled once its lower bound clears every outsider's upper
+        bound, an outsider once its upper bound is dominated.
+        """
+        if k is None or len(intervals) <= k:
+            return [
+                answer for answer in samplers
+                if intervals[answer][1] > 0.0
+            ]
+        ranked = sorted(
+            intervals, key=lambda answer: -intervals[answer][0]
+        )
+        winners = ranked[:k]
+        outsiders = ranked[k:]
+        boundary_low = min(
+            intervals[answer][0] - intervals[answer][1] for answer in winners
+        )
+        boundary_high = max(
+            intervals[answer][0] + intervals[answer][1] for answer in outsiders
+        )
+        critical: List[GroundTuple] = []
+        for answer in winners:
+            estimate, half_width = intervals[answer]
+            if answer in samplers and estimate - half_width < boundary_high:
+                critical.append(answer)
+        for answer in outsiders:
+            estimate, half_width = intervals[answer]
+            if answer in samplers and estimate + half_width > boundary_low:
+                critical.append(answer)
+        return critical
 
 
 def naive_estimate(
@@ -92,33 +218,74 @@ def karp_luby_estimate(
     being satisfied; the indicator "the sampled clause is the
     first satisfied clause of the world" has expectation ``p / M``.
     """
-    clauses: List[Clause] = sorted(lineage.clauses, key=_clause_order)
-    weights = lineage.weights
-    clause_probs = [_clause_probability(clause, weights) for clause in clauses]
-    total = sum(clause_probs)
-    if total == 0.0:
-        return 0.0
-    cumulative: List[float] = []
-    acc = 0.0
-    for prob in clause_probs:
-        acc += prob
-        cumulative.append(acc)
+    sampler = KarpLubySampler(lineage, rng)
+    sampler.extend(samples)
+    return sampler.estimate()
 
-    hits = 0
-    for _ in range(samples):
-        pick = rng.random() * total
-        chosen = _bisect(cumulative, pick)
-        world: Dict[TupleKey, bool] = {
-            key: polarity for key, polarity in clauses[chosen]
-        }
-        first_satisfied = True
-        for earlier in range(chosen):
-            if _clause_satisfied(clauses[earlier], world, weights, rng):
-                first_satisfied = False
-                break
-        if first_satisfied:
-            hits += 1
-    return total * hits / samples
+
+class KarpLubySampler:
+    """An incremental Karp–Luby estimator over one lineage.
+
+    Keeps the clause distribution and counters between calls, so the
+    multisimulation can add samples to one answer without restarting;
+    ``interval`` reports the running estimate and its 95% half-width
+    from the binomial CLT (the indicator variable is Bernoulli with
+    mean ``p / M``).
+    """
+
+    def __init__(self, lineage: Lineage, rng: random.Random) -> None:
+        self.rng = rng
+        self.weights = lineage.weights
+        self.clauses: List[Clause] = sorted(lineage.clauses, key=_clause_order)
+        probs = [_clause_probability(c, self.weights) for c in self.clauses]
+        self.total = sum(probs)
+        self.cumulative: List[float] = []
+        acc = 0.0
+        for prob in probs:
+            acc += prob
+            self.cumulative.append(acc)
+        self.hits = 0
+        self.drawn = 0
+
+    def extend(self, samples: int) -> None:
+        """Draw ``samples`` more Karp–Luby trials."""
+        if self.total == 0.0:
+            self.drawn += samples
+            return
+        for _ in range(samples):
+            pick = self.rng.random() * self.total
+            chosen = _bisect(self.cumulative, pick)
+            world: Dict[TupleKey, bool] = {
+                key: polarity for key, polarity in self.clauses[chosen]
+            }
+            for earlier in range(chosen):
+                if _clause_satisfied(
+                    self.clauses[earlier], world, self.weights, self.rng
+                ):
+                    break
+            else:
+                self.hits += 1
+        self.drawn += samples
+
+    def estimate(self) -> float:
+        if self.drawn == 0 or self.total == 0.0:
+            return 0.0
+        return self.total * self.hits / self.drawn
+
+    def interval(self) -> Tuple[float, float]:
+        """(estimate, 95% half-width); (0, 1) before any draw.
+
+        The width uses the Agresti–Coull smoothed ratio, which stays
+        strictly positive at 0/n and n/n — the plain Wald width
+        collapses to zero there, which would freeze the
+        multisimulation on an answer after one unlucky batch.
+        """
+        if self.total == 0.0:
+            return 0.0, 0.0
+        if self.drawn == 0:
+            return 0.0, 1.0
+        half_width = 1.96 * self.total * _smoothed_sd(self.hits, self.drawn)
+        return self.estimate(), half_width
 
 
 def estimate_with_error(
@@ -136,10 +303,22 @@ def estimate_with_error(
     rng = random.Random(seed)
     clauses = sorted(lineage.clauses, key=_clause_order)
     total = sum(_clause_probability(c, lineage.weights) for c in clauses)
+    if total == 0.0:
+        return 0.0, 0.0
     estimate = karp_luby_estimate(lineage, samples, rng)
-    ratio = min(max(estimate / total, 0.0), 1.0) if total else 0.0
-    half_width = 1.96 * total * math.sqrt(ratio * (1 - ratio) / samples)
+    ratio = min(max(estimate / total, 0.0), 1.0)
+    half_width = 1.96 * total * _smoothed_sd(round(ratio * samples), samples)
     return estimate, half_width
+
+
+def _smoothed_sd(hits: int, drawn: int) -> float:
+    """Agresti–Coull standard deviation of a binomial ratio.
+
+    ``sqrt(r̃ (1 - r̃) / ñ)`` with ``r̃ = (hits + 2) / (drawn + 4)`` —
+    never zero, so extreme counts keep an honest uncertainty."""
+    adjusted = drawn + 4
+    ratio = (hits + 2) / adjusted
+    return math.sqrt(ratio * (1.0 - ratio) / adjusted)
 
 
 # ----------------------------------------------------------------------

@@ -7,31 +7,44 @@ magnitude.  :class:`RouterEngine` reproduces that architecture and
 extends it with a knowledge-compilation tier: unsafe queries whose
 lineage compiles to a small circuit get *exact* answers before any
 sampling happens.
+
+Answer-tuple queries go through :meth:`RouterEngine.answers`: safety is
+decided on the *residual* query (head variables read as constants), a
+safe residual is answered in bulk by the group-by safe plan or the
+lifted engine, and #P-hard residuals fall through per answer — circuit
+compilation first, then multisimulation Monte Carlo (or the exact
+oracle) for whatever did not compile.  Every answer gets its own
+:class:`RoutingDecision`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.query import ConjunctiveQuery
-from ..db.database import ProbabilisticDatabase
-from .base import Engine, UnsafeQueryError, UnsupportedQueryError
+from ..db.database import GroundTuple, ProbabilisticDatabase
+from ..lineage.boolean import Lineage
+from ..lineage.grounding import ground_answer_lineages
+from ..lineage.wmc import exact_probability
+from .base import Answer, Engine, UnsafeQueryError, UnsupportedQueryError, rank_answers
 from .compiled import CompiledEngine
 from .lifted import LiftedEngine, is_safe_query
 from .lineage_engine import LineageEngine
 from .montecarlo import MonteCarloEngine
-from .safe_plan import SafePlanEngine
+from .safe_plan import SafePlanEngine, generic_residual
 
 
 @dataclass
 class RoutingDecision:
-    """Record of how a query was answered.
+    """Record of how a query (or one of its answers) was answered.
 
     ``fallback_reason`` explains why the safer/cheaper engines above
     the chosen one were skipped — empty when the top-preference engine
-    answered.
+    answered.  For answer-tuple queries ``answer`` holds the answer
+    tuple; ``interval`` is the Monte Carlo 95% confidence half-width
+    when sampling produced the number, else None.
     """
 
     query: str
@@ -40,12 +53,18 @@ class RoutingDecision:
     seconds: float
     safe: bool
     fallback_reason: str = ""
+    answer: Optional[GroundTuple] = None
+    interval: Optional[float] = None
 
     def describe(self) -> str:
         line = (
             f"{self.engine}: p={self.probability:.6f} "
             f"({self.seconds * 1e3:.1f} ms)"
         )
+        if self.answer is not None:
+            line = f"{self.answer}: " + line
+        if self.interval is not None:
+            line += f" ±{self.interval:.6f}"
         if self.fallback_reason:
             line += f" — {self.fallback_reason}"
         return line
@@ -101,7 +120,7 @@ class RouterEngine(Engine):
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
     ) -> float:
         start = time.perf_counter()
-        engine, value, safe, reason = self._route(query, db)
+        engine, value, safe, reason, interval = self._route(query, db)
         elapsed = time.perf_counter() - start
         self.history.append(
             RoutingDecision(
@@ -111,22 +130,71 @@ class RouterEngine(Engine):
                 seconds=elapsed,
                 safe=safe,
                 fallback_reason=reason,
+                interval=interval,
             )
         )
         return value
 
+    def answers(
+        self,
+        query: ConjunctiveQuery,
+        db: ProbabilisticDatabase,
+        k: Optional[int] = None,
+    ) -> List[Answer]:
+        """Ranked answer tuples, each routed to the cheapest engine.
+
+        Appends one :class:`RoutingDecision` per returned answer (the
+        recorded seconds are the per-tier cost amortized over the
+        tier's answers).
+        """
+        if query.head is None:
+            value = self.probability(query, db)
+            self.history[-1].answer = ()
+            return rank_answers([((), value)], k)
+        rows = self._route_answers(query, db, k)
+        ranked = rank_answers([(answer, p) for answer, p, *_ in rows], k)
+        kept = {answer for answer, _ in ranked}
+        for answer, p, engine, seconds, safe, reason, interval in rows:
+            if answer not in kept:
+                continue
+            self.history.append(
+                RoutingDecision(
+                    query=str(query),
+                    engine=engine,
+                    probability=p,
+                    seconds=seconds,
+                    safe=safe,
+                    fallback_reason=reason,
+                    answer=answer,
+                    interval=interval,
+                )
+            )
+        return ranked
+
+    # ------------------------------------------------------------------
+    # Routing internals
+    # ------------------------------------------------------------------
+
     def _route(
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
-    ) -> Tuple[str, float, bool, str]:
+    ) -> Tuple[str, float, bool, str, Optional[float]]:
         reasons = []
         if not query.has_self_join():
             try:
-                return self.safe_plan.name, self.safe_plan.probability(query, db), True, ""
+                return (
+                    self.safe_plan.name,
+                    self.safe_plan.probability(query, db),
+                    True, "", None,
+                )
             except UnsupportedQueryError:
                 reasons.append("no safe plan (non-hierarchical)")
-        elif self.is_safe(query):
+        elif self.is_safe(query.boolean()):
             try:
-                return self.lifted.name, self.lifted.probability(query, db), True, ""
+                return (
+                    self.lifted.name,
+                    self.lifted.probability(query, db),
+                    True, "", None,
+                )
             except UnsafeQueryError:  # pragma: no cover - safety said yes
                 reasons.append("lifted decomposition failed")
         else:
@@ -136,7 +204,7 @@ class RouterEngine(Engine):
         if self.compiled is not None:
             try:
                 value = self.compiled.probability(query, db)
-                return self.compiled.name, value, False, "; ".join(reasons)
+                return self.compiled.name, value, False, "; ".join(reasons), None
             except UnsupportedQueryError as error:
                 reasons.append(str(error))
         if self.exact_fallback:
@@ -145,10 +213,103 @@ class RouterEngine(Engine):
                 self.lineage.probability(query, db),
                 False,
                 "; ".join(reasons),
+                None,
             )
+        estimate, half_width = self.monte_carlo.estimate_with_interval(query, db)
         return (
             self.monte_carlo.name,
-            self.monte_carlo.probability(query, db),
+            min(max(estimate, 0.0), 1.0),
             False,
             "; ".join(reasons),
+            half_width,
         )
+
+    def _route_answers(
+        self, query: ConjunctiveQuery, db: ProbabilisticDatabase,
+        k: Optional[int],
+    ) -> List[Tuple]:
+        """(answer, p, engine, seconds, safe, reason, interval) rows."""
+        reasons: List[str] = []
+        residual = generic_residual(query)
+        if not query.has_self_join():
+            try:
+                start = time.perf_counter()
+                results = self.safe_plan.answers(query, db)
+                return _tier_rows(
+                    results, self.safe_plan.name,
+                    time.perf_counter() - start, True, "",
+                )
+            except UnsupportedQueryError:
+                reasons.append("no safe plan (residual non-hierarchical)")
+        elif self.is_safe(residual):
+            try:
+                start = time.perf_counter()
+                results = self.lifted.answers(query, db, assume_safe=True)
+                return _tier_rows(
+                    results, self.lifted.name,
+                    time.perf_counter() - start, True, "",
+                )
+            except (UnsafeQueryError, UnsupportedQueryError):
+                reasons.append("lifted decomposition failed")  # pragma: no cover
+        else:
+            reasons.append(
+                "residual has no safe decomposition (#P-hard by the dichotomy)"
+            )
+        reason = "; ".join(reasons)
+        lineages = ground_answer_lineages(query, db)
+        rows: List[Tuple] = []
+        leftovers: Dict[GroundTuple, Lineage] = {}
+        if self.compiled is not None:
+            compile_reasons: Dict[GroundTuple, str] = {}
+            for answer, lineage in lineages.items():
+                start = time.perf_counter()
+                try:
+                    value = self.compiled.answer_probability(lineage)
+                except UnsupportedQueryError as error:
+                    leftovers[answer] = lineage
+                    compile_reasons[answer] = str(error)
+                    continue
+                rows.append((
+                    answer, value, self.compiled.name,
+                    time.perf_counter() - start, False, reason, None,
+                ))
+        else:
+            leftovers = dict(lineages)
+            compile_reasons = {}
+        if not leftovers:
+            return rows
+        start = time.perf_counter()
+        if self.exact_fallback:
+            fallback = [
+                (answer, exact_probability(lineage), self.lineage.name, None)
+                for answer, lineage in leftovers.items()
+            ]
+        else:
+            estimates = self.monte_carlo.answers_from_lineages(leftovers, k)
+            fallback = [
+                (
+                    answer, value, self.monte_carlo.name,
+                    self.monte_carlo.last_intervals[answer][1],
+                )
+                for answer, value in estimates
+            ]
+        elapsed = (time.perf_counter() - start) / max(1, len(fallback))
+        for answer, value, engine, interval in fallback:
+            answer_reason = reason
+            extra = compile_reasons.get(answer)
+            if extra:
+                answer_reason = f"{reason}; {extra}" if reason else extra
+            rows.append((
+                answer, value, engine, elapsed, False, answer_reason, interval,
+            ))
+        return rows
+
+
+def _tier_rows(
+    results: List[Answer], engine: str, elapsed: float, safe: bool, reason: str
+) -> List[Tuple]:
+    per_answer = elapsed / max(1, len(results))
+    return [
+        (answer, value, engine, per_answer, safe, reason, None)
+        for answer, value in results
+    ]

@@ -19,15 +19,19 @@ sub-goal contributes ``1 - p(t)``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom
 from ..core.hierarchy import is_hierarchical, maximal_variables
 from ..core.predicates import Comparison
 from ..core.query import ConjunctiveQuery
+from ..core.substitution import Substitution
 from ..core.terms import Constant, Variable
-from ..db.database import ProbabilisticDatabase
-from .base import Engine, UnsupportedQueryError
+from ..db.database import GroundTuple, ProbabilisticDatabase
+from .base import Answer, Engine, UnsupportedQueryError, rank_answers
+
+#: A partial head valuation, sorted by variable name.
+Valuation = Tuple[Tuple[Variable, object], ...]
 
 
 class SafePlanEngine(Engine):
@@ -42,6 +46,40 @@ class SafePlanEngine(Engine):
         if not query.is_satisfiable():
             return 0.0
         return _evaluate(query, db)
+
+    def answers(
+        self,
+        query: ConjunctiveQuery,
+        db: ProbabilisticDatabase,
+        k: Optional[int] = None,
+    ) -> List[Answer]:
+        """The head pushed through Equation (3) as a group-by.
+
+        One recursive pass computes a map *head valuation → probability*
+        instead of a scalar: a component rooted at a head variable
+        groups its branches by root value (no independent-OR collapse),
+        everything below behaves exactly like the Boolean plan.  The
+        plan's precondition is checked on the *residual* query (head
+        variables read as constants), so e.g. ``Q(x) :- R(x), S(x,y),
+        T(y)`` — non-hierarchical as a Boolean query — still has a safe
+        group-by plan.
+        """
+        if query.head is None:
+            return super().answers(query, db, k)
+        check_supported(generic_residual(query))
+        if not query.is_satisfiable():
+            return []
+        head_vars = set(query.head_variables)
+        valuations = _answers_evaluate(query.boolean(), head_vars, db)
+        results: List[Answer] = []
+        for valuation, probability in valuations.items():
+            bound = dict(valuation)
+            answer = tuple(
+                term.value if isinstance(term, Constant) else bound[term]
+                for term in query.head
+            )
+            results.append((answer, probability))
+        return rank_answers(results, k)
 
 
 def check_supported(query: ConjunctiveQuery) -> None:
@@ -58,6 +96,100 @@ def check_supported(query: ConjunctiveQuery) -> None:
         raise UnsupportedQueryError(
             f"query is not hierarchical, hence #P-hard (Theorem 1.4): {query}"
         )
+
+
+def generic_residual(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The Boolean residual with head variables frozen to placeholder
+    constants — the query every answer's residual is an instance of.
+
+    Safety of an answer query is safety of this residual: head
+    variables are never projected away, so they act as constants in
+    the extensional plan.
+    """
+    if query.head is None:
+        return query
+    mapping = {
+        variable: Constant(f"@answer{index}")
+        for index, variable in enumerate(query.head_variables)
+    }
+    bound = query.apply(Substitution(mapping))
+    return ConjunctiveQuery(bound.atoms, bound.predicates)
+
+
+def _answers_evaluate(
+    query: ConjunctiveQuery, head_vars: Set[Variable], db: ProbabilisticDatabase
+) -> Dict[Valuation, float]:
+    """Equation (3) with group-by: map head valuation → probability.
+
+    Components without head variables contribute scalar factors;
+    components with head variables contribute per-valuation maps that
+    are joined (cartesian product, probabilities multiplied) across
+    components.
+    """
+    if not query.atoms:
+        probability = 1.0 if _ground_predicates_hold(query.predicates) else 0.0
+        return {(): probability} if probability else {}
+    total: Dict[Valuation, float] = {(): 1.0}
+    for component in query.connected_components():
+        component_heads = head_vars & set(component.variables)
+        if not component_heads:
+            if not component.variables:
+                factor = _ground_probability(component, db)
+            else:
+                factor = _component_probability(component, db)
+            if factor == 0.0:
+                return {}
+            component_map: Dict[Valuation, float] = {(): factor}
+        else:
+            component_map = _component_answers(component, component_heads, db)
+            if not component_map:
+                return {}
+        total = _join_valuations(total, component_map)
+    return total
+
+
+def _component_answers(
+    component: ConjunctiveQuery,
+    component_heads: Set[Variable],
+    db: ProbabilisticDatabase,
+) -> Dict[Valuation, float]:
+    """Group-by over one connected component.
+
+    With a head variable present we group branches by its value — a
+    plain GROUP BY, no aggregation across values, because distinct
+    values are distinct answers.  Once all head variables of the
+    component are bound the Boolean independent-project (``1 - Π (1 -
+    p)``) takes over via :func:`_answers_evaluate`'s scalar path.
+    """
+    group_var = min(component_heads, key=lambda v: v.name)
+    out: Dict[Valuation, float] = {}
+    for value in _candidates(component, group_var, db):
+        branch = component.substitute(group_var, Constant(value))
+        sub = _answers_evaluate(
+            branch.drop_trivial_predicates(), component_heads - {group_var}, db
+        )
+        for valuation, probability in sub.items():
+            if probability == 0.0:
+                continue
+            merged = tuple(sorted(
+                valuation + ((group_var, value),), key=lambda p: p[0].name
+            ))
+            out[merged] = probability
+    return out
+
+
+def _join_valuations(
+    left: Dict[Valuation, float], right: Dict[Valuation, float]
+) -> Dict[Valuation, float]:
+    """Cartesian join of disjoint-variable valuation maps."""
+    joined: Dict[Valuation, float] = {}
+    for valuation_l, prob_l in left.items():
+        for valuation_r, prob_r in right.items():
+            merged = tuple(sorted(
+                valuation_l + valuation_r, key=lambda p: p[0].name
+            ))
+            joined[merged] = prob_l * prob_r
+    return joined
 
 
 def _evaluate(query: ConjunctiveQuery, db: ProbabilisticDatabase) -> float:

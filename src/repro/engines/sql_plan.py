@@ -17,16 +17,16 @@ optimizer would produce.
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom
 from ..core.hierarchy import maximal_variables
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Constant, Variable
-from ..db.database import ProbabilisticDatabase
+from ..db.database import GroundTuple, ProbabilisticDatabase
 from ..db.sqlstore import SQLiteStore
-from .base import Engine, UnsupportedQueryError
-from .safe_plan import check_supported
+from .base import Answer, Engine, UnsupportedQueryError, rank_answers
+from .safe_plan import check_supported, generic_residual
 
 
 class _IndependentOr:
@@ -71,13 +71,99 @@ class SQLSafePlanEngine(Engine):
         check_supported(query)
         if not query.is_satisfiable():
             return 0.0
-        store = SQLiteStore(db)
-        store.connection.create_aggregate("por", 1, _IndependentOr)
-        store.connection.create_aggregate("pprod", 1, _Product)
+        store = self._store(db)
         try:
             return _evaluate(query, store)
         finally:
             store.close()
+
+    def answers(
+        self,
+        query: ConjunctiveQuery,
+        db: ProbabilisticDatabase,
+        k: Optional[int] = None,
+    ) -> List[Answer]:
+        """Group-by over the extensional SQL plan.
+
+        The head valuations come from a *single* SQL join with a
+        DISTINCT projection onto the head columns (the group-by keys);
+        every residual is then evaluated against the same materialized
+        store — one table load instead of one per answer.
+        """
+        if query.head is None:
+            return super().answers(query, db, k)
+        check_supported(generic_residual(query))
+        if not query.is_satisfiable():
+            return []
+        store = self._store(db)
+        try:
+            results: List[Answer] = []
+            for answer in _head_valuations(query, store):
+                residual = query.bind_head(answer)
+                results.append((answer, _evaluate(residual, store)))
+            return rank_answers(results, k)
+        finally:
+            store.close()
+
+    @staticmethod
+    def _store(db: ProbabilisticDatabase) -> SQLiteStore:
+        store = SQLiteStore(db)
+        store.connection.create_aggregate("por", 1, _IndependentOr)
+        store.connection.create_aggregate("pprod", 1, _Product)
+        return store
+
+
+def _head_valuations(
+    query: ConjunctiveQuery, store: SQLiteStore
+) -> List[GroundTuple]:
+    """Candidate answer tuples via one DISTINCT-projected SQL join.
+
+    Arithmetic predicates are *not* pushed into the join — they may
+    mention existential variables, so filtering the projected rows
+    would be unsound.  The superset is harmless: residuals of spurious
+    candidates evaluate to 0 and are dropped by the ranker.
+    """
+    positive = [a for a in query.atoms if not a.negated]
+    for atom in positive:
+        if store.arity(atom.relation) != atom.arity:
+            return []
+    froms: List[str] = []
+    wheres: List[str] = []
+    params: List = []
+    first_column: Dict[Variable, str] = {}
+    for index, atom in enumerate(positive):
+        alias = f"t{index}"
+        froms.append(f'"{atom.relation}" AS {alias}')
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.c{position}"
+            if isinstance(term, Constant):
+                wheres.append(f"{column} = ?")
+                params.append(store.encode(term.value))
+            elif term in first_column:
+                wheres.append(f"{column} = {first_column[term]}")
+            else:
+                first_column[term] = column
+    head_vars = query.head_variables
+    for variable in head_vars:
+        if variable not in first_column:
+            raise UnsupportedQueryError(
+                f"head variable {variable} occurs in no positive sub-goal: "
+                f"{query}"
+            )
+    if not froms:
+        return [()] if not head_vars else []
+    select = ", ".join(first_column[v] for v in head_vars) or "1"
+    sql = f"SELECT DISTINCT {select} FROM {', '.join(froms)}"
+    if wheres:
+        sql += " WHERE " + " AND ".join(wheres)
+    results: List[GroundTuple] = []
+    for row in store.connection.execute(sql, params).fetchall():
+        bound = {v: store.decode(row[i]) for i, v in enumerate(head_vars)}
+        results.append(tuple(
+            term.value if isinstance(term, Constant) else bound[term]
+            for term in query.head or ()
+        ))
+    return results
 
 
 def _evaluate(query: ConjunctiveQuery, store: SQLiteStore) -> float:

@@ -1,15 +1,25 @@
 """Lineage construction and exact weighted model counting."""
 
 from .boolean import Clause, Lineage, Literal, make_lineage
-from .grounding import find_matches, ground_lineage, query_holds
+from .grounding import (
+    answer_tuples,
+    answers_holding,
+    find_matches,
+    ground_answer_lineages,
+    ground_lineage,
+    query_holds,
+)
 from .wmc import exact_probability, shannon_expansion_count
 
 __all__ = [
     "Clause",
     "Lineage",
     "Literal",
+    "answer_tuples",
+    "answers_holding",
     "exact_probability",
     "find_matches",
+    "ground_answer_lineages",
     "ground_lineage",
     "make_lineage",
     "query_holds",

@@ -3,18 +3,22 @@
 ``find_matches`` enumerates all satisfying assignments of the query's
 variables by backtracking joins over the stored tuples (with per-column
 indexes); ``ground_lineage`` turns the matches into a DNF
-:class:`~repro.lineage.boolean.Lineage`.
+:class:`~repro.lineage.boolean.Lineage`.  For answer-tuple queries,
+``ground_answer_lineages`` runs the *same single matching pass* and
+groups the clauses by head valuation — one lineage per answer tuple,
+instead of re-running ``find_matches`` once per answer.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom
 from ..core.predicates import Comparison
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Constant, Variable
-from ..db.database import ProbabilisticDatabase, TupleKey
+from ..db.database import GroundTuple, ProbabilisticDatabase, TupleKey
+from ..db.relation import canonical_row_key
 from .boolean import Lineage, Literal, make_lineage
 
 Assignment = Dict[Variable, object]
@@ -95,35 +99,107 @@ def ground_lineage(
     the clause, impossible ones never match; a negated sub-goal over an
     absent tuple is vacuously true, over a certain tuple it kills the
     match, otherwise it contributes a negative literal.
+
+    ``query`` is treated as Boolean (an explicit head is ignored); use
+    :func:`ground_answer_lineages` for per-answer lineages.
     """
     weights: Dict[TupleKey, float] = {}
     clauses: List[List[Literal]] = []
     for assignment in find_matches(query, db):
-        clause: List[Literal] = []
-        dead = False
-        for atom in query.atoms:
-            row = _ground_row(atom, assignment)
-            key: TupleKey = (atom.relation, row)
-            prob = float(db.probability(atom.relation, row))
-            if atom.negated:
-                if prob >= 1.0:
-                    dead = True
-                    break
-                if prob <= 0.0:
-                    continue
-                weights[key] = prob
-                clause.append((key, False))
-            else:
-                if prob >= 1.0:
-                    continue
-                if prob <= 0.0:
-                    dead = True
-                    break
-                weights[key] = prob
-                clause.append((key, True))
-        if not dead:
+        clause = _match_clause(query, db, assignment, weights)
+        if clause is not None:
             clauses.append(clause)
     return make_lineage(clauses, weights)
+
+
+def ground_answer_lineages(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> Dict[GroundTuple, Lineage]:
+    """Per-answer lineages from one shared matching pass.
+
+    Runs ``find_matches`` exactly once, groups the matches by head
+    valuation, and builds one DNF lineage per answer tuple.  Answers
+    whose every match is dead (impossible tuples) get a false lineage.
+    The result is ordered canonically by answer tuple.
+    """
+    head = query.head
+    if head is None:
+        raise ValueError(f"query has no head variables: {query}")
+    weights: Dict[TupleKey, float] = {}
+    grouped: Dict[GroundTuple, List[List[Literal]]] = {}
+    for assignment in find_matches(query, db):
+        answer = tuple(
+            term.value if isinstance(term, Constant) else assignment[term]
+            for term in head
+        )
+        clauses = grouped.setdefault(answer, [])
+        clause = _match_clause(query, db, assignment, weights)
+        if clause is not None:
+            clauses.append(clause)
+    return {
+        answer: make_lineage(grouped[answer], weights)
+        for answer in sorted(grouped, key=canonical_row_key)
+    }
+
+
+def answer_tuples(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> List[GroundTuple]:
+    """Candidate answer tuples: head valuations with at least one
+    match whose lineage is not identically false."""
+    return [
+        answer
+        for answer, lineage in ground_answer_lineages(query, db).items()
+        if not lineage.is_false
+    ]
+
+
+def answers_holding(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> Set[GroundTuple]:
+    """Answer tuples true on ``db`` read as a *deterministic* instance
+    (negated sub-goals must be absent).  Used by world enumeration."""
+    head = query.head
+    if head is None:
+        raise ValueError(f"query has no head variables: {query}")
+    answers: Set[GroundTuple] = set()
+    for assignment in find_matches(query, db):
+        if not _negatives_absent(query, db, assignment):
+            continue
+        answers.add(tuple(
+            term.value if isinstance(term, Constant) else assignment[term]
+            for term in head
+        ))
+    return answers
+
+
+def _match_clause(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    assignment: Assignment,
+    weights: Dict[TupleKey, float],
+) -> Optional[List[Literal]]:
+    """The clause of one match, or None when the match is dead."""
+    clause: List[Literal] = []
+    for atom in query.atoms:
+        row = _ground_row(atom, assignment)
+        key: TupleKey = (atom.relation, row)
+        prob = float(db.probability(atom.relation, row))
+        if atom.negated:
+            if prob >= 1.0:
+                return None
+            if prob <= 0.0:
+                continue
+            weights[key] = prob
+            clause.append((key, False))
+        else:
+            if prob >= 1.0:
+                continue
+            if prob <= 0.0:
+                return None
+            weights[key] = prob
+            clause.append((key, True))
+    return clause
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,12 @@ Modules:
 from .cache import CircuitCache
 from .circuit import BudgetExceeded, Circuit
 from .dnnf import CompiledDNNF, compile_dnnf
-from .evaluate import IncrementalEvaluator, model_count, probability
+from .evaluate import (
+    IncrementalEvaluator,
+    model_count,
+    probability,
+    probability_batch,
+)
 from .obdd import OBDD, CompiledOBDD, compile_obdd
 from .ordering import (
     ORDERINGS,
@@ -51,4 +56,5 @@ __all__ = [
     "min_width_order",
     "model_count",
     "probability",
+    "probability_batch",
 ]

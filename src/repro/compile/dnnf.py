@@ -23,7 +23,7 @@ scratch for every weight change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Mapping, Optional
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence
 
 from ..core.query import ConjunctiveQuery
 from ..db.database import TupleKey
@@ -31,6 +31,7 @@ from ..lineage.boolean import Clause, Lineage
 from ..lineage.wmc import condition_clauses, most_frequent_event, split_components
 from .circuit import BudgetExceeded, Circuit, NodeId
 from .evaluate import probability as circuit_probability
+from .evaluate import probability_batch as circuit_probability_batch
 
 
 @dataclass
@@ -49,6 +50,12 @@ class CompiledDNNF:
 
     def probability(self, weights: Mapping[TupleKey, float]):
         return circuit_probability(self.circuit, self.root, weights)
+
+    def probability_batch(self, events: Sequence[TupleKey], weights):
+        """Root probability per row of a ``(batch, len(events))`` matrix."""
+        return circuit_probability_batch(
+            self.circuit, self.root, events, weights
+        )
 
 
 def compile_dnnf(

@@ -92,14 +92,24 @@ class Relation:
     def items(self) -> Iterator[Tuple[GroundTuple, Probability]]:
         return iter(self._tuples.items())
 
-    def matching(self, position: int, value: Value) -> list:
-        """Tuples whose ``position``-th column equals ``value`` (indexed)."""
-        if position not in self._indexes:
-            index: Dict[Value, list] = {}
+    def index_on(self, position: int) -> Dict[Value, list]:
+        """The per-column index, built once and reused.
+
+        The grounding backtracker fetches this at plan time so each
+        join step is a plain dict lookup (no per-step index checks).
+        Invalidated on tuple overwrite, extended in place on insert.
+        """
+        index = self._indexes.get(position)
+        if index is None:
+            index = {}
             for row in self._tuples:
                 index.setdefault(row[position], []).append(row)
             self._indexes[position] = index
-        return self._indexes[position].get(value, [])
+        return index
+
+    def matching(self, position: int, value: Value) -> list:
+        """Tuples whose ``position``-th column equals ``value`` (indexed)."""
+        return self.index_on(position).get(value, [])
 
     def values_at(self, position: int) -> set:
         """The set of values in a column."""

@@ -23,6 +23,8 @@ from .montecarlo import (
     MonteCarloEngine,
     estimate_with_error,
     karp_luby_estimate,
+    naive_estimate,
+    resolve_backend,
 )
 from .router import RouterEngine, RoutingDecision
 from .safe_plan import SafePlanEngine, generic_residual
@@ -52,6 +54,8 @@ __all__ = [
     "is_safe_query",
     "karp_luby_estimate",
     "may_share_tuple",
+    "naive_estimate",
     "queries_independent",
     "rank_answers",
+    "resolve_backend",
 ]

@@ -13,6 +13,17 @@ from ..db.relation import canonical_row_key
 Answer = Tuple[GroundTuple, float]
 
 
+def clamp01(value: float) -> float:
+    """Clamp a probability into [0, 1].
+
+    Shared by every engine that reports estimates or float-summed
+    exact values: the unbiased Monte Carlo estimators can overshoot on
+    small sample counts, and deterministic circuit sums can drift by
+    float epsilons on huge circuits.
+    """
+    return min(max(value, 0.0), 1.0)
+
+
 class EngineError(Exception):
     """Base class for evaluation errors."""
 

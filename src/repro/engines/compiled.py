@@ -24,7 +24,12 @@ through to Monte Carlo".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+try:  # pragma: no cover - exercised by whichever env runs the suite
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
 
 from ..compile.cache import CircuitCache
 from ..compile.circuit import BudgetExceeded
@@ -35,7 +40,7 @@ from ..db.database import ProbabilisticDatabase, TupleKey
 from ..db.relation import canonical_row_key
 from ..lineage.boolean import Lineage
 from ..lineage.grounding import ground_answer_lineages, ground_lineage
-from .base import Answer, Engine, UnsupportedQueryError, rank_answers
+from .base import Answer, Engine, UnsupportedQueryError, clamp01, rank_answers
 
 MODES = ("obdd", "dnnf", "auto")
 
@@ -100,7 +105,7 @@ class CompiledEngine(Engine):
         artifact = self.compile_lineage(lineage, query)
         value = float(artifact.probability(lineage.weights))
         # Deterministic sums can drift by float epsilons on huge circuits.
-        return min(max(value, 0.0), 1.0)
+        return clamp01(value)
 
     def answers(
         self,
@@ -114,15 +119,46 @@ class CompiledEngine(Engine):
         clause *shape* — only the tuple events differ.  Each lineage is
         renamed onto canonical integer events before compilation, so
         the structural cache key collides across answers and the
-        circuit is compiled once, then re-evaluated per answer with
-        that answer's marginals (the amortization the cache was built
-        for, now within a single call).
+        circuit is compiled once.  Answers sharing a circuit are then
+        re-weighted together: their canonical marginals become the rows
+        of one weight matrix and a single batched bottom-up sweep
+        (``probability_batch``) evaluates every answer at once, instead
+        of one linear pass per answer.
         """
         if query.head is None:
             return super().answers(query, db, k)
         results: List[Answer] = []
+        # cache key -> (artifact, canonical event order, [(answer, weights)])
+        groups: Dict[Hashable, Tuple[Artifact, List, List]] = {}
         for answer, lineage in ground_answer_lineages(query, db).items():
-            results.append((answer, self.answer_probability(lineage)))
+            if lineage.certainly_true:
+                results.append((answer, 1.0))
+                continue
+            if lineage.is_false:
+                results.append((answer, 0.0))
+                continue
+            canonical, weights = canonicalize_lineage(lineage)
+            key = CircuitCache.key_for(canonical, self.mode, self.ordering)
+            entry = groups.get(key)
+            if entry is None:
+                artifact = self.compile_lineage(canonical, None)
+                # Same clause set => same canonical event set, so the
+                # first member's event order serves the whole group.
+                entry = groups[key] = (artifact, sorted(weights), [])
+            entry[2].append((answer, weights))
+        for artifact, events, members in groups.values():
+            if np is not None and len(members) > 1:
+                matrix = np.array(
+                    [[w[event] for event in events] for _answer, w in members],
+                    dtype=np.float64,
+                )
+                values = artifact.probability_batch(events, matrix)
+                for (answer, _w), value in zip(members, values):
+                    results.append((answer, clamp01(float(value))))
+            else:
+                for answer, weights in members:
+                    value = float(artifact.probability(weights))
+                    results.append((answer, clamp01(value)))
         return rank_answers(results, k)
 
     def answer_probability(self, lineage: Lineage) -> float:
@@ -135,7 +171,7 @@ class CompiledEngine(Engine):
         canonical, weights = canonicalize_lineage(lineage)
         artifact = self.compile_lineage(canonical, None)
         value = float(artifact.probability(weights))
-        return min(max(value, 0.0), 1.0)
+        return clamp01(value)
 
     def compile_lineage(
         self, lineage: Lineage, query: Optional[ConjunctiveQuery] = None

@@ -13,6 +13,18 @@ The paper's introduction motivates the dichotomy with exactly this
 trade-off: safe plans answer in seconds, simulation in minutes — one
 to two orders of magnitude apart for comparable accuracy.
 
+Both estimators come in two backends:
+
+* ``"numpy"`` — the vectorized core: worlds are columns of an
+  ``(n_events, batch)`` bit matrix over the
+  :class:`~repro.lineage.packed.PackedLineage` structure, and every
+  clause of every sample is evaluated in one padded gather + fold
+  (see ``benchmarks/bench_sampling.py`` for the measured speedup);
+* ``"python"`` — the original scalar loops, kept as the correctness
+  oracle and as the fallback when numpy is unavailable.
+
+``backend="auto"`` (the default everywhere) picks numpy when present.
+
 For answer-tuple queries, :meth:`MonteCarloEngine.answers` runs a
 *multisimulation*: one incremental Karp–Luby sampler per answer, with
 sampling focused on the answers whose confidence intervals still
@@ -25,13 +37,47 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+try:  # pragma: no cover - exercised by whichever env runs the suite
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
 
 from ..core.query import ConjunctiveQuery
 from ..db.database import GroundTuple, ProbabilisticDatabase, TupleKey
 from ..lineage.boolean import Clause, Lineage
 from ..lineage.grounding import ground_answer_lineages, ground_lineage
-from .base import Answer, Engine, rank_answers
+from ..lineage.packed import PackedLineage, clause_sort_key
+from .base import Answer, Engine, clamp01, rank_answers
+
+BACKENDS = ("auto", "numpy", "python")
+
+#: Cap on elements per numpy intermediate (~bytes, matrices are bool):
+#: keeps the world/satisfaction matrices cache-friendly and bounds
+#: memory for huge sample requests.
+_BATCH_ELEMENTS = 1 << 22
+
+
+def resolve_backend(backend: str) -> str:
+    """Normalize a backend name, validating availability."""
+    if backend == "auto":
+        return "numpy" if np is not None else "python"
+    if backend not in ("numpy", "python"):
+        raise ValueError(
+            f"unknown sampling backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "numpy" and np is None:
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    return backend
+
+
+def _batches(samples: int, per_sample_cost: int) -> Iterator[int]:
+    cap = max(1, _BATCH_ELEMENTS // max(1, per_sample_cost))
+    while samples > 0:
+        batch = min(samples, cap)
+        yield batch
+        samples -= batch
 
 
 class MonteCarloEngine(Engine):
@@ -44,12 +90,14 @@ class MonteCarloEngine(Engine):
         samples: int = 20_000,
         method: str = "karp-luby",
         seed: Optional[int] = None,
+        backend: str = "auto",
     ) -> None:
         if method not in ("karp-luby", "naive"):
             raise ValueError(f"unknown Monte Carlo method {method!r}")
         self.samples = samples
         self.method = method
         self.seed = seed
+        self.backend = resolve_backend(backend)
         #: After ``answers``: per-answer (estimate, 95% half-width).
         self.last_intervals: Dict[GroundTuple, Tuple[float, float]] = {}
         #: After ``answers``: total samples drawn across all answers.
@@ -65,16 +113,18 @@ class MonteCarloEngine(Engine):
             return 0.0
         rng = random.Random(self.seed)
         if self.method == "naive":
-            return naive_estimate(lineage, self.samples, rng)
-        estimate = karp_luby_estimate(lineage, self.samples, rng)
+            return naive_estimate(lineage, self.samples, rng, self.backend)
+        estimate = karp_luby_estimate(lineage, self.samples, rng, self.backend)
         # The unbiased estimator can land slightly outside [0, 1].
-        return min(max(estimate, 0.0), 1.0)
+        return clamp01(estimate)
 
     def estimate_with_interval(
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
     ) -> Tuple[float, float]:
         """Karp–Luby estimate and its 95% confidence half-width."""
-        return estimate_with_error(query, db, self.samples, self.seed)
+        return estimate_with_error(
+            query, db, self.samples, self.seed, self.backend
+        )
 
     def answers(
         self,
@@ -117,7 +167,7 @@ class MonteCarloEngine(Engine):
                 continue
             else:
                 samplers[answer] = KarpLubySampler(
-                    lineage, random.Random(rng.randrange(2**31))
+                    lineage, random.Random(rng.randrange(2**31)), self.backend
                 )
                 intervals[answer] = (0.0, 1.0)
         drawn = 0
@@ -135,11 +185,14 @@ class MonteCarloEngine(Engine):
                 step = min(batch, self.samples - sampler.drawn)
                 sampler.extend(step)
                 drawn += step
-                intervals[answer] = sampler.interval()
+                estimate, half_width = sampler.interval()
+                # Clamp reported estimates into [0, 1] — the unbiased
+                # estimator can overshoot on tiny-probability answers.
+                intervals[answer] = (clamp01(estimate), half_width)
         self.last_intervals = dict(intervals)
         self.last_samples_drawn = drawn
         results = [
-            (answer, min(max(estimate, 0.0), 1.0))
+            (answer, estimate)
             for answer, (estimate, _half_width) in intervals.items()
         ]
         return rank_answers(results, k)
@@ -187,9 +240,20 @@ class MonteCarloEngine(Engine):
 
 
 def naive_estimate(
-    lineage: Lineage, samples: int, rng: random.Random
+    lineage: Lineage,
+    samples: int,
+    rng: random.Random,
+    backend: str = "auto",
 ) -> float:
     """Fraction of sampled worlds satisfying the DNF."""
+    if resolve_backend(backend) == "numpy":
+        return _naive_estimate_numpy(lineage, samples, rng)
+    return _naive_estimate_python(lineage, samples, rng)
+
+
+def _naive_estimate_python(
+    lineage: Lineage, samples: int, rng: random.Random
+) -> float:
     events = sorted(lineage.events(), key=str)
     weights = [lineage.weights[event] for event in events]
     index = {event: i for i, event in enumerate(events)}
@@ -208,8 +272,26 @@ def naive_estimate(
     return hits / samples
 
 
-def karp_luby_estimate(
+def _naive_estimate_numpy(
     lineage: Lineage, samples: int, rng: random.Random
+) -> float:
+    """All worlds of a batch at once: uniform matrix, CSR clause fold."""
+    packed = PackedLineage.of(lineage)
+    if packed.n_clauses == 0:
+        return 0.0
+    nprng = np.random.default_rng(rng.randrange(2**63))
+    hits = 0
+    for batch in _batches(samples, packed.batch_cost):
+        worlds = packed.sample_worlds(nprng, batch)
+        hits += int(packed.clause_satisfaction(worlds).any(axis=0).sum())
+    return hits / samples
+
+
+def karp_luby_estimate(
+    lineage: Lineage,
+    samples: int,
+    rng: random.Random,
+    backend: str = "auto",
 ) -> float:
     """The Karp–Luby unbiased estimator for weighted DNF probability.
 
@@ -218,7 +300,7 @@ def karp_luby_estimate(
     being satisfied; the indicator "the sampled clause is the
     first satisfied clause of the world" has expectation ``p / M``.
     """
-    sampler = KarpLubySampler(lineage, rng)
+    sampler = KarpLubySampler(lineage, rng, backend)
     sampler.extend(samples)
     return sampler.estimate()
 
@@ -231,12 +313,45 @@ class KarpLubySampler:
     ``interval`` reports the running estimate and its 95% half-width
     from the binomial CLT (the indicator variable is Bernoulli with
     mean ``p / M``).
+
+    With the numpy backend, :meth:`extend` is fully batched: one
+    weighted ``choice`` over the packed clause distribution picks all
+    trial clauses, one uniform matrix draws all worlds, a vectorized
+    scatter forces each chosen clause true, and the coverage indicator
+    for the whole batch is a single matrix pass.
     """
 
-    def __init__(self, lineage: Lineage, rng: random.Random) -> None:
+    __slots__ = (
+        "rng",
+        "backend",
+        "hits",
+        "drawn",
+        "total",
+        "weights",
+        "clauses",
+        "cumulative",
+        "packed",
+        "_np_rng",
+    )
+
+    def __init__(
+        self,
+        lineage: Lineage,
+        rng: random.Random,
+        backend: str = "auto",
+    ) -> None:
         self.rng = rng
+        self.backend = resolve_backend(backend)
+        self.hits = 0
+        self.drawn = 0
+        if self.backend == "numpy":
+            self.packed = PackedLineage.of(lineage)
+            self.total = self.packed.total
+            # Derived from the scalar rng so one seed fixes the run.
+            self._np_rng = np.random.default_rng(rng.randrange(2**63))
+            return
         self.weights = lineage.weights
-        self.clauses: List[Clause] = sorted(lineage.clauses, key=_clause_order)
+        self.clauses: List[Clause] = sorted(lineage.clauses, key=clause_sort_key)
         probs = [_clause_probability(c, self.weights) for c in self.clauses]
         self.total = sum(probs)
         self.cumulative: List[float] = []
@@ -244,14 +359,19 @@ class KarpLubySampler:
         for prob in probs:
             acc += prob
             self.cumulative.append(acc)
-        self.hits = 0
-        self.drawn = 0
 
     def extend(self, samples: int) -> None:
         """Draw ``samples`` more Karp–Luby trials."""
         if self.total == 0.0:
             self.drawn += samples
             return
+        if self.backend == "numpy":
+            self._extend_numpy(samples)
+        else:
+            self._extend_python(samples)
+        self.drawn += samples
+
+    def _extend_python(self, samples: int) -> None:
         for _ in range(samples):
             pick = self.rng.random() * self.total
             chosen = _bisect(self.cumulative, pick)
@@ -265,7 +385,26 @@ class KarpLubySampler:
                     break
             else:
                 self.hits += 1
-        self.drawn += samples
+
+    def _extend_numpy(self, samples: int) -> None:
+        packed = self.packed
+        for batch in _batches(samples, packed.batch_cost):
+            chosen, worlds = self._draw_batch(batch)
+            self.hits += packed.coverage_hits(worlds, chosen)
+
+    def _draw_batch(self, batch: int):
+        """One batch of (chosen clause ids, forced world matrix).
+
+        Sampling every event up front and then overwriting the chosen
+        clause's literals is distributionally identical to the scalar
+        backend's lazy per-event draws: either way, events outside the
+        chosen clause are independent Bernoulli draws.
+        """
+        packed = self.packed
+        chosen = packed.sample_clauses(self._np_rng, batch)
+        worlds = packed.sample_worlds(self._np_rng, batch)
+        packed.force_clauses(worlds, chosen)
+        return chosen, worlds
 
     def estimate(self) -> float:
         if self.drawn == 0 or self.total == 0.0:
@@ -293,22 +432,24 @@ def estimate_with_error(
     db: ProbabilisticDatabase,
     samples: int,
     seed: Optional[int] = None,
+    backend: str = "auto",
 ) -> Tuple[float, float]:
-    """Karp–Luby estimate plus a 95% half-width from the binomial CLT."""
+    """Karp–Luby estimate plus a 95% half-width from the binomial CLT.
+
+    The estimate is clamped into [0, 1]; the half-width is the honest
+    (unclamped) sampler width.
+    """
     lineage = ground_lineage(query, db)
     if lineage.certainly_true:
         return 1.0, 0.0
     if lineage.is_false:
         return 0.0, 0.0
-    rng = random.Random(seed)
-    clauses = sorted(lineage.clauses, key=_clause_order)
-    total = sum(_clause_probability(c, lineage.weights) for c in clauses)
-    if total == 0.0:
+    sampler = KarpLubySampler(lineage, random.Random(seed), backend)
+    if sampler.total == 0.0:
         return 0.0, 0.0
-    estimate = karp_luby_estimate(lineage, samples, rng)
-    ratio = min(max(estimate / total, 0.0), 1.0)
-    half_width = 1.96 * total * _smoothed_sd(round(ratio * samples), samples)
-    return estimate, half_width
+    sampler.extend(samples)
+    estimate, half_width = sampler.interval()
+    return clamp01(estimate), half_width
 
 
 def _smoothed_sd(hits: int, drawn: int) -> float:
@@ -349,10 +490,6 @@ def _clause_satisfied(
         if value != polarity:
             return False
     return True
-
-
-def _clause_order(clause: Clause):
-    return tuple(sorted((str(key), polarity) for key, polarity in clause))
 
 
 def _bisect(cumulative: Sequence[float], target: float) -> int:

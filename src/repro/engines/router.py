@@ -28,7 +28,7 @@ from ..db.database import GroundTuple, ProbabilisticDatabase
 from ..lineage.boolean import Lineage
 from ..lineage.grounding import ground_answer_lineages
 from ..lineage.wmc import exact_probability
-from .base import Answer, Engine, UnsafeQueryError, UnsupportedQueryError, rank_answers
+from .base import Answer, Engine, UnsafeQueryError, UnsupportedQueryError, clamp01, rank_answers
 from .compiled import CompiledEngine
 from .lifted import LiftedEngine, is_safe_query
 from .lineage_engine import LineageEngine
@@ -94,6 +94,7 @@ class RouterEngine(Engine):
         mc_samples: int = 20_000,
         mc_seed: Optional[int] = None,
         compile_budget: Optional[int] = 10_000,
+        mc_backend: str = "auto",
     ) -> None:
         self.safe_plan = SafePlanEngine()
         self.lifted = LiftedEngine()
@@ -103,7 +104,9 @@ class RouterEngine(Engine):
             if compile_budget
             else None
         )
-        self.monte_carlo = MonteCarloEngine(samples=mc_samples, seed=mc_seed)
+        self.monte_carlo = MonteCarloEngine(
+            samples=mc_samples, seed=mc_seed, backend=mc_backend
+        )
         self.exact_fallback = exact_fallback
         self.history: list[RoutingDecision] = []
         self._safety_cache: Dict[ConjunctiveQuery, bool] = {}
@@ -218,7 +221,7 @@ class RouterEngine(Engine):
         estimate, half_width = self.monte_carlo.estimate_with_interval(query, db)
         return (
             self.monte_carlo.name,
-            min(max(estimate, 0.0), 1.0),
+            clamp01(estimate),
             False,
             "; ".join(reasons),
             half_width,

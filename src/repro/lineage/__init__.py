@@ -1,4 +1,4 @@
-"""Lineage construction and exact weighted model counting."""
+"""Lineage construction, packing, and exact weighted model counting."""
 
 from .boolean import Clause, Lineage, Literal, make_lineage
 from .grounding import (
@@ -9,14 +9,17 @@ from .grounding import (
     ground_lineage,
     query_holds,
 )
+from .packed import PackedLineage, clause_sort_key
 from .wmc import exact_probability, shannon_expansion_count
 
 __all__ = [
     "Clause",
     "Lineage",
     "Literal",
+    "PackedLineage",
     "answer_tuples",
     "answers_holding",
+    "clause_sort_key",
     "exact_probability",
     "find_matches",
     "ground_answer_lineages",

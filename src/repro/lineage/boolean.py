@@ -10,20 +10,24 @@ model-counting oracle (:mod:`repro.lineage.wmc`) computes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..db.database import TupleKey
 
 #: A literal: (tuple event, polarity). Polarity True = tuple present.
+#: Deliberately a plain tuple, not a class — literals are created by the
+#: million during grounding and a 2-tuple is the cheapest hashable pair.
 Literal = Tuple[TupleKey, bool]
 #: A clause: conjunction of literals.
 Clause = FrozenSet[Literal]
 
 
-@dataclass(frozen=True)
 class Lineage:
     """A DNF lineage with the marginals of the events it mentions.
+
+    A slotted value class (no per-instance ``__dict__``): lineages are
+    built per answer tuple on hot paths, and the slots also declare the
+    two lazily-computed caches below.
 
     Attributes:
         clauses: the DNF clauses (conjunctions of literals).
@@ -32,9 +36,42 @@ class Lineage:
             the query then holds in every world and ``p(q) = 1``.
     """
 
-    clauses: FrozenSet[Clause]
-    weights: Dict[TupleKey, float] = field(default_factory=dict)
-    certainly_true: bool = False
+    __slots__ = ("clauses", "weights", "certainly_true", "_events", "_packed")
+
+    def __init__(
+        self,
+        clauses: FrozenSet[Clause],
+        weights: Optional[Dict[TupleKey, float]] = None,
+        certainly_true: bool = False,
+    ) -> None:
+        self.clauses = clauses
+        self.weights = {} if weights is None else weights
+        self.certainly_true = certainly_true
+        #: Cached by :meth:`events` / ``PackedLineage.of``.
+        self._events: Optional[FrozenSet[TupleKey]] = None
+        self._packed = None
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Lineage):
+            return NotImplemented
+        return (
+            self.clauses == other.clauses
+            and self.weights == other.weights
+            and self.certainly_true == other.certainly_true
+        )
+
+    def __hash__(self) -> int:
+        # Weight-independent, like the structural circuit-cache key:
+        # equal lineages always collide, and the unhashable weights
+        # dict stays out of the hash.
+        return hash((self.clauses, self.certainly_true))
+
+    def __repr__(self) -> str:
+        flag = ", certainly_true" if self.certainly_true else ""
+        return (
+            f"Lineage({len(self.clauses)} clauses, "
+            f"{len(self.weights)} events{flag})"
+        )
 
     @property
     def is_false(self) -> bool:
@@ -48,12 +85,12 @@ class Lineage:
         the circuit compilers all hit this in hot paths, and the clause
         set is immutable.
         """
-        cached = self.__dict__.get("_events")
+        cached = self._events
         if cached is None:
             cached = frozenset(
                 key for clause in self.clauses for key, _polarity in clause
             )
-            object.__setattr__(self, "_events", cached)
+            self._events = cached
         return cached
 
     @property

@@ -11,7 +11,7 @@ instead of re-running ``find_matches`` once per answer.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom
 from ..core.predicates import Comparison
@@ -44,6 +44,7 @@ def find_matches(
         raise ValueError(f"query is not range-restricted: {missing} "
                          f"occur only in negated sub-goals or predicates")
     order = _plan(positive)
+    lookups = _build_lookups(order, db)
     matches: List[Assignment] = []
     assignment: Assignment = {}
 
@@ -53,7 +54,7 @@ def find_matches(
                 matches.append(dict(assignment))
             return
         atom = order[step]
-        for row in _candidates(atom, db, assignment):
+        for row in lookups[step].candidates(assignment):
             added = _bind(atom, row, assignment)
             if added is None:
                 continue
@@ -69,6 +70,7 @@ def query_holds(query: ConjunctiveQuery, db: ProbabilisticDatabase) -> bool:
     """True iff the query has at least one match (deterministic check)."""
     positive = [a for a in query.atoms if not a.negated]
     order = _plan(positive)
+    lookups = _build_lookups(order, db)
     assignment: Assignment = {}
 
     def backtrack(step: int) -> bool:
@@ -77,7 +79,7 @@ def query_holds(query: ConjunctiveQuery, db: ProbabilisticDatabase) -> bool:
                 return False
             return _negatives_absent(query, db, assignment)
         atom = order[step]
-        for row in _candidates(atom, db, assignment):
+        for row in lookups[step].candidates(assignment):
             added = _bind(atom, row, assignment)
             if added is None:
                 continue
@@ -225,23 +227,60 @@ def _plan(atoms: Sequence[Atom]) -> List[Atom]:
     return order
 
 
-def _candidates(
-    atom: Atom, db: ProbabilisticDatabase, assignment: Assignment
-) -> Iterator[Tuple]:
-    relation = db.relation(atom.relation)
-    best_position: Optional[int] = None
-    best_value = None
-    for position, term in enumerate(atom.terms):
-        if isinstance(term, Constant):
-            best_position, best_value = position, term.value
-            break
-        if term in assignment:
-            best_position, best_value = position, assignment[term]
-            break
-    if best_position is None:
-        yield from relation.tuples()
-    else:
-        yield from relation.matching(best_position, best_value)
+class _AtomLookup:
+    """Pre-resolved candidate source for one atom of the join order.
+
+    The scalar backtracker used to re-scan the atom's terms (and rebuild
+    the relation's column index lookup) on *every* backtrack step; the
+    plan is fully determined before the search starts, because the set
+    of bound variables at each step is exactly the variables of the
+    earlier atoms in the order.  One of three shapes, resolved once:
+
+    * a constant column — the matching rows are prefetched outright;
+    * a variable bound by an earlier atom — the per-column index dict is
+      prefetched, so each step is ``index.get(assignment[var])``;
+    * neither — a full relation scan.
+
+    Mirrors the old term-order preference: the first constant *or*
+    bound variable in term order wins.
+    """
+
+    __slots__ = ("relation", "rows", "index", "variable")
+
+    def __init__(self, atom: Atom, db: ProbabilisticDatabase, bound) -> None:
+        self.relation = db.relation(atom.relation)
+        self.rows: Optional[list] = None
+        self.index: Optional[Dict] = None
+        self.variable: Optional[Variable] = None
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                self.rows = self.relation.matching(position, term.value)
+                return
+            if term in bound:
+                self.index = self.relation.index_on(position)
+                self.variable = term
+                return
+
+    def candidates(self, assignment: Assignment):
+        if self.rows is not None:
+            return self.rows
+        if self.index is not None:
+            return self.index.get(assignment[self.variable], _NO_ROWS)
+        return self.relation.tuples()
+
+
+_NO_ROWS: Tuple = ()
+
+
+def _build_lookups(
+    order: Sequence[Atom], db: ProbabilisticDatabase
+) -> List[_AtomLookup]:
+    lookups: List[_AtomLookup] = []
+    bound: Set[Variable] = set()
+    for atom in order:
+        lookups.append(_AtomLookup(atom, db, bound))
+        bound.update(atom.variables)
+    return lookups
 
 
 def _bind(atom: Atom, row: Tuple, assignment: Assignment) -> Optional[List[Variable]]:

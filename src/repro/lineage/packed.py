@@ -1,0 +1,252 @@
+"""Dense numpy representation of a lineage DNF.
+
+The scalar estimators walk ``Dict[TupleKey, float]`` weight maps and
+frozenset clauses one literal at a time — fine for correctness, hopeless
+for throughput.  :class:`PackedLineage` interns the tuple events of a
+:class:`~repro.lineage.boolean.Lineage` to dense ``int32`` ids *once*
+and materializes
+
+* a weights vector aligned with the event ids,
+* the clauses as a CSR structure (literal event ids + polarities with
+  per-clause start offsets),
+* per-clause log-weight products (and their linear-space counterparts),
+  which give the Karp–Luby clause distribution without re-multiplying
+  marginals per draw, and
+* a *padded* literal matrix — every clause widened to the longest
+  clause by repeating its own first literal (repetition cannot change
+  a conjunction) — so clause evaluation needs no segmented reduction.
+
+On top of it, whole sample batches become single numpy expressions: an
+``(n_events, batch)`` world bit-matrix is one uniform draw + compare,
+and the truth of *all* clauses of *all* samples is one contiguous row
+gather + a fixed-width ``any`` reduction.  The event-major layout is
+deliberate: gathering literal rows from a C-contiguous ``(E, B)``
+matrix vectorizes across the batch, where the batch-major equivalent
+(or ``ufunc.reduceat`` over ragged segments) is an order of magnitude
+slower.
+
+The packed form is built lazily and cached on the lineage, so repeated
+estimator calls (the multisimulation top-k loop) pay the interning
+cost once.  numpy is optional at import time; constructing a
+:class:`PackedLineage` without it raises, and callers fall back to the
+scalar backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+try:  # pragma: no cover - exercised by whichever env runs the suite
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from ..db.database import TupleKey
+from .boolean import Clause, Lineage
+
+HAVE_NUMPY = np is not None
+
+
+def clause_sort_key(clause: Clause) -> Tuple:
+    """Deterministic clause order shared by every sampling backend.
+
+    Karp–Luby's coverage indicator is "no *earlier* clause satisfied",
+    so the scalar and vectorized estimators must enumerate clauses
+    identically for their trials to be comparable draw-for-draw.
+    """
+    return tuple(sorted((str(key), polarity) for key, polarity in clause))
+
+
+class PackedLineage:
+    """CSR + padded bit-matrix view of one lineage, cached on it."""
+
+    __slots__ = (
+        "events",
+        "event_index",
+        "weights",
+        "weights_f32",
+        "clause_starts",
+        "literal_events",
+        "literal_polarities",
+        "padded_events",
+        "padded_polarities",
+        "padded_width",
+        "clause_log_probs",
+        "clause_probs",
+        "clause_distribution",
+        "clause_cumulative",
+        "total",
+    )
+
+    def __init__(self, lineage: Lineage) -> None:
+        if np is None:
+            raise RuntimeError(
+                "PackedLineage requires numpy; use the scalar backend"
+            )
+        #: Dense id -> tuple event, in the canonical string order the
+        #: scalar estimators already use.
+        self.events: List[TupleKey] = sorted(lineage.events(), key=str)
+        self.event_index: Dict[TupleKey, int] = {
+            event: i for i, event in enumerate(self.events)
+        }
+        self.weights = np.array(
+            [lineage.weights[event] for event in self.events], dtype=np.float64
+        )
+        # float32 copy for the uniform-draw compare: halves the
+        # bandwidth of world generation; the ~1e-7 relative rounding of
+        # a marginal is far below any Monte Carlo resolution.
+        self.weights_f32 = self.weights.astype(np.float32)
+        clauses = sorted(lineage.clauses, key=clause_sort_key)
+        starts = [0]
+        event_ids: List[int] = []
+        polarities: List[bool] = []
+        per_clause: List[List[Tuple[int, bool]]] = []
+        for clause in clauses:
+            literals = sorted(
+                ((self.event_index[key], polarity) for key, polarity in clause)
+            )
+            per_clause.append(literals)
+            for event_id, polarity in literals:
+                event_ids.append(event_id)
+                polarities.append(polarity)
+            starts.append(len(event_ids))
+        self.clause_starts = np.array(starts, dtype=np.int64)
+        self.literal_events = np.array(event_ids, dtype=np.int32)
+        self.literal_polarities = np.array(polarities, dtype=bool)
+        width = max((len(lits) for lits in per_clause), default=0)
+        self.padded_width = width
+        padded_ev = np.zeros((len(per_clause), width), dtype=np.int32)
+        padded_pol = np.zeros((len(per_clause), width), dtype=bool)
+        for row, literals in enumerate(per_clause):
+            for col in range(width):
+                # Repeat the first literal as padding: duplicating a
+                # conjunct never changes the clause's truth value.
+                event_id, polarity = literals[col if col < len(literals) else 0]
+                padded_ev[row, col] = event_id
+                padded_pol[row, col] = polarity
+        #: Flattened (n_clauses * width) padded literal columns.
+        self.padded_events = padded_ev.reshape(-1)
+        self.padded_polarities = padded_pol.reshape(-1)
+        # Per-clause Π weight(literal) in log space: one gather + one
+        # reduceat instead of a python product per clause.
+        literal_weights = np.where(
+            self.literal_polarities,
+            self.weights[self.literal_events],
+            1.0 - self.weights[self.literal_events],
+        )
+        if per_clause:
+            with np.errstate(divide="ignore"):
+                log_weights = np.log(literal_weights)
+            self.clause_log_probs = np.add.reduceat(
+                log_weights, self.clause_starts[:-1]
+            )
+            self.clause_probs = np.exp(self.clause_log_probs)
+        else:
+            self.clause_log_probs = np.empty(0, dtype=np.float64)
+            self.clause_probs = np.empty(0, dtype=np.float64)
+        self.total = float(self.clause_probs.sum())
+        self.clause_distribution = (
+            self.clause_probs / self.total if self.total > 0.0 else None
+        )
+        # Precomputed CDF: clause draws are one uniform batch + one
+        # searchsorted, instead of Generator.choice re-deriving the
+        # cumulative weights on every call.
+        self.clause_cumulative = (
+            np.cumsum(self.clause_distribution)
+            if self.clause_distribution is not None
+            else None
+        )
+
+    @classmethod
+    def of(cls, lineage: Lineage) -> "PackedLineage":
+        """The packed form of ``lineage``, built once and cached on it."""
+        packed = getattr(lineage, "_packed", None)
+        if packed is None:
+            packed = cls(lineage)
+            lineage._packed = packed
+        return packed
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clause_starts) - 1
+
+    @property
+    def n_literals(self) -> int:
+        return len(self.literal_events)
+
+    @property
+    def batch_cost(self) -> int:
+        """Elements touched per sample (batch sizing heuristic)."""
+        return max(1, self.n_events, self.n_clauses * self.padded_width)
+
+    # ------------------------------------------------------------------
+    # Batched sampling primitives (worlds are event-major: (E, batch))
+    # ------------------------------------------------------------------
+
+    def sample_worlds(self, rng, batch: int):
+        """An ``(n_events, batch)`` boolean world matrix ~ the marginals."""
+        uniforms = rng.random((self.n_events, batch), dtype=np.float32)
+        return uniforms < self.weights_f32[:, None]
+
+    def clause_satisfaction(self, worlds):
+        """``(n_clauses, batch)`` clause truth values, one matrix pass.
+
+        Gathers the padded literal rows of the world matrix, compares
+        against the polarities, and folds each clause's fixed-width
+        window with one ``any`` reduction — no ragged segments.
+        """
+        literal_rows = worlds[self.padded_events]
+        violated = literal_rows != self.padded_polarities[:, None]
+        batch = worlds.shape[1]
+        return ~violated.reshape(
+            self.n_clauses, self.padded_width, batch
+        ).any(axis=1)
+
+    def force_clauses(self, worlds, chosen) -> None:
+        """Overwrite each sample's events so its chosen clause holds.
+
+        ``chosen`` holds one clause id per sample (column).  The
+        scatter indices are built without a python loop: per-sample
+        literal counts expand to flat CSR positions via repeat +
+        cumulative offsets.
+        """
+        starts = self.clause_starts
+        lengths = starts[chosen + 1] - starts[chosen]
+        total = int(lengths.sum())
+        if total == 0:
+            return
+        columns = np.repeat(np.arange(len(chosen)), lengths)
+        segment_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        within = np.arange(total) - np.repeat(segment_starts, lengths)
+        flat = np.repeat(starts[chosen], lengths) + within
+        worlds[self.literal_events[flat], columns] = (
+            self.literal_polarities[flat]
+        )
+
+    def sample_clauses(self, rng, batch: int):
+        """``batch`` clause ids ~ the Karp–Luby clause distribution."""
+        uniforms = rng.random(batch)
+        return np.searchsorted(
+            self.clause_cumulative, uniforms, side="right"
+        ).clip(max=self.n_clauses - 1).astype(np.int64)
+
+    def coverage_hits(self, worlds, chosen) -> int:
+        """Karp–Luby coverage count for a forced world batch.
+
+        A trial is a hit when its chosen clause is the *first* satisfied
+        clause of its world.  The chosen clause is forced true, so a
+        first satisfied clause always exists and ``argmax`` (index of
+        the first True per column) finds it in one pass; the indicator
+        is simply ``first == chosen``.
+        """
+        satisfied = self.clause_satisfaction(worlds)
+        first_satisfied = satisfied.argmax(axis=0)
+        return int((first_satisfied == chosen).sum())

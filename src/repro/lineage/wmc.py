@@ -35,6 +35,8 @@ def exact_probability(lineage: Lineage) -> float:
 class _Counter:
     """Shannon-expansion model counter with caching."""
 
+    __slots__ = ("weights", "cache", "expansions")
+
     def __init__(self, weights: Dict[TupleKey, float]) -> None:
         self.weights = weights
         self.cache: Dict[FrozenSet[Clause], float] = {}

@@ -1,0 +1,217 @@
+"""V1 — the serving layer vs from-scratch evaluation.
+
+Two serving scenarios on the MystiQ architecture's hot paths:
+
+* **repeated workload** — the same mix of queries (a compiled-tier
+  Boolean query, a group-by answer query, a safe-plan query) issued
+  round after round.  The cold path builds a fresh
+  :class:`~repro.engines.router.RouterEngine` per request, the way the
+  pre-serving stack re-derived everything per call; the warm path is
+  one long-lived :class:`~repro.serve.QuerySession` whose prepared
+  queries, circuits and results persist across rounds.
+
+* **probability-only updates** — a tuple's marginal drifts (extraction
+  confidences re-estimated) and the query is re-evaluated after every
+  drift.  The cold path recompiles the lineage circuit from scratch;
+  the warm path notices that the structure version did not move and
+  only re-weights the cached circuit (one linear sweep).
+
+Emits ``BENCH_serving.json``.  The headline assertions: the warm
+prepared-query path is **≥5×** faster than cold on the repeated
+workload, batched re-weighting beats recompilation **≥3×** on updates,
+and every warm number agrees with its cold counterpart to 1e-9 (both
+sides run exact tiers only).
+
+Runs standalone for the CI smoke: ``python benchmarks/bench_serving.py
+--smoke`` (tiny sizes, correctness checks only, no timing assertions;
+still writes the JSON).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.compile import CircuitCache
+from repro.core import parse
+from repro.db import random_database
+from repro.engines import RouterEngine
+from repro.engines.compiled import CompiledEngine
+from repro.serve import QuerySession
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+#: The repeated workload: one #P-hard Boolean query (compiled tier),
+#: one ranked-answers query, one safe-plan query.
+WORKLOAD = [
+    ("evaluate", "R(x), S(x,y), T(y)"),
+    ("answers", "Q(x) :- R(x), S(x,y), T(y)"),
+    ("evaluate", "R(x), S(x,y)"),
+]
+
+UPDATE_QUERY = "R(x), S(x,y), T(y)"
+
+
+def make_database(domain, seed=7):
+    return random_database(
+        {"R": 1, "S": 2, "T": 1}, domain_size=domain, density=0.3, seed=seed
+    )
+
+
+def run_workload_cold(queries, db, rounds):
+    """Fresh router per request — the pre-serving architecture."""
+    results = []
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for kind, query in queries:
+            router = RouterEngine(exact_fallback=True)
+            if kind == "evaluate":
+                results.append((query, router.probability(query, db)))
+            else:
+                for answer, value in router.answers(query, db):
+                    results.append(((query, answer), value))
+    return time.perf_counter() - start, results
+
+
+def run_workload_warm(queries, db, rounds):
+    """One QuerySession across every request."""
+    session = QuerySession(db, exact_fallback=True)
+    results = []
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for kind, query in queries:
+            if kind == "evaluate":
+                results.append((query, session.evaluate(query)))
+            else:
+                for answer, value in session.answers(query):
+                    results.append(((query, answer), value))
+    return time.perf_counter() - start, results, session
+
+
+def max_abs_diff(cold, warm):
+    assert len(cold) == len(warm), "cold/warm produced different workloads"
+    worst = 0.0
+    for (key_c, value_c), (key_w, value_w) in zip(cold, warm):
+        assert key_c == key_w, f"workload order diverged: {key_c} vs {key_w}"
+        worst = max(worst, abs(value_c - value_w))
+    return worst
+
+
+def bench_repeated_workload(domain, rounds):
+    db = make_database(domain)
+    queries = [(kind, parse(text)) for kind, text in WORKLOAD]
+    cold_seconds, cold = run_workload_cold(queries, db, rounds)
+    warm_seconds, warm, session = run_workload_warm(queries, db, rounds)
+    return {
+        "domain": domain,
+        "rounds": rounds,
+        "requests": rounds * len(queries),
+        "queries": [text for _kind, text in WORKLOAD],
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "max_abs_diff": max_abs_diff(cold, warm),
+        "session_stats": session.stats.describe(),
+    }
+
+
+def bench_update_refresh(domain, updates):
+    query = parse(UPDATE_QUERY)
+    db = make_database(domain)
+    row = next(iter(db.relation("R").tuples()))
+    drift = [0.15 + 0.6 * (i % 7) / 7.0 for i in range(updates)]
+
+    # Warm: one session, circuit compiled once, then re-weighted.
+    session = QuerySession(db, exact_fallback=True)
+    session.evaluate(query)  # pay grounding + compilation up front
+    warm = []
+    start = time.perf_counter()
+    for probability in drift:
+        session.update("R", row, probability)
+        warm.append(session.evaluate(query))
+    warm_seconds = time.perf_counter() - start
+
+    # Cold: recompile from scratch after every update (fresh engine and
+    # fresh cache, the no-serving-layer behaviour).
+    cold = []
+    start = time.perf_counter()
+    for probability in drift:
+        db.add("R", row, probability)
+        engine = CompiledEngine(mode="auto", cache=CircuitCache())
+        cold.append(engine.probability(query, db))
+    cold_seconds = time.perf_counter() - start
+
+    worst = max(abs(c - w) for c, w in zip(cold, warm))
+    return {
+        "domain": domain,
+        "updates": updates,
+        "query": UPDATE_QUERY,
+        "recompile_seconds": round(cold_seconds, 6),
+        "reweight_seconds": round(warm_seconds, 6),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "max_abs_diff": worst,
+        "session_stats": session.stats.describe(),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes, correctness only, no timing asserts")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--updates", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        domain, update_domain, rounds, updates = 6, 6, 3, 5
+    else:
+        # The update instance is larger: recompile-vs-reweight is the
+        # contrast between compilation (superlinear) and one linear
+        # circuit sweep, so the gap widens with instance size.
+        domain, update_domain, rounds, updates = 14, 20, 25, 60
+    rounds = args.rounds if args.rounds is not None else rounds
+    updates = args.updates if args.updates is not None else updates
+
+    workload = bench_repeated_workload(domain, rounds)
+    print(f"repeated workload ({workload['requests']} requests): "
+          f"cold {workload['cold_seconds']:.3f}s, "
+          f"warm {workload['warm_seconds']:.3f}s "
+          f"-> {workload['speedup']:.1f}x "
+          f"(max |diff| {workload['max_abs_diff']:.2e})")
+
+    refresh = bench_update_refresh(update_domain, updates)
+    print(f"update refresh ({refresh['updates']} updates): "
+          f"recompile {refresh['recompile_seconds']:.3f}s, "
+          f"reweight {refresh['reweight_seconds']:.3f}s "
+          f"-> {refresh['speedup']:.1f}x "
+          f"(max |diff| {refresh['max_abs_diff']:.2e})")
+
+    report = {
+        "benchmark": "serving",
+        "smoke": args.smoke,
+        "workload": workload,
+        "update_refresh": refresh,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    assert workload["max_abs_diff"] <= 1e-9, (
+        f"warm/cold disagree: {workload['max_abs_diff']}"
+    )
+    assert refresh["max_abs_diff"] <= 1e-9, (
+        f"reweight/recompile disagree: {refresh['max_abs_diff']}"
+    )
+    if not args.smoke:
+        assert workload["speedup"] >= 5.0, (
+            f"warm workload speedup {workload['speedup']}x < 5x"
+        )
+        assert refresh["speedup"] >= 3.0, (
+            f"reweight speedup {refresh['speedup']}x < 3x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

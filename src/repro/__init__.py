@@ -57,6 +57,7 @@ from .engines import (
 )
 from .hardness import Bipartite2DNF, count_via_hk, hk_query, random_formula
 from .lineage import exact_probability, ground_answer_lineages, ground_lineage
+from .serve import QuerySession, SessionStats
 
 __version__ = "1.0.0"
 
@@ -73,9 +74,11 @@ __all__ = [
     "LineageEngine",
     "MonteCarloEngine",
     "ProbabilisticDatabase",
+    "QuerySession",
     "Reason",
     "Relation",
     "RouterEngine",
+    "SessionStats",
     "SQLiteStore",
     "SafePlanEngine",
     "UnsafeQueryError",

@@ -14,12 +14,27 @@ Commands:
 * ``compile "R(x), S(x,y), T(y)" data.json`` — compile the query's
   lineage into an OBDD or d-DNNF circuit and report circuit size, the
   variable ordering used, and the exact probability.
+* ``serve data.json --requests workload.json`` — replay a workload of
+  requests through one long-lived :class:`repro.serve.QuerySession`,
+  exercising the prepared-query and circuit caches across calls.  The
+  workload is a JSON list of request objects::
+
+      [{"op": "evaluate", "query": "R(x), S(x,y), T(y)"},
+       {"op": "answers", "query": "Q(x) :- R(x), S(x,y)", "top": 3},
+       {"op": "update", "relation": "R", "row": [1], "probability": 0.9},
+       {"op": "batch", "queries": ["R(x), S(x,y)", "R(x), S(x,y), T(y)"]}]
+
+  ``update`` inserts or re-weights one tuple (probability-only changes
+  refresh cached circuits without recompiling); the final line reports
+  the session's cache statistics.
 * ``zoo`` — print the paper's query table with our verdicts.
 
 Databases load through :func:`repro.db.io.load_database`, which accepts
 both the list format above and the ``from_dict``-style mapping format
 ``{"R": {"[1]": 0.5}}`` and reports malformed files with a validating
-error instead of a traceback.
+error instead of a traceback.  Files mentioning the same row twice are
+rejected as probable data bugs; every database-loading subcommand takes
+``--allow-duplicates`` to load them last-wins instead.
 """
 
 from __future__ import annotations
@@ -64,6 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--exact", action="store_true",
         help="use the exact oracle instead of Monte Carlo for unsafe queries",
     )
+    _add_duplicates_flag(p_eval)
 
     p_answers = sub.add_parser(
         "answers", help="ranked answer tuples of a non-Boolean query"
@@ -87,6 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--exact", action="store_true",
         help="use the exact oracle instead of Monte Carlo for unsafe residuals",
     )
+    _add_duplicates_flag(p_answers)
 
     p_compile = sub.add_parser(
         "compile", help="compile the lineage into a circuit and evaluate"
@@ -119,9 +136,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run the Shannon-expansion WMC oracle for comparison "
              "(exponential worst case; only for lineages it can handle)",
     )
+    _add_duplicates_flag(p_compile)
+
+    p_serve = sub.add_parser(
+        "serve", help="replay a request workload through a QuerySession"
+    )
+    p_serve.add_argument(
+        "database",
+        help='JSON file: {"R": [[[1], 0.5], ...]} or {"R": {"[1]": 0.5}}',
+    )
+    p_serve.add_argument(
+        "--requests", required=True, metavar="FILE",
+        help="JSON list of request objects (see module docstring)",
+    )
+    p_serve.add_argument("--constants", default="")
+    p_serve.add_argument(
+        "--samples", type=int, default=20000,
+        help="Monte Carlo sample cap for unsafe residuals",
+    )
+    p_serve.add_argument(
+        "--exact", action="store_true",
+        help="use the exact oracle instead of Monte Carlo for unsafe queries",
+    )
+    p_serve.add_argument(
+        "--compile-budget", type=int, default=10_000, metavar="NODES",
+        help="circuit node budget for the compiled tier (default 10000)",
+    )
+    _add_duplicates_flag(p_serve)
 
     sub.add_parser("zoo", help="classify every query named in the paper")
     return parser
+
+
+def _add_duplicates_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--allow-duplicates", action="store_true",
+        help="load duplicate database rows last-wins instead of erroring",
+    )
+
+
+def _load_db(args) -> ProbabilisticDatabase:
+    on_duplicate = "overwrite" if args.allow_duplicates else "error"
+    return load_database(args.database, on_duplicate=on_duplicate)
 
 
 def _constants(spec: str) -> tuple:
@@ -139,7 +195,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         if args.command == "evaluate":
             query = parse(args.query, constants=_constants(args.constants))
-            db = load_database(args.database)
+            db = _load_db(args)
             router = RouterEngine(exact_fallback=args.exact, mc_samples=args.samples)
             probability = router.probability(query, db)
             decision = router.history[-1]
@@ -154,6 +210,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         if args.command == "compile":
             return _run_compile(args)
+
+        if args.command == "serve":
+            return _run_serve(args)
     except (DatabaseFormatError, QueryParseError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -176,7 +235,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _run_answers(args) -> int:
     query = parse(args.query, constants=_constants(args.constants))
-    db = load_database(args.database)
+    db = _load_db(args)
     router = RouterEngine(exact_fallback=args.exact, mc_samples=args.samples)
     results = router.answers(query, db, k=args.top)
     if not results:
@@ -213,6 +272,107 @@ def _answer_text(answer: tuple) -> str:
     return "(" + ", ".join(repr(v) for v in answer) + ")"
 
 
+def _run_serve(args) -> int:
+    import json
+
+    from .serve import QuerySession
+
+    db = _load_db(args)
+    with open(args.requests) as handle:
+        try:
+            requests = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise DatabaseFormatError(
+                f"{args.requests}: not valid JSON: {error}"
+            ) from error
+    if not isinstance(requests, list):
+        print(
+            f"error: {args.requests}: expected a JSON list of request "
+            f"objects, got {type(requests).__name__}",
+            file=sys.stderr,
+        )
+        return 2
+    session = QuerySession(
+        db,
+        exact_fallback=args.exact,
+        mc_samples=args.samples,
+        compile_budget=args.compile_budget,
+    )
+    constants = _constants(args.constants)
+    for number, request in enumerate(requests, start=1):
+        try:
+            _serve_request(session, request, constants)
+        except (QueryParseError, DatabaseFormatError, ValueError) as error:
+            print(f"error: request {number}: {error}", file=sys.stderr)
+            return 2
+    print(f"session: {session.stats.describe()}")
+    return 0
+
+
+def _request_field(request: dict, name: str):
+    if name not in request:
+        raise ValueError(
+            f"op {request['op']!r} is missing the {name!r} field"
+        )
+    return request[name]
+
+
+def _serve_request(session, request, constants) -> None:
+    if not isinstance(request, dict) or "op" not in request:
+        raise ValueError(f'expected an object with an "op" key, got {request!r}')
+    op = request["op"]
+    if op == "evaluate":
+        text = _request_field(request, "query")
+        value = session.evaluate(parse(text, constants=constants))
+        print(f"evaluate {text!r}: p = {value:.10f}")
+    elif op == "answers":
+        text = _request_field(request, "query")
+        query = parse(text, constants=constants)
+        top = request.get("top")
+        if top is not None and (isinstance(top, bool) or not isinstance(top, int)):
+            raise ValueError(f"answers top must be an integer, got {top!r}")
+        ranked = session.answers(query, k=top)
+        print(f"answers {text!r}: {len(ranked)} answers")
+        for rank, (answer, value) in enumerate(ranked, start=1):
+            print(f"  {rank:>3}  {_answer_text(answer)}  {value:.8f}")
+    elif op == "update":
+        row = _request_field(request, "row")
+        if not isinstance(row, (list, tuple)) or not all(
+            isinstance(value, (int, str, float)) for value in row
+        ):
+            raise ValueError(
+                f"update row must be an array of scalars, got {row!r}"
+            )
+        relation = _request_field(request, "relation")
+        probability = _request_field(request, "probability")
+        if isinstance(probability, bool) or not isinstance(
+            probability, (int, float)
+        ):
+            raise ValueError(
+                f"update probability must be a number, got {probability!r}"
+            )
+        session.update(relation, tuple(row), probability)
+        print(f"update {relation}{tuple(row)} <- {probability}")
+    elif op == "batch":
+        queries = _request_field(request, "queries")
+        if not isinstance(queries, list) or not all(
+            isinstance(text, str) for text in queries
+        ):
+            raise ValueError(
+                f"batch queries must be an array of query strings, "
+                f"got {queries!r}"
+            )
+        parsed = [parse(text, constants=constants) for text in queries]
+        values = session.evaluate_many(parsed)
+        print(f"batch of {len(values)}:")
+        for text, value in zip(queries, values):
+            print(f"  {text!r}: p = {value:.10f}")
+    else:
+        raise ValueError(
+            f"unknown op {op!r}; expected evaluate/answers/update/batch"
+        )
+
+
 def _run_compile(args) -> int:
     import time
 
@@ -223,7 +383,7 @@ def _run_compile(args) -> int:
     from .lineage.wmc import shannon_expansion_count
 
     query = parse(args.query, constants=_constants(args.constants))
-    db = load_database(args.database)
+    db = _load_db(args)
     lineage = ground_lineage(query, db)
     print(f"lineage: {lineage.clause_count()} clauses over "
           f"{lineage.variable_count} tuple events")

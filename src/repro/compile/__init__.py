@@ -25,6 +25,7 @@ from .evaluate import (
     model_count,
     probability,
     probability_batch,
+    reweighted_probabilities,
 )
 from .obdd import OBDD, CompiledOBDD, compile_obdd
 from .ordering import (
@@ -57,4 +58,5 @@ __all__ = [
     "model_count",
     "probability",
     "probability_batch",
+    "reweighted_probabilities",
 ]

@@ -117,6 +117,33 @@ def probability_batch(
     return value[root]
 
 
+def reweighted_probabilities(
+    artifact, events: Sequence[Hashable], rows: Sequence[Sequence[float]]
+) -> List[float]:
+    """One compiled artifact evaluated under many weight vectors.
+
+    The batched re-weighting path shared by
+    :meth:`CompiledEngine.answers <repro.engines.compiled.CompiledEngine.answers>`
+    (answers of one query on a shared canonical circuit) and the
+    serving layer (same-shape queries across a batch, probability-only
+    refreshes): ``artifact`` is a compiled OBDD/d-DNNF, ``events`` its
+    variable order, and each row of ``rows`` one weight vector aligned
+    with ``events``.  With numpy and more than one row the whole batch
+    is one vectorized bottom-up sweep (``probability_batch``);
+    otherwise it falls back to a linear pass per row.
+    """
+    if not rows:
+        return []
+    if np is not None and len(rows) > 1:
+        values = artifact.probability_batch(
+            events, np.asarray(rows, dtype=np.float64)
+        )
+        return [float(value) for value in values]
+    return [
+        float(artifact.probability(dict(zip(events, row)))) for row in rows
+    ]
+
+
 def model_count(
     circuit: Circuit,
     root: NodeId,

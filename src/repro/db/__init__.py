@@ -1,6 +1,6 @@
 """Tuple-independent probabilistic database substrate."""
 
-from .database import ProbabilisticDatabase, TupleKey
+from .database import ProbabilisticDatabase, RelationVersion, TupleKey
 from .io import DatabaseFormatError, load_database, parse_database
 from .generators import (
     four_partite_graph,
@@ -34,6 +34,7 @@ __all__ = [
     "Probability",
     "ProbabilisticDatabase",
     "Relation",
+    "RelationVersion",
     "SQLiteStore",
     "TupleKey",
     "Value",

@@ -14,9 +14,24 @@ from .relation import GroundTuple, Probability, Relation, Value
 #: A tuple event: (relation name, ground tuple).
 TupleKey = Tuple[str, GroundTuple]
 
+#: One relation's change-tracking state: (name, structure_version,
+#: version).  A sequence of these is a :func:`version snapshot
+#: <ProbabilisticDatabase.version_snapshot>`.
+RelationVersion = Tuple[str, int, int]
+
 
 class ProbabilisticDatabase:
-    """A collection of probabilistic relations over a shared domain."""
+    """A collection of probabilistic relations over a shared domain.
+
+    The database is *observably mutable*: every relation carries the
+    monotone counters described on :class:`~repro.db.relation.Relation`,
+    and :attr:`version` / :attr:`structure_version` aggregate them (plus
+    relation additions), so callers holding derived state — compiled
+    circuits, grounded lineages, cached results — can detect exactly
+    what kind of change happened.  A probability-only change bumps
+    :attr:`version` but not :attr:`structure_version`; cached circuit
+    structure survives it and only needs re-weighting.
+    """
 
     def __init__(self, relations: Optional[Iterable[Relation]] = None) -> None:
         self._relations: Dict[str, Relation] = {}
@@ -84,6 +99,51 @@ class ProbabilisticDatabase:
         if relation is None:
             return 0
         return relation.probability(row)
+
+    # ------------------------------------------------------------------
+    # Change tracking
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone counter over every effective mutation.
+
+        Derived from the per-relation counters, so mutations applied
+        directly to a :class:`Relation` instance are visible too.
+        """
+        return sum(r.version for r in self._relations.values())
+
+    @property
+    def structure_version(self) -> int:
+        """Monotone counter over structure-affecting mutations only."""
+        return sum(r.structure_version for r in self._relations.values())
+
+    def version_snapshot(
+        self, names: Optional[Iterable[str]] = None
+    ) -> Tuple[RelationVersion, ...]:
+        """Per-relation ``(name, structure_version, version)`` triples.
+
+        ``names`` restricts the snapshot to the relations a query
+        depends on (its dependency set); a relation not yet present
+        reads as ``(name, 0, 0)`` without being created, so a later
+        creation-with-tuples registers as a change.  Two snapshots over
+        the same names are equal iff none of those relations changed
+        in between.
+        """
+        if names is None:
+            names = sorted(self._relations)
+        else:
+            names = sorted(set(names))
+        snapshot = []
+        for name in names:
+            relation = self._relations.get(name)
+            if relation is None:
+                snapshot.append((name, 0, 0))
+            else:
+                snapshot.append(
+                    (name, relation.structure_version, relation.version)
+                )
+        return tuple(snapshot)
 
     def active_domain(self) -> List[Value]:
         """All values appearing anywhere, sorted canonically."""

@@ -21,6 +21,15 @@ relation name:
 
 Malformed input raises :class:`DatabaseFormatError` with the relation
 and row that failed — never a raw ``KeyError``/``TypeError`` traceback.
+
+Duplicate rows are rejected by default: a file that mentions the same
+tuple of a relation twice (e.g. ``{"R": [[[1], 0.5], [[1], 0.7]]}``, or
+a mapping whose keys ``"[1]"`` and ``"1"`` decode to the same row) is
+almost always a data-generation bug, and silently keeping the last
+probability hides it.  Pass ``on_duplicate="overwrite"`` to restore
+last-wins loading; when loading from a file, that also permits
+textually duplicated JSON object keys (which ``json.loads`` would
+otherwise collapse before validation could see them).
 """
 
 from __future__ import annotations
@@ -38,12 +47,46 @@ class DatabaseFormatError(ValueError):
     """Raised when a database file does not match either JSON format."""
 
 
-def load_database(source: Union[str, IO]) -> ProbabilisticDatabase:
+_ON_DUPLICATE = ("error", "overwrite")
+
+
+def _check_on_duplicate(on_duplicate: str) -> None:
+    if on_duplicate not in _ON_DUPLICATE:
+        raise ValueError(
+            f"on_duplicate must be one of {_ON_DUPLICATE}, "
+            f"got {on_duplicate!r}"
+        )
+
+
+def _strict_pairs(pairs):
+    """``object_pairs_hook`` rejecting textually duplicated JSON keys.
+
+    ``json.loads`` silently keeps the last value for a repeated object
+    key, so duplicate detection must happen before decoding collapses
+    the pairs into a dict.
+    """
+    decoded = {}
+    for key, value in pairs:
+        if key in decoded:
+            raise DatabaseFormatError(
+                f"duplicate JSON object key {key!r}; pass "
+                f"on_duplicate='overwrite' to keep the last value"
+            )
+        decoded[key] = value
+    return decoded
+
+
+def load_database(
+    source: Union[str, IO], on_duplicate: str = "error"
+) -> ProbabilisticDatabase:
     """Load a :class:`ProbabilisticDatabase` from a JSON file.
 
     ``source`` is a path or an open text file.  Accepts the list and
     the mapping format (see module docstring), validating as it goes.
+    Duplicate rows (or duplicated JSON object keys) raise
+    :class:`DatabaseFormatError` unless ``on_duplicate="overwrite"``.
     """
+    _check_on_duplicate(on_duplicate)
     if hasattr(source, "read"):
         name = getattr(source, "name", "<stream>")
         text = source.read()
@@ -51,18 +94,22 @@ def load_database(source: Union[str, IO]) -> ProbabilisticDatabase:
         name = source
         with open(source) as handle:
             text = handle.read()
+    hook = _strict_pairs if on_duplicate == "error" else None
     try:
-        raw = json.loads(text)
+        raw = json.loads(text, object_pairs_hook=hook)
     except json.JSONDecodeError as error:
         raise DatabaseFormatError(f"{name}: not valid JSON: {error}") from error
+    except DatabaseFormatError as error:
+        raise DatabaseFormatError(f"{name}: {error}") from error
     try:
-        return parse_database(raw)
+        return parse_database(raw, on_duplicate)
     except DatabaseFormatError as error:
         raise DatabaseFormatError(f"{name}: {error}") from error
 
 
-def parse_database(raw) -> ProbabilisticDatabase:
+def parse_database(raw, on_duplicate: str = "error") -> ProbabilisticDatabase:
     """Build a database from already-decoded JSON data."""
+    _check_on_duplicate(on_duplicate)
     if not isinstance(raw, dict):
         raise DatabaseFormatError(
             f"top level must be an object mapping relation names to rows, "
@@ -71,9 +118,9 @@ def parse_database(raw) -> ProbabilisticDatabase:
     db = ProbabilisticDatabase()
     for relation, rows in raw.items():
         if isinstance(rows, list):
-            _add_list_rows(db, relation, rows)
+            _add_list_rows(db, relation, rows, on_duplicate)
         elif isinstance(rows, dict):
-            _add_mapping_rows(db, relation, rows)
+            _add_mapping_rows(db, relation, rows, on_duplicate)
         else:
             raise DatabaseFormatError(
                 f"relation {relation!r}: expected a list of [row, probability] "
@@ -83,7 +130,8 @@ def parse_database(raw) -> ProbabilisticDatabase:
 
 
 def _add_list_rows(
-    db: ProbabilisticDatabase, relation: str, rows: list
+    db: ProbabilisticDatabase, relation: str, rows: list,
+    on_duplicate: str,
 ) -> None:
     arity = None
     for index, entry in enumerate(rows):
@@ -103,18 +151,35 @@ def _add_list_rows(
             )
         arity = _check_arity(relation, index, row, arity)
         _check_probability(relation, index, probability)
+        _check_duplicate(db, relation, index, tuple(row), on_duplicate)
         db.add(relation, tuple(row), float(probability))
 
 
 def _add_mapping_rows(
-    db: ProbabilisticDatabase, relation: str, rows: dict
+    db: ProbabilisticDatabase, relation: str, rows: dict,
+    on_duplicate: str,
 ) -> None:
     arity = None
     for index, (key, probability) in enumerate(rows.items()):
         row = _parse_row_key(relation, key)
         arity = _check_arity(relation, index, row, arity)
         _check_probability(relation, f"key {key!r}", probability)
+        _check_duplicate(db, relation, f"key {key!r}", tuple(row), on_duplicate)
         db.add(relation, tuple(row), float(probability))
+
+
+def _check_duplicate(
+    db: ProbabilisticDatabase, relation: str, index, row, on_duplicate: str
+) -> None:
+    if on_duplicate == "overwrite":
+        return
+    if db.has_relation(relation) and row in db.relation(relation):
+        raise DatabaseFormatError(
+            f"relation {relation!r}, entry {index}: duplicate row "
+            f"{list(row)!r} (already loaded with probability "
+            f"{float(db.probability(relation, row))}); pass "
+            f"on_duplicate='overwrite' to keep the last value"
+        )
 
 
 def _parse_row_key(relation: str, key) -> List:

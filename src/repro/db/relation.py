@@ -29,13 +29,28 @@ def canonical_row_key(row: Iterable[Value]) -> Tuple:
 class Relation:
     """A named relation with per-tuple probabilities.
 
+    Every effective mutation is tracked by two monotone counters so
+    long-lived callers (the serving layer's caches) can invalidate
+    precisely:
+
+    * ``version`` bumps on *any* effective change;
+    * ``structure_version`` bumps only on changes that can alter which
+      tuples ground a query — inserting a new tuple, or moving a
+      probability onto/off the {0, 1} boundary (grounding drops certain
+      tuples and kills impossible matches, so boundary crossings change
+      lineage *structure*; interior re-weights never do).
+
+    An overwrite with the identical probability is a no-op: neither
+    counter moves.
+
     Args:
         name: relation symbol.
         arity: number of columns; inferred from the first tuple if None.
         tuples: optional initial ``{tuple: probability}`` mapping.
     """
 
-    __slots__ = ("name", "_arity", "_tuples", "_indexes")
+    __slots__ = ("name", "_arity", "_tuples", "_indexes",
+                 "version", "structure_version")
 
     def __init__(
         self,
@@ -47,6 +62,8 @@ class Relation:
         self._arity = arity
         self._tuples: Dict[GroundTuple, Probability] = {}
         self._indexes: Dict[int, Dict[Value, list]] = {}
+        self.version = 0
+        self.structure_version = 0
         if tuples:
             for row, prob in tuples.items():
                 self.add(row, prob)
@@ -70,11 +87,21 @@ class Relation:
             raise ValueError(
                 f"probability must lie in [0, 1], got {probability} for {row}"
             )
-        if row in self._tuples:
+        previous = self._tuples.get(row)
+        if previous is not None:
+            if float(previous) == float(probability):
+                return
             self._tuples[row] = probability
-            self._indexes.clear()
+            # Index membership is untouched by an overwrite (indexes map
+            # column values to rows, never to probabilities), so the
+            # column indexes stay valid as they are.
+            self.version += 1
+            if not (0 < previous < 1 and 0 < probability < 1):
+                self.structure_version += 1
             return
         self._tuples[row] = probability
+        self.version += 1
+        self.structure_version += 1
         for position, index in self._indexes.items():
             index.setdefault(row[position], []).append(row)
 
@@ -97,7 +124,9 @@ class Relation:
 
         The grounding backtracker fetches this at plan time so each
         join step is a plain dict lookup (no per-step index checks).
-        Invalidated on tuple overwrite, extended in place on insert.
+        Extended in place on insert; probability overwrites leave it
+        untouched (membership never changes), so a fetched index stays
+        valid across re-weighting.
         """
         index = self._indexes.get(position)
         if index is None:

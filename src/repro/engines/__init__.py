@@ -21,6 +21,7 @@ from .lineage_engine import LineageEngine
 from .montecarlo import (
     KarpLubySampler,
     MonteCarloEngine,
+    estimate_lineage,
     estimate_with_error,
     karp_luby_estimate,
     naive_estimate,
@@ -49,6 +50,7 @@ __all__ = [
     "UnsafeQueryError",
     "UnsupportedQueryError",
     "canonicalize_lineage",
+    "estimate_lineage",
     "estimate_with_error",
     "generic_residual",
     "is_safe_query",

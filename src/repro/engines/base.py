@@ -65,6 +65,20 @@ class Engine(abc.ABC):
         closure (the head does not add sub-goals).
         """
 
+    def prepare(self, query: ConjunctiveQuery) -> None:
+        """Database-independent admission check, run once per query.
+
+        The serving layer (and the router's :meth:`plan_query
+        <repro.engines.router.RouterEngine.plan_query>`) call this when
+        a query is *prepared*: an engine whose preconditions are purely
+        syntactic raises :class:`UnsupportedQueryError` /
+        :class:`UnsafeQueryError` here, so routing is decided once
+        instead of per evaluation.  The default accepts everything —
+        engines whose admission depends on the database (e.g. the
+        compiled engine's node budget) decide at evaluation time.
+        """
+        return None
+
     def answers(
         self,
         query: ConjunctiveQuery,

@@ -26,14 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
-try:  # pragma: no cover - exercised by whichever env runs the suite
-    import numpy as np
-except ImportError:  # pragma: no cover
-    np = None
-
 from ..compile.cache import CircuitCache
 from ..compile.circuit import BudgetExceeded
 from ..compile.dnnf import CompiledDNNF, compile_dnnf
+from ..compile.evaluate import reweighted_probabilities
 from ..compile.obdd import CompiledOBDD, compile_obdd
 from ..core.query import ConjunctiveQuery
 from ..db.database import ProbabilisticDatabase, TupleKey
@@ -137,7 +133,7 @@ class CompiledEngine(Engine):
             if lineage.is_false:
                 results.append((answer, 0.0))
                 continue
-            canonical, weights = canonicalize_lineage(lineage)
+            canonical, weights, _renaming = canonicalize_lineage(lineage)
             key = CircuitCache.key_for(canonical, self.mode, self.ordering)
             entry = groups.get(key)
             if entry is None:
@@ -147,18 +143,10 @@ class CompiledEngine(Engine):
                 entry = groups[key] = (artifact, sorted(weights), [])
             entry[2].append((answer, weights))
         for artifact, events, members in groups.values():
-            if np is not None and len(members) > 1:
-                matrix = np.array(
-                    [[w[event] for event in events] for _answer, w in members],
-                    dtype=np.float64,
-                )
-                values = artifact.probability_batch(events, matrix)
-                for (answer, _w), value in zip(members, values):
-                    results.append((answer, clamp01(float(value))))
-            else:
-                for answer, weights in members:
-                    value = float(artifact.probability(weights))
-                    results.append((answer, clamp01(value)))
+            rows = [[w[event] for event in events] for _answer, w in members]
+            values = reweighted_probabilities(artifact, events, rows)
+            for (answer, _w), value in zip(members, values):
+                results.append((answer, clamp01(value)))
         return rank_answers(results, k)
 
     def answer_probability(self, lineage: Lineage) -> float:
@@ -168,7 +156,7 @@ class CompiledEngine(Engine):
             return 1.0
         if lineage.is_false:
             return 0.0
-        canonical, weights = canonicalize_lineage(lineage)
+        canonical, weights, _renaming = canonicalize_lineage(lineage)
         artifact = self.compile_lineage(canonical, None)
         value = float(artifact.probability(weights))
         return clamp01(value)
@@ -219,7 +207,7 @@ class CompiledEngine(Engine):
 
 def canonicalize_lineage(
     lineage: Lineage,
-) -> Tuple[Lineage, Dict[TupleKey, float]]:
+) -> Tuple[Lineage, Dict[TupleKey, float], Dict[TupleKey, TupleKey]]:
     """Rename tuple events onto canonical integer ids.
 
     Events are ordered by an iteratively-refined structural signature
@@ -231,7 +219,10 @@ def canonicalize_lineage(
     two lineages, because the cache key is the renamed clause set
     itself.
 
-    Returns the renamed lineage and the weight map for its events.
+    Returns the renamed lineage, the weight map for its events, and
+    the renaming itself (original event → canonical event) — the
+    serving layer inverts it to refresh canonical weight vectors from
+    live database marginals.
     """
     occurrence_lists: Dict[TupleKey, List[tuple]] = {}
     for clause in lineage.clauses:
@@ -275,6 +266,7 @@ def canonicalize_lineage(
     return (
         Lineage(renamed_clauses, weights, certainly_true=lineage.certainly_true),
         weights,
+        renamed_key,
     )
 
 

@@ -58,6 +58,21 @@ class LiftedEngine(Engine):
     def __init__(self, minimize_queries: bool = True) -> None:
         self.minimize_queries = minimize_queries
 
+    def prepare(self, query: ConjunctiveQuery) -> None:
+        """Admission = the syntactic safety decision (database-free).
+
+        For an answer-tuple query pass the generic residual, exactly
+        as :meth:`answers` would check it.
+        """
+        _check_query(query.boolean())
+        report = is_safe_query(query.boolean(), self.minimize_queries)
+        if not report.safe:
+            raise UnsafeQueryError(
+                f"no PTIME decomposition for {query} "
+                f"(stuck on {report.stuck_on})",
+                query=query,
+            )
+
     def probability(
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
     ) -> float:

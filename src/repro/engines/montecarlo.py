@@ -126,6 +126,16 @@ class MonteCarloEngine(Engine):
             query, db, self.samples, self.seed, self.backend
         )
 
+    def estimate_lineage(self, lineage: Lineage) -> Tuple[float, float]:
+        """Estimate plus half-width for an already-grounded lineage.
+
+        The serving layer's refresh path: after a probability-only
+        database change the clause structure of a cached lineage is
+        still valid, so sampling restarts from the (re-weighted)
+        lineage without paying for grounding again.
+        """
+        return estimate_lineage(lineage, self.samples, self.seed, self.backend)
+
     def answers(
         self,
         query: ConjunctiveQuery,
@@ -439,7 +449,16 @@ def estimate_with_error(
     The estimate is clamped into [0, 1]; the half-width is the honest
     (unclamped) sampler width.
     """
-    lineage = ground_lineage(query, db)
+    return estimate_lineage(ground_lineage(query, db), samples, seed, backend)
+
+
+def estimate_lineage(
+    lineage: Lineage,
+    samples: int,
+    seed: Optional[int] = None,
+    backend: str = "auto",
+) -> Tuple[float, float]:
+    """:func:`estimate_with_error` for an already-grounded lineage."""
     if lineage.certainly_true:
         return 1.0, 0.0
     if lineage.is_false:

@@ -20,9 +20,11 @@ oracle) for whatever did not compile.  Every answer gets its own
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
+from ..compile.cache import CircuitCache
 from ..core.query import ConjunctiveQuery
 from ..db.database import GroundTuple, ProbabilisticDatabase
 from ..lineage.boolean import Lineage
@@ -30,10 +32,16 @@ from ..lineage.grounding import ground_answer_lineages
 from ..lineage.wmc import exact_probability
 from .base import Answer, Engine, UnsafeQueryError, UnsupportedQueryError, clamp01, rank_answers
 from .compiled import CompiledEngine
-from .lifted import LiftedEngine, is_safe_query
+from .lifted import LiftedEngine
 from .lineage_engine import LineageEngine
 from .montecarlo import MonteCarloEngine
 from .safe_plan import SafePlanEngine, generic_residual
+
+#: Cap on cached safety verdicts — like ``history_limit``, an
+#: unbounded per-query cache is a slow leak under sustained serving
+#: traffic with ever-fresh query shapes.  Verdict entries are tiny, so
+#: the cap is generous; eviction is insertion-ordered (oldest first).
+SAFETY_CACHE_LIMIT = 10_000
 
 
 @dataclass
@@ -83,7 +91,23 @@ class RouterEngine(Engine):
        oracle when ``exact_fallback`` is set.
 
     Set ``compile_budget=None`` to disable tier 3 (the pre-compilation
-    MystiQ architecture, kept for the paper-artifact benchmarks).
+    MystiQ architecture, kept for the paper-artifact benchmarks); a
+    budget of ``0`` keeps the tier enabled with a zero-node allowance
+    (every compilation fails fast and falls through, useful for
+    measuring pure fallback behaviour).  Negative budgets are rejected.
+
+    Serving knobs:
+
+    * ``circuit_cache`` / ``safety_cache`` — inject shared caches so a
+      long-lived owner (a :class:`~repro.serve.QuerySession`, or
+      several routers over one corpus) pools compiled circuits and
+      safety verdicts (the verdict cache is capped at
+      :data:`SAFETY_CACHE_LIMIT` entries, oldest evicted first);
+    * ``history_limit`` — :attr:`history` keeps one
+      :class:`RoutingDecision` per answer; under sustained serving
+      traffic an unbounded list is a memory leak, so it is a deque
+      bounded to the most recent ``history_limit`` decisions (default
+      10 000; ``None`` restores the unbounded behaviour).
     """
 
     name = "router"
@@ -95,29 +119,81 @@ class RouterEngine(Engine):
         mc_seed: Optional[int] = None,
         compile_budget: Optional[int] = 10_000,
         mc_backend: str = "auto",
+        circuit_cache: Optional[CircuitCache] = None,
+        safety_cache: Optional[Dict[ConjunctiveQuery, bool]] = None,
+        history_limit: Optional[int] = 10_000,
     ) -> None:
+        if compile_budget is not None and compile_budget < 0:
+            raise ValueError(
+                f"compile_budget must be None or >= 0, got {compile_budget}"
+            )
+        if history_limit is not None and history_limit <= 0:
+            raise ValueError(
+                f"history_limit must be None or positive, got {history_limit}"
+            )
         self.safe_plan = SafePlanEngine()
         self.lifted = LiftedEngine()
         self.lineage = LineageEngine()
         self.compiled: Optional[CompiledEngine] = (
-            CompiledEngine(mode="auto", max_nodes=compile_budget)
-            if compile_budget
+            CompiledEngine(
+                mode="auto", max_nodes=compile_budget, cache=circuit_cache
+            )
+            if compile_budget is not None
             else None
         )
         self.monte_carlo = MonteCarloEngine(
             samples=mc_samples, seed=mc_seed, backend=mc_backend
         )
         self.exact_fallback = exact_fallback
-        self.history: list[RoutingDecision] = []
-        self._safety_cache: Dict[ConjunctiveQuery, bool] = {}
+        self.history: Deque[RoutingDecision] = deque(maxlen=history_limit)
+        self._safety_cache: Dict[ConjunctiveQuery, bool] = (
+            safety_cache if safety_cache is not None else {}
+        )
 
     def is_safe(self, query: ConjunctiveQuery) -> bool:
-        """Cached safety decision for the routing choice."""
+        """Cached safety decision for the routing choice.
+
+        Delegates to the lifted engine's :meth:`prepare
+        <repro.engines.lifted.LiftedEngine.prepare>` hook (its
+        admission check *is* the safety decision), memoized in the
+        possibly-injected ``safety_cache``.
+        """
         cached = self._safety_cache.get(query)
         if cached is None:
-            cached = is_safe_query(query).safe
+            try:
+                self.lifted.prepare(query)
+                cached = True
+            except (UnsafeQueryError, UnsupportedQueryError):
+                cached = False
+            while len(self._safety_cache) >= SAFETY_CACHE_LIMIT:
+                self._safety_cache.pop(next(iter(self._safety_cache)))
             self._safety_cache[query] = cached
         return cached
+
+    def plan_query(self, query: ConjunctiveQuery) -> str:
+        """The database-independent part of routing, decided once.
+
+        Returns the engine name that will serve ``query`` when its
+        admission is syntactic — :attr:`safe_plan` or :attr:`lifted` —
+        or ``"unsafe"`` when the residual is #P-hard and the choice
+        between the compiled tier and the fallback depends on the
+        database (circuit budget).  This is the router's *prepare*
+        hook: the serving layer calls it when a query enters the
+        prepared-query cache, so per-request routing skips the
+        classification entirely.  Mirrors :meth:`probability` /
+        :meth:`answers` tier order exactly (safety of an answer-tuple
+        query is safety of its generic residual).
+        """
+        residual = generic_residual(query)
+        if not query.has_self_join():
+            try:
+                self.safe_plan.prepare(residual)
+                return self.safe_plan.name
+            except UnsupportedQueryError:
+                return "unsafe"
+        if self.is_safe(residual):
+            return self.lifted.name
+        return "unsafe"
 
     def probability(
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase

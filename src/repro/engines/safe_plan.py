@@ -39,6 +39,15 @@ class SafePlanEngine(Engine):
 
     name = "safe-plan"
 
+    def prepare(self, query: ConjunctiveQuery) -> None:
+        """Admission is purely syntactic: hierarchical, self-join free.
+
+        For an answer-tuple query pass the *generic residual* (head
+        variables frozen to placeholder constants) — the same query
+        :meth:`answers` checks internally.
+        """
+        check_supported(query)
+
     def probability(
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
     ) -> float:

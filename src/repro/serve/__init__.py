@@ -1,0 +1,18 @@
+"""Query-session serving layer: cross-query caching over mutable data.
+
+See :mod:`repro.serve.session` for the architecture.  Quickstart::
+
+    from repro.db.io import load_database
+    from repro.serve import QuerySession
+
+    session = QuerySession(load_database("data.json"))
+    session.evaluate("R(x), S(x,y)")          # cold: classify + plan
+    session.evaluate("R(x), S(x,y)")          # pure result-cache hit
+    session.update("R", (1,), 0.9)            # probability-only change
+    session.evaluate("R(x), S(x,y)")          # re-weighted, not re-planned
+    print(session.stats.describe())
+"""
+
+from .session import PreparedQuery, QuerySession, SessionStats
+
+__all__ = ["PreparedQuery", "QuerySession", "SessionStats"]

@@ -1,0 +1,630 @@
+"""Long-lived query sessions: the MystiQ *server* architecture.
+
+MystiQ is a server, not a batch tool: users issue a stream of queries
+against databases whose tuple probabilities drift as extraction
+confidences are re-estimated.  The engines in :mod:`repro.engines`
+re-derive everything — classification, safe plan, grounding, circuit —
+on every call; a :class:`QuerySession` is the layer that amortizes that
+work *across* calls:
+
+* **Prepared queries.**  Parsing, safety classification and tier
+  choice happen once per canonical query shape (variable renamings
+  collapse onto one entry) and live in an LRU of
+  :class:`PreparedQuery` records.
+
+* **Precise invalidation.**  The database is observably mutable
+  (:attr:`~repro.db.relation.Relation.version` /
+  :attr:`~repro.db.relation.Relation.structure_version`); every
+  prepared query tracks a version snapshot of exactly the relations it
+  mentions.  Unchanged relations ⇒ the cached *result* is returned
+  outright.  A probability-only change ⇒ the cached grounding and
+  compiled circuit survive and only the weight vector is refreshed
+  (one linear — or batched — circuit sweep, no re-grounding, no
+  recompilation).  A structural change (new tuple, probability moved
+  onto/off the {0, 1} boundary, new relation) ⇒ re-ground; the
+  structural circuit cache still catches shape-identical lineages.
+
+* **Batched evaluation.**  :meth:`QuerySession.evaluate_many` /
+  :meth:`QuerySession.answers_many` group everything that lands on the
+  same canonical compiled circuit — all answers of one query *and*
+  same-shape queries across the batch — into one weight matrix and a
+  single vectorized bottom-up sweep
+  (:func:`~repro.compile.evaluate.reweighted_probabilities`).
+
+The session reproduces the router's numbers exactly: every exact tier
+agrees with a fresh :class:`~repro.engines.router.RouterEngine` to
+float-epsilon, which the invalidation-matrix suite in
+``tests/test_serving.py`` pins to 1e-9 across the query zoo.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..compile.evaluate import reweighted_probabilities
+from ..core.parser import parse
+from ..core.query import ConjunctiveQuery, canonical_string
+from ..db.database import (
+    GroundTuple,
+    ProbabilisticDatabase,
+    RelationVersion,
+    TupleKey,
+)
+from ..db.relation import Probability, Value
+from ..engines.base import Answer, UnsupportedQueryError, clamp01, rank_answers
+from ..engines.compiled import Artifact, canonicalize_lineage
+from ..engines.router import RouterEngine
+from ..lineage.boolean import Lineage
+from ..lineage.grounding import ground_answer_lineages, ground_lineage
+from ..lineage.wmc import exact_probability
+
+#: A query as accepted by the session API: parsed or source text.
+QueryLike = Union[str, ConjunctiveQuery]
+
+#: Distinguishes "keyword not given" from every meaningful value
+#: (``compile_budget=None`` and ``mc_seed=None`` are both legitimate).
+_UNSET = object()
+
+#: One compiled group of a prepared answer query: the shared artifact,
+#: its canonical event order, and per-answer source events (original
+#: tuple keys aligned with the canonical order, for weight refreshes).
+CompiledGroup = Tuple[Artifact, List[TupleKey], List[Tuple[GroundTuple, List[TupleKey]]]]
+
+
+@dataclass
+class SessionStats:
+    """Counters describing how the session served its traffic."""
+
+    #: Distinct prepared queries created (prepared-cache misses).
+    prepared: int = 0
+    #: ``prepare()`` calls served from the prepared-query LRU.
+    prepare_hits: int = 0
+    #: Evaluations answered from the result cache (no relation the
+    #: query mentions changed since the cached result).
+    result_hits: int = 0
+    #: Safe-tier (PTIME plan) re-evaluations.
+    safe_evaluations: int = 0
+    #: Probability-only refreshes: cached grounding + circuit reused,
+    #: weights rebuilt from live marginals.
+    reweights: int = 0
+    #: Structural invalidations: grounding redone (circuits may still
+    #: come from the structural cache).
+    regrounds: int = 0
+    #: Weight rows evaluated through batched circuit sweeps.
+    batched_rows: int = 0
+    #: Batched bottom-up sweeps performed.
+    batched_sweeps: int = 0
+    #: Evaluations that fell through to Monte Carlo / the exact oracle.
+    fallbacks: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"prepared {self.prepared} "
+            f"(+{self.prepare_hits} hits), "
+            f"results: {self.result_hits} cached / "
+            f"{self.safe_evaluations} safe / "
+            f"{self.reweights} reweighted / "
+            f"{self.regrounds} grounded, "
+            f"{self.batched_rows} rows in {self.batched_sweeps} sweeps, "
+            f"{self.fallbacks} fallbacks"
+        )
+
+
+class PreparedQuery:
+    """Per-shape cached state: classification, grounding, circuits.
+
+    Built by :meth:`QuerySession.prepare`; callers treat it as opaque.
+    ``tier`` is the database-independent routing choice (an engine
+    name, or ``"unsafe"``).  For unsafe queries the grounded state
+    below is valid as long as ``structure`` matches the database's
+    structural snapshot; ``result`` is valid while the full snapshot
+    ``result_versions`` matches.
+    """
+
+    __slots__ = (
+        "query", "shape", "relations", "tier",
+        "result", "result_versions",
+        "structure", "lineage", "artifact", "events", "sources",
+        "groups", "trivial", "leftovers",
+    )
+
+    def __init__(self, query: ConjunctiveQuery, shape: str, tier: str) -> None:
+        self.query = query
+        self.shape = shape
+        self.relations: Tuple[str, ...] = query.relations
+        self.tier = tier
+        #: Cached result (float for Boolean, ranked answer list for
+        #: answer-tuple queries) + the snapshot it was computed under.
+        self.result = None
+        self.result_versions: Optional[Tuple[RelationVersion, ...]] = None
+        #: Structural snapshot the grounded state below belongs to.
+        self.structure: Optional[Tuple[Tuple[str, int], ...]] = None
+        # Boolean unsafe state -------------------------------------------------
+        self.lineage: Optional[Lineage] = None
+        self.artifact: Optional[Artifact] = None
+        self.events: Optional[List[TupleKey]] = None
+        self.sources: Optional[List[TupleKey]] = None
+        # Answer-tuple unsafe state -------------------------------------------
+        self.groups: Optional[List[CompiledGroup]] = None
+        self.trivial: Optional[List[Answer]] = None
+        self.leftovers: Optional[Dict[GroundTuple, Lineage]] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreparedQuery({self.shape!r}, tier={self.tier!r})"
+
+
+class _ArtifactBatch:
+    """Accumulates weight rows per compiled artifact, flushes in sweeps.
+
+    Rows landing on the same artifact — the answers of one prepared
+    query, or same-shape queries across a batch — are stacked into one
+    matrix and evaluated by a single vectorized bottom-up pass.  Each
+    row carries a sink callback that receives its (clamped) value.
+    """
+
+    def __init__(self, stats: SessionStats) -> None:
+        self._stats = stats
+        self._groups: Dict[int, Tuple[Artifact, List[TupleKey], list, list]] = {}
+
+    def add(
+        self,
+        artifact: Artifact,
+        events: List[TupleKey],
+        row: List[float],
+        sink: Callable[[float], None],
+    ) -> None:
+        group = self._groups.get(id(artifact))
+        if group is None:
+            group = self._groups[id(artifact)] = (artifact, events, [], [])
+        group[2].append(row)
+        group[3].append(sink)
+
+    def flush(self) -> None:
+        for artifact, events, rows, sinks in self._groups.values():
+            values = reweighted_probabilities(artifact, events, rows)
+            self._stats.batched_sweeps += 1
+            self._stats.batched_rows += len(rows)
+            for sink, value in zip(sinks, values):
+                sink(clamp01(value))
+        self._groups.clear()
+
+
+class QuerySession:
+    """A long-lived serving façade over a router and a mutable database.
+
+    Args:
+        db: the database to serve; mutate it freely (directly or via
+            :meth:`update`) — the session notices through the version
+            counters and invalidates exactly what the change affects.
+        router: optionally a pre-configured
+            :class:`~repro.engines.router.RouterEngine`; by default one
+            is built from the remaining keyword arguments.  Passing
+            both a router *and* router-config keywords is rejected —
+            the keywords could not take effect and silently dropping
+            them would mask the caller's intent.
+        max_prepared: LRU capacity of the prepared-query cache.
+        exact_fallback, mc_samples, mc_seed, compile_budget,
+        mc_backend: forwarded to the default router.
+
+    The Monte Carlo tier is stochastic: cached MC results are served
+    as long as the database is unchanged (a feature for serving — one
+    workload, one answer), and refreshed by re-sampling after any
+    change to the query's relations.
+    """
+
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        router: Optional[RouterEngine] = None,
+        *,
+        max_prepared: int = 256,
+        exact_fallback=_UNSET,
+        mc_samples=_UNSET,
+        mc_seed=_UNSET,
+        compile_budget=_UNSET,
+        mc_backend=_UNSET,
+    ) -> None:
+        if max_prepared <= 0:
+            raise ValueError(f"max_prepared must be positive, got {max_prepared}")
+        router_config = {
+            name: value
+            for name, value in (
+                ("exact_fallback", exact_fallback),
+                ("mc_samples", mc_samples),
+                ("mc_seed", mc_seed),
+                ("compile_budget", compile_budget),
+                ("mc_backend", mc_backend),
+            )
+            if value is not _UNSET
+        }
+        if router is not None and router_config:
+            raise ValueError(
+                f"pass either a pre-built router or router configuration, "
+                f"not both: {sorted(router_config)} would be ignored"
+            )
+        self.db = db
+        self.router = (
+            router if router is not None else RouterEngine(**router_config)
+        )
+        self.max_prepared = max_prepared
+        self._prepared: "OrderedDict[str, PreparedQuery]" = OrderedDict()
+        self.stats = SessionStats()
+
+    # ------------------------------------------------------------------
+    # Preparation
+    # ------------------------------------------------------------------
+
+    def prepare(self, query: QueryLike) -> PreparedQuery:
+        """Parse / classify / plan once, keyed by canonical shape.
+
+        Accepts query text or a parsed query; isomorphic queries
+        (variable renamings) collapse onto one prepared entry.
+        """
+        query = self._parse(query)
+        shape = canonical_string(query)
+        prepared = self._prepared.get(shape)
+        if prepared is not None:
+            self._prepared.move_to_end(shape)
+            self.stats.prepare_hits += 1
+            return prepared
+        prepared = PreparedQuery(query, shape, self.router.plan_query(query))
+        self._prepared[shape] = prepared
+        self.stats.prepared += 1
+        while len(self._prepared) > self.max_prepared:
+            self._prepared.popitem(last=False)
+        return prepared
+
+    def clear(self) -> None:
+        """Drop every cached plan, grounding and result."""
+        self._prepared.clear()
+
+    # ------------------------------------------------------------------
+    # Database mutation sugar
+    # ------------------------------------------------------------------
+
+    def update(
+        self, relation: str, row: Sequence[Value], probability: Probability
+    ) -> None:
+        """Insert or re-weight one tuple (``db.add`` passthrough).
+
+        Invalidation is automatic either way; a probability-only
+        change keeps every compiled circuit alive.
+        """
+        self.db.add(relation, tuple(row), probability)
+
+    # ------------------------------------------------------------------
+    # Boolean evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, query: QueryLike) -> float:
+        """``p(q)`` by the cheapest correct path, cache-aware."""
+        return self.evaluate_many([query])[0]
+
+    def evaluate_many(self, queries: Sequence[QueryLike]) -> List[float]:
+        """Evaluate a batch of Boolean queries.
+
+        Duplicate and same-shape queries collapse: every query whose
+        canonical compiled circuit coincides contributes one weight row
+        to a shared batched sweep.  Answer-tuple queries are read as
+        their Boolean existential closure (engine convention).
+        """
+        unique: List[PreparedQuery] = []
+        slot_of: Dict[str, int] = {}
+        slots: List[int] = []
+        for query in queries:
+            parsed = self._parse(query)
+            prepared = self.prepare(parsed.boolean())
+            if prepared.shape not in slot_of:
+                slot_of[prepared.shape] = len(unique)
+                unique.append(prepared)
+            slots.append(slot_of[prepared.shape])
+        results: List[Optional[float]] = [None] * len(unique)
+        batch = _ArtifactBatch(self.stats)
+        deferred: List[Tuple[int, PreparedQuery, Tuple[RelationVersion, ...]]] = []
+        for index, prepared in enumerate(unique):
+            value = self._evaluate_boolean(prepared, batch, results, index,
+                                           deferred)
+            if value is not None:
+                results[index] = value
+        batch.flush()
+        for index, prepared, snapshot in deferred:
+            self._store(prepared, snapshot, results[index])
+        return [results[slot] for slot in slots]
+
+    def _evaluate_boolean(
+        self,
+        prepared: PreparedQuery,
+        batch: _ArtifactBatch,
+        results: List[Optional[float]],
+        index: int,
+        deferred: list,
+    ) -> Optional[float]:
+        """One Boolean query; returns its value, or None when a row was
+        deferred into the batch (the sink fills ``results[index]``)."""
+        snapshot = self.db.version_snapshot(prepared.relations)
+        if prepared.result_versions == snapshot:
+            self.stats.result_hits += 1
+            return prepared.result
+        query = prepared.query
+        if prepared.tier != "unsafe":
+            engine = (
+                self.router.safe_plan
+                if prepared.tier == self.router.safe_plan.name
+                else self.router.lifted
+            )
+            value = engine.probability(query, self.db)
+            self.stats.safe_evaluations += 1
+            self._store(prepared, snapshot, value)
+            return value
+        self._refresh_boolean(prepared, snapshot)
+        lineage = prepared.lineage
+        if lineage.certainly_true:
+            value = 1.0
+        elif lineage.is_false:
+            value = 0.0
+        elif prepared.artifact is not None:
+            def sink(value: float, index: int = index) -> None:
+                results[index] = value
+
+            batch.add(
+                prepared.artifact, prepared.events,
+                self._weight_row(prepared.sources), sink,
+            )
+            deferred.append((index, prepared, snapshot))
+            return None
+        else:
+            value = self._fallback_probability(lineage)
+        self._store(prepared, snapshot, value)
+        return value
+
+    def _refresh_boolean(
+        self, prepared: PreparedQuery, snapshot: Tuple[RelationVersion, ...]
+    ) -> None:
+        """Re-ground on structural change; otherwise keep the circuit."""
+        structure = _structure_of(snapshot)
+        if prepared.structure == structure:
+            self.stats.reweights += 1
+            return
+        lineage = ground_lineage(prepared.query, self.db)
+        prepared.lineage = lineage
+        prepared.artifact = prepared.events = prepared.sources = None
+        if (
+            self.router.compiled is not None
+            and not lineage.certainly_true
+            and not lineage.is_false
+        ):
+            canonical, weights, renaming = canonicalize_lineage(lineage)
+            try:
+                artifact = self.router.compiled.compile_lineage(canonical)
+            except UnsupportedQueryError:
+                artifact = None
+            if artifact is not None:
+                events = sorted(weights)
+                inverse = {new: old for old, new in renaming.items()}
+                prepared.artifact = artifact
+                prepared.events = events
+                prepared.sources = [inverse[event] for event in events]
+        prepared.structure = structure
+        self.stats.regrounds += 1
+
+    def _fallback_probability(self, lineage: Lineage) -> float:
+        """The router's tier-4 fallback, fed the cached lineage."""
+        fresh = self._fresh_lineage(lineage)
+        self.stats.fallbacks += 1
+        if self.router.exact_fallback:
+            return float(exact_probability(fresh))
+        estimate, _half_width = self.router.monte_carlo.estimate_lineage(fresh)
+        return clamp01(estimate)
+
+    # ------------------------------------------------------------------
+    # Answer-tuple evaluation
+    # ------------------------------------------------------------------
+
+    def answers(
+        self, query: QueryLike, k: Optional[int] = None
+    ) -> List[Answer]:
+        """Ranked answer tuples, cache-aware."""
+        return self.answers_many([query], k)[0]
+
+    def answers_many(
+        self, queries: Sequence[QueryLike], k: Optional[int] = None
+    ) -> List[List[Answer]]:
+        """Ranked answers for a batch of queries.
+
+        All per-answer lineages landing on the same canonical circuit
+        — within one query and across same-shape queries — share one
+        batched sweep.  The *full* ranking is cached; ``k`` truncates
+        per call, so changing ``k`` against an unchanged database is a
+        pure cache hit.
+        """
+        unique: List[PreparedQuery] = []
+        slot_of: Dict[str, int] = {}
+        slots: List[int] = []
+        boolean_queries: List[ConjunctiveQuery] = []
+        for query in queries:
+            parsed = self._parse(query)
+            if parsed.head is None:
+                # Boolean query: single answer () with p(q), like the
+                # router.  Deferred so all Boolean members of the batch
+                # share one evaluate_many sweep.
+                slots.append(-len(boolean_queries) - 1)
+                boolean_queries.append(parsed)
+                continue
+            prepared = self.prepare(parsed)
+            if prepared.shape not in slot_of:
+                slot_of[prepared.shape] = len(unique)
+                unique.append(prepared)
+            slots.append(slot_of[prepared.shape])
+        boolean = (
+            self.evaluate_many(boolean_queries) if boolean_queries else []
+        )
+        results: List[Optional[List[Answer]]] = [None] * len(unique)
+        batch = _ArtifactBatch(self.stats)
+        finals: List[Tuple[int, PreparedQuery, Tuple[RelationVersion, ...], List[Answer]]] = []
+        for index, prepared in enumerate(unique):
+            ranked = self._evaluate_answers(prepared, batch, finals, index)
+            if ranked is not None:
+                results[index] = ranked
+        batch.flush()
+        for index, prepared, snapshot, collected in finals:
+            ranked = rank_answers(collected)
+            self._store(prepared, snapshot, ranked)
+            results[index] = ranked
+        out: List[List[Answer]] = []
+        for slot in slots:
+            if slot < 0:
+                value = boolean[-slot - 1]
+                ranked = rank_answers([((), value)])
+            else:
+                ranked = results[slot]
+            # Always a fresh list: the full ranking also lives in the
+            # result cache, and callers are free to mutate theirs.
+            out.append(list(ranked) if k is None else ranked[:k])
+        return out
+
+    def _evaluate_answers(
+        self,
+        prepared: PreparedQuery,
+        batch: _ArtifactBatch,
+        finals: list,
+        index: int,
+    ) -> Optional[List[Answer]]:
+        """One answer query; returns the cached/safe ranking, or None
+        when compiled rows were deferred (``finals`` completes it)."""
+        snapshot = self.db.version_snapshot(prepared.relations)
+        if prepared.result_versions == snapshot:
+            self.stats.result_hits += 1
+            return prepared.result
+        query = prepared.query
+        if prepared.tier == self.router.safe_plan.name:
+            ranked = self.router.safe_plan.answers(query, self.db)
+            self.stats.safe_evaluations += 1
+            self._store(prepared, snapshot, ranked)
+            return ranked
+        if prepared.tier == self.router.lifted.name:
+            ranked = self.router.lifted.answers(query, self.db, assume_safe=True)
+            self.stats.safe_evaluations += 1
+            self._store(prepared, snapshot, ranked)
+            return ranked
+        self._refresh_answers(prepared, snapshot)
+        collected: List[Answer] = list(prepared.trivial)
+        for artifact, events, members in prepared.groups:
+            for answer, sources in members:
+                def sink(value: float, answer: GroundTuple = answer) -> None:
+                    collected.append((answer, value))
+
+                batch.add(artifact, events, self._weight_row(sources), sink)
+        if prepared.leftovers:
+            collected.extend(self._fallback_answers(prepared.leftovers))
+        finals.append((index, prepared, snapshot, collected))
+        return None
+
+    def _refresh_answers(
+        self, prepared: PreparedQuery, snapshot: Tuple[RelationVersion, ...]
+    ) -> None:
+        """Answer-query grounding state, rebuilt only on structure change."""
+        structure = _structure_of(snapshot)
+        if prepared.structure == structure:
+            self.stats.reweights += 1
+            return
+        trivial: List[Answer] = []
+        leftovers: Dict[GroundTuple, Lineage] = {}
+        groups: Dict[int, CompiledGroup] = {}
+        positions: Dict[int, Dict[TupleKey, int]] = {}
+        for answer, lineage in ground_answer_lineages(
+            prepared.query, self.db
+        ).items():
+            if lineage.certainly_true:
+                trivial.append((answer, 1.0))
+                continue
+            if lineage.is_false:
+                continue
+            if self.router.compiled is None:
+                leftovers[answer] = lineage
+                continue
+            canonical, weights, renaming = canonicalize_lineage(lineage)
+            try:
+                artifact = self.router.compiled.compile_lineage(canonical)
+            except UnsupportedQueryError:
+                leftovers[answer] = lineage
+                continue
+            key = id(artifact)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = (artifact, sorted(weights), [])
+                positions[key] = {
+                    event: index for index, event in enumerate(group[1])
+                }
+            # One pass over the renaming, no inverted intermediate dict.
+            position = positions[key]
+            sources: List[TupleKey] = [None] * len(group[1])
+            for original, canonical_event in renaming.items():
+                sources[position[canonical_event]] = original
+            group[2].append((answer, sources))
+        prepared.trivial = trivial
+        prepared.groups = list(groups.values())
+        prepared.leftovers = leftovers
+        prepared.structure = structure
+        self.stats.regrounds += 1
+
+    def _fallback_answers(
+        self, leftovers: Dict[GroundTuple, Lineage]
+    ) -> List[Answer]:
+        """Router tier-4 for answers that did not compile."""
+        fresh = {
+            answer: self._fresh_lineage(lineage)
+            for answer, lineage in leftovers.items()
+        }
+        self.stats.fallbacks += 1
+        if self.router.exact_fallback:
+            return [
+                (answer, float(exact_probability(lineage)))
+                for answer, lineage in fresh.items()
+            ]
+        return self.router.monte_carlo.answers_from_lineages(fresh)
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+
+    def _parse(self, query: QueryLike) -> ConjunctiveQuery:
+        if isinstance(query, str):
+            return parse(query)
+        if not isinstance(query, ConjunctiveQuery):
+            raise TypeError(
+                f"expected query text or ConjunctiveQuery, got {query!r}"
+            )
+        return query
+
+    def _store(
+        self,
+        prepared: PreparedQuery,
+        snapshot: Tuple[RelationVersion, ...],
+        value,
+    ) -> None:
+        prepared.result = value
+        prepared.result_versions = snapshot
+
+    def _weight_row(self, sources: Sequence[TupleKey]) -> List[float]:
+        """Live marginals for a circuit's events, in canonical order."""
+        probability = self.db.probability
+        return [float(probability(name, row)) for name, row in sources]
+
+    def _fresh_lineage(self, lineage: Lineage) -> Lineage:
+        """The cached clause structure with live marginals."""
+        weights = {
+            key: float(self.db.probability(key[0], key[1]))
+            for key in lineage.events()
+        }
+        return Lineage(
+            lineage.clauses, weights, certainly_true=lineage.certainly_true
+        )
+
+
+def _structure_of(
+    snapshot: Tuple[RelationVersion, ...]
+) -> Tuple[Tuple[str, int], ...]:
+    """The structural part of a version snapshot."""
+    return tuple((name, structure) for name, structure, _version in snapshot)

@@ -294,7 +294,7 @@ def test_router_answers_acceptance():
     )
     probabilities = [p for _, p in results]
     assert probabilities == sorted(probabilities, reverse=True)
-    decisions = router.history[before:]
+    decisions = list(router.history)[before:]
     assert len(decisions) == len(results)
     assert {d.answer for d in decisions} == {a for a, _ in results}
     assert all(d.engine == "safe-plan" and d.safe for d in decisions)

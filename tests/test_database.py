@@ -69,6 +69,101 @@ class TestRelation:
         assert r.deterministic_view().probability((1,)) == 1
 
 
+class TestRelationIndexOverwrite:
+    """Regression: a probability overwrite must not nuke column indexes."""
+
+    def test_overwrite_keeps_indexes_valid(self):
+        r = Relation("R")
+        r.add((1, 10), 0.5)
+        r.add((1, 11), 0.5)
+        r.add((2, 10), 0.5)
+        index0 = r.index_on(0)
+        index1 = r.index_on(1)
+        r.add((1, 10), 0.9)  # overwrite: membership unchanged
+        # The prefetched index objects stay live and correct (the
+        # grounding planner holds them across backtracking steps).
+        assert r.index_on(0) is index0
+        assert r.index_on(1) is index1
+        assert sorted(r.matching(0, 1)) == [(1, 10), (1, 11)]
+        assert r.matching(1, 10) == [(1, 10), (2, 10)]
+
+    def test_overwrite_leaves_no_stale_rows(self):
+        r = Relation("R")
+        r.add((1, 10), 0.5)
+        r.index_on(0)
+        r.add((1, 10), 0.25)
+        assert r.matching(0, 1) == [(1, 10)]  # exactly once, not duplicated
+        assert r.probability((1, 10)) == 0.25
+
+    def test_insert_after_overwrite_extends_index(self):
+        r = Relation("R")
+        r.add((1, 10), 0.5)
+        index = r.index_on(0)
+        r.add((1, 10), 0.75)
+        r.add((1, 12), 0.5)
+        assert index[1] == [(1, 10), (1, 12)]
+
+
+class TestVersionCounters:
+    def test_insert_bumps_both_counters(self):
+        r = Relation("R")
+        assert (r.structure_version, r.version) == (0, 0)
+        r.add((1,), 0.5)
+        assert (r.structure_version, r.version) == (1, 1)
+
+    def test_interior_overwrite_is_weights_only(self):
+        r = Relation("R")
+        r.add((1,), 0.5)
+        r.add((1,), 0.7)
+        assert r.version == 2
+        assert r.structure_version == 1
+
+    def test_identical_overwrite_is_a_noop(self):
+        r = Relation("R")
+        r.add((1,), 0.5)
+        r.add((1,), 0.5)
+        assert (r.structure_version, r.version) == (1, 1)
+
+    @pytest.mark.parametrize("before, after", [
+        (0.5, 1.0), (0.5, 0.0), (1.0, 0.5), (0.0, 0.5), (0.0, 1.0),
+    ])
+    def test_boundary_overwrite_is_structural(self, before, after):
+        r = Relation("R")
+        r.add((1,), before)
+        structure = r.structure_version
+        r.add((1,), after)
+        assert r.structure_version == structure + 1
+
+    def test_database_versions_aggregate(self):
+        db = ProbabilisticDatabase.from_dict({"R": {(1,): 0.5}})
+        v, sv = db.version, db.structure_version
+        db.add("R", (2,), 0.5)
+        assert db.version == v + 1 and db.structure_version == sv + 1
+        db.add("R", (2,), 0.6)
+        assert db.version == v + 2 and db.structure_version == sv + 1
+
+    def test_direct_relation_mutation_is_visible(self):
+        db = ProbabilisticDatabase.from_dict({"R": {(1,): 0.5}})
+        v = db.version
+        db.relation("R").add((5,), 0.5)  # bypasses ProbabilisticDatabase.add
+        assert db.version == v + 1
+
+    def test_version_snapshot_restricts_and_detects_creation(self):
+        db = ProbabilisticDatabase.from_dict({"R": {(1,): 0.5}})
+        snap = db.version_snapshot(["R", "S"])
+        assert snap == (("R", 1, 1), ("S", 0, 0))
+        assert not db.has_relation("S")  # snapshot did not create it
+        db.add("S", (1, 2), 0.5)
+        assert db.version_snapshot(["R", "S"]) != snap
+        assert db.version_snapshot(["R"]) == (("R", 1, 1),)
+
+    def test_added_relation_with_tuples_counts(self):
+        db = ProbabilisticDatabase()
+        assert db.version == 0
+        db.add_relation(Relation("R", tuples={(1,): 0.5}))
+        assert db.version == 1 and db.structure_version == 1
+
+
 class TestProbabilisticDatabase:
     def test_from_dict(self):
         db = ProbabilisticDatabase.from_dict(

@@ -53,6 +53,57 @@ def test_validation_errors(raw, fragment):
     assert fragment in str(excinfo.value)
 
 
+def test_duplicate_list_rows_rejected():
+    with pytest.raises(DatabaseFormatError) as excinfo:
+        parse_database({"R": [[[1], 0.5], [[1], 0.7]]})
+    message = str(excinfo.value)
+    assert "'R'" in message and "[1]" in message and "duplicate row" in message
+    assert "on_duplicate='overwrite'" in message
+
+
+def test_duplicate_mapping_rows_rejected():
+    # "[1]" and "1" decode to the same unary row.
+    with pytest.raises(DatabaseFormatError) as excinfo:
+        parse_database({"R": {"[1]": 0.5, "1": 0.7}})
+    assert "duplicate row" in str(excinfo.value)
+
+
+def test_duplicate_rows_overwrite_escape_hatch():
+    db = parse_database(
+        {"R": [[[1], 0.5], [[1], 0.7]]}, on_duplicate="overwrite"
+    )
+    assert db.probability("R", (1,)) == 0.7
+    db = parse_database(
+        {"R": {"[1]": 0.5, "1": 0.7}}, on_duplicate="overwrite"
+    )
+    assert db.probability("R", (1,)) == 0.7
+
+
+def test_duplicates_allowed_across_relations():
+    db = parse_database({"R": [[[1], 0.5]], "S": [[[1], 0.7]]})
+    assert db.probability("R", (1,)) == 0.5
+    assert db.probability("S", (1,)) == 0.7
+
+
+def test_invalid_on_duplicate_rejected():
+    with pytest.raises(ValueError, match="on_duplicate"):
+        parse_database({"R": [[[1], 0.5]]}, on_duplicate="skip")
+    with pytest.raises(ValueError, match="on_duplicate"):
+        load_database("/nonexistent.json", on_duplicate="skip")
+
+
+def test_load_database_rejects_textual_duplicate_keys(tmp_path):
+    # json.loads would silently collapse these before validation.
+    path = tmp_path / "dup.json"
+    path.write_text('{"R": {"[1]": 0.5, "[1]": 0.7}}')
+    with pytest.raises(DatabaseFormatError) as excinfo:
+        load_database(str(path))
+    assert "duplicate JSON object key" in str(excinfo.value)
+    assert str(path) in str(excinfo.value)
+    db = load_database(str(path), on_duplicate="overwrite")
+    assert db.probability("R", (1,)) == 0.7
+
+
 def test_load_database_reports_path(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text('{"R": [[[1], 2.0]]}')

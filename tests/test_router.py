@@ -1,0 +1,128 @@
+"""Router construction knobs: compile budget, bounded history, caches."""
+
+import pytest
+
+from repro.compile import CircuitCache
+from repro.core import parse
+from repro.db import random_database_for_query
+from repro.engines import (
+    LiftedEngine,
+    RouterEngine,
+    SafePlanEngine,
+    UnsafeQueryError,
+    UnsupportedQueryError,
+)
+
+UNSAFE = parse("R(x), S(x,y), T(y)")
+SAFE = parse("R(x), S(x,y)")
+
+
+def _db(seed=1):
+    return random_database_for_query(UNSAFE, 4, density=0.7, seed=seed)
+
+
+class TestCompileBudget:
+    def test_none_disables_the_compiled_tier(self):
+        assert RouterEngine(compile_budget=None).compiled is None
+
+    def test_zero_keeps_the_tier_enabled(self):
+        # Regression: `if compile_budget` treated 0 like None, silently
+        # disabling the tier the docstring says only None disables.
+        router = RouterEngine(compile_budget=0)
+        assert router.compiled is not None
+        assert router.compiled.max_nodes == 0
+
+    def test_zero_budget_falls_through_to_the_fallback(self):
+        db = _db()
+        router = RouterEngine(compile_budget=0, exact_fallback=True)
+        value = router.probability(UNSAFE, db)
+        decision = router.history[-1]
+        assert decision.engine == "lineage-wmc"
+        assert "compile" in decision.fallback_reason
+        reference = RouterEngine(exact_fallback=True).probability(UNSAFE, db)
+        assert value == pytest.approx(reference, abs=1e-9)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="compile_budget"):
+            RouterEngine(compile_budget=-1)
+
+    def test_default_budget_uses_the_compiled_tier(self):
+        router = RouterEngine()
+        router.probability(UNSAFE, _db())
+        assert router.history[-1].engine == "compiled"
+
+
+class TestHistoryBound:
+    def test_history_is_bounded(self):
+        db = _db()
+        router = RouterEngine(history_limit=3)
+        for _ in range(5):
+            router.probability(SAFE, db)
+        assert len(router.history) == 3
+        assert router.history.maxlen == 3
+        assert all(d.engine == "safe-plan" for d in router.history)
+
+    def test_default_is_generous_but_finite(self):
+        assert RouterEngine().history.maxlen == 10_000
+
+    def test_none_restores_unbounded(self):
+        assert RouterEngine(history_limit=None).history.maxlen is None
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(ValueError, match="history_limit"):
+            RouterEngine(history_limit=0)
+
+
+class TestInjectedCaches:
+    def test_shared_circuit_cache_across_routers(self):
+        db = _db()
+        cache = CircuitCache()
+        first = RouterEngine(circuit_cache=cache)
+        value = first.probability(UNSAFE, db)
+        misses = cache.misses
+        second = RouterEngine(circuit_cache=cache)
+        assert second.probability(UNSAFE, db) == pytest.approx(value, abs=1e-12)
+        assert cache.hits > 0
+        assert cache.misses == misses  # nothing recompiled
+
+    def test_shared_safety_cache(self):
+        verdicts = {}
+        router = RouterEngine(safety_cache=verdicts)
+        router.plan_query(parse("R(x), S(x,y), R(y)"))
+        assert verdicts  # the decision landed in the injected dict
+
+    def test_plan_query_matches_routing(self):
+        db = _db()
+        router = RouterEngine()
+        for text in ("R(x), S(x,y)", "R(x), S(x,y), T(y)"):
+            query = parse(text)
+            plan = router.plan_query(query)
+            router.probability(query, db)
+            routed = router.history[-1]
+            if plan == "unsafe":
+                assert not routed.safe
+            else:
+                assert routed.engine == plan
+
+    def test_is_safe_agrees_with_the_lifted_prepare_hook(self):
+        router = RouterEngine()
+        safe = parse("R(x,y), R(y,x)")
+        unsafe = parse("R(x,y), R(y,z)")
+        assert router.is_safe(safe)
+        assert not router.is_safe(unsafe)
+        LiftedEngine().prepare(safe)  # the hook accepts safe queries
+        with pytest.raises(UnsafeQueryError):
+            LiftedEngine().prepare(unsafe)
+
+    def test_safe_plan_prepare_hook(self):
+        SafePlanEngine().prepare(parse("R(x), S(x,y)"))
+        with pytest.raises(UnsupportedQueryError):
+            SafePlanEngine().prepare(parse("R(x), S(x,y), T(y)"))
+
+    def test_plan_query_uses_the_residual_for_answer_queries(self):
+        # Non-hierarchical as a Boolean query, but the residual (head
+        # frozen) has a safe group-by plan.
+        answers_query = parse("Q(x) :- R(x), S(x,y), T(y)")
+        router = RouterEngine()
+        assert router.plan_query(answers_query) == "safe-plan"
+        assert router.plan_query(answers_query.boolean()) == "unsafe"

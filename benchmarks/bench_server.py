@@ -1,0 +1,299 @@
+"""V1 — the concurrent serving front: sharded workers vs one worker.
+
+The scenario the pool was built for: sustained mixed traffic over many
+distinct query shapes, with tuple probabilities drifting between
+rounds.  Per-worker memory bounds the prepared-query LRU
+(``max_prepared``); the workload's shape universe deliberately
+exceeds one worker's LRU, so the two configurations separate:
+
+* **1 worker** — every shape lands on the same session, the LRU
+  thrashes, and nearly every request pays classification + grounding
+  (+ circuit-cache lookup) again;
+* **4 workers** — shapes hash-shard across workers
+  (:func:`repro.serve.pool.shard_of`), each worker holds its slice of
+  the shape universe comfortably, and the steady state is result-cache
+  hits plus cheap re-weights after each update.
+
+That is the architectural claim measured here: sharding by canonical
+query shape multiplies aggregate cache capacity and keeps every
+worker's caches hot.  On a multi-core host, CPU parallelism across
+workers adds on top of this (the benchmark also runs — and this
+machine may well be single-core, as the CI runner is); the asserted
+**≥3×** comes from cache locality alone, so it holds either way.
+
+Every response from both configurations is compared against a fresh
+:class:`~repro.engines.router.RouterEngine` replaying the identical
+deterministic workload — agreement to 1e-9 is asserted always, also
+in smoke mode.
+
+A second, unasserted section reports Monte Carlo *scatter*: a spike of
+unsafe lineages estimated through :meth:`ServerPool.estimate_lineages`
+across 4 workers vs inline (wall-clock parity expected on one core,
+speedup on several).
+
+Emits ``BENCH_server.json``.  CI smoke: ``python
+benchmarks/bench_server.py --smoke`` (tiny sizes, correctness
+assertions only, no timing assertions; still writes the JSON).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core import parse
+from repro.db import ProbabilisticDatabase, random_database
+from repro.engines import RouterEngine
+from repro.lineage.grounding import ground_lineage
+from repro.serve import ServerPool, SessionConfig
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+BOOLEAN_SHAPE = "R{i}(x), S{i}(x,y), T{i}(y)"   # #P-hard: compiled tier
+ANSWER_SHAPE = "Q(x) :- R{i}(x), S{i}(x,y), T{i}(y)"
+
+
+def build_db(n_shapes, domain, density=0.3):
+    """One private R/S/T family per shape, each structurally distinct."""
+    merged = ProbabilisticDatabase()
+    for i in range(n_shapes):
+        part = random_database(
+            {f"R{i}": 1, f"S{i}": 2, f"T{i}": 1},
+            domain_size=domain, density=density, seed=1000 + i,
+        )
+        # Sparse draws can leave a relation empty; pin one connected
+        # match so every shape has a non-trivial lineage to serve.
+        part.relation(f"R{i}").add((0,), 0.5)
+        part.relation(f"S{i}").add((0, 1), 0.5)
+        part.relation(f"T{i}").add((1,), 0.5)
+        for relation in part.relations():
+            merged.add_relation(relation)
+    return merged
+
+
+def build_workload(n_shapes, rounds, db):
+    """A deterministic mixed request stream, one list per round.
+
+    Each round drifts one tuple's probability (round-robin over the
+    shape families) and then queries every shape — Boolean for all,
+    ranked answers for every fourth — so the warm path sees mostly
+    result hits, a few re-weights, and zero recompilations.
+    """
+    first_rows = {
+        i: next(iter(db.relation(f"R{i}").tuples())) for i in range(n_shapes)
+    }
+    plan = []
+    for r in range(rounds):
+        target = r % n_shapes
+        ops = [("update", f"R{target}", first_rows[target],
+                0.15 + 0.6 * ((3 * r + 1) % 7) / 7.0)]
+        ops.extend(
+            ("evaluate", BOOLEAN_SHAPE.format(i=i)) for i in range(n_shapes)
+        )
+        ops.extend(
+            ("answers", ANSWER_SHAPE.format(i=i), 3)
+            for i in range(0, n_shapes, 4)
+        )
+        plan.append(ops)
+    return plan
+
+
+def replay_expected(db, plan):
+    """Ground truth on a private copy: a fresh exact router per round.
+
+    The router shares nothing with the pools under test; one instance
+    per round (rather than per request) only spares the ground-truth
+    pass recompiling every circuit 240 times.
+    """
+    shadow = db.copy()
+    expected = []
+    for ops in plan:
+        fresh = RouterEngine(exact_fallback=True)
+        for op in ops:
+            if op[0] == "update":
+                shadow.add(op[1], op[2], op[3])
+            elif op[0] == "evaluate":
+                expected.append(fresh.probability(parse(op[1]), shadow))
+            else:
+                expected.append(fresh.answers(parse(op[1]), shadow, op[2]))
+    return expected
+
+
+def run_pool(workers, db, plan, config):
+    """Drive the full workload through one pool; returns timing + responses."""
+    pool = ServerPool(
+        db.copy(), workers=workers, config=config, request_timeout=600
+    )
+    try:
+        # Warm-up: one pass over every query shape, outside the timer
+        # (both configurations get it; only the sharded one can hold on
+        # to what it prepared).
+        for ops in plan[:1]:
+            for op in ops:
+                if op[0] == "evaluate":
+                    pool.evaluate(op[1])
+                elif op[0] == "answers":
+                    pool.answers(op[1], op[2])
+        responses = []
+        requests = 0
+        start = time.perf_counter()
+        for ops in plan:
+            evaluates = [op[1] for op in ops if op[0] == "evaluate"]
+            answer_ops = [op for op in ops if op[0] == "answers"]
+            for op in ops:
+                if op[0] == "update":
+                    pool.update(op[1], op[2], op[3])
+            values = pool.evaluate_many(evaluates)
+            rankings = pool.answers_many(
+                [op[1] for op in answer_ops],
+                answer_ops[0][2] if answer_ops else None,
+            )
+            requests += len(evaluates) + len(answer_ops)
+            # Re-interleave into plan order for the agreement check.
+            values_iter, rankings_iter = iter(values), iter(rankings)
+            for op in ops:
+                if op[0] == "evaluate":
+                    responses.append(next(values_iter))
+                elif op[0] == "answers":
+                    responses.append(next(rankings_iter))
+        seconds = time.perf_counter() - start
+        stats = pool.stats()
+    finally:
+        pool.close()
+    return seconds, requests, responses, stats
+
+
+def max_abs_diff(expected, got):
+    assert len(expected) == len(got), "workloads diverged in length"
+    worst = 0.0
+    for want, have in zip(expected, got):
+        if isinstance(want, list):
+            assert [a for a, _ in want] == [a for a, _ in have], (
+                f"rankings diverged: {want} vs {have}"
+            )
+            for (_, wp), (_, hp) in zip(want, have):
+                worst = max(worst, abs(wp - hp))
+        else:
+            worst = max(worst, abs(want - have))
+    return worst
+
+
+def bench_throughput(n_shapes, domain, rounds, max_prepared):
+    config = SessionConfig(exact_fallback=True, max_prepared=max_prepared)
+    db = build_db(n_shapes, domain)
+    plan = build_workload(n_shapes, rounds, db)
+    expected = replay_expected(db, plan)
+    seconds_1, requests, responses_1, stats_1 = run_pool(1, db, plan, config)
+    seconds_4, _, responses_4, stats_4 = run_pool(4, db, plan, config)
+    return {
+        "n_shapes": n_shapes,
+        "domain": domain,
+        "rounds": rounds,
+        "max_prepared": max_prepared,
+        "requests": requests,
+        "seconds_1_worker": round(seconds_1, 6),
+        "seconds_4_workers": round(seconds_4, 6),
+        "throughput_1_worker": round(requests / seconds_1, 1),
+        "throughput_4_workers": round(requests / seconds_4, 1),
+        "speedup": round(seconds_1 / seconds_4, 2),
+        "max_abs_diff_1": max_abs_diff(expected, responses_1),
+        "max_abs_diff_4": max_abs_diff(expected, responses_4),
+        "stats_1_worker": stats_1.combined.describe(),
+        "stats_4_workers": stats_4.combined.describe(),
+        "note": (
+            "speedup is driven by shape-sharded cache locality "
+            "(aggregate LRU capacity), not core count; CPU parallelism "
+            "adds on top on multi-core hosts"
+        ),
+    }
+
+
+def bench_mc_scatter(domain, n_lineages, samples):
+    """Unsafe-lineage spike: pool scatter vs inline, reported unasserted."""
+    db = build_db(n_lineages, domain)
+    config = SessionConfig(mc_seed=7)
+    lineages = {
+        i: ground_lineage(parse(BOOLEAN_SHAPE.format(i=i)), db)
+        for i in range(n_lineages)
+    }
+    results = {}
+    for label, workers in (("inline", 0), ("4_workers", 4)):
+        pool = ServerPool(
+            db.copy(), workers=workers, config=config, request_timeout=600
+        )
+        try:
+            start = time.perf_counter()
+            estimates = pool.estimate_lineages(lineages, samples=samples)
+            results[f"seconds_{label}"] = round(
+                time.perf_counter() - start, 6
+            )
+        finally:
+            pool.close()
+    results.update(
+        n_lineages=n_lineages, samples_per_lineage=samples,
+        sample_estimate=estimates[0][0],
+    )
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes, correctness only, no timing asserts")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--rounds", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_shapes, domain, rounds, max_prepared = 6, 5, 2, 2
+        mc_lineages, mc_samples = 3, 2000
+    else:
+        n_shapes, domain, rounds, max_prepared = 32, 18, 6, 12
+        mc_lineages, mc_samples = 8, 20_000
+    rounds = args.rounds if args.rounds is not None else rounds
+
+    throughput = bench_throughput(n_shapes, domain, rounds, max_prepared)
+    print(
+        f"mixed warm workload ({throughput['requests']} requests, "
+        f"{n_shapes} shapes, LRU {max_prepared}/worker): "
+        f"1 worker {throughput['seconds_1_worker']:.3f}s "
+        f"({throughput['throughput_1_worker']:.0f} req/s), "
+        f"4 workers {throughput['seconds_4_workers']:.3f}s "
+        f"({throughput['throughput_4_workers']:.0f} req/s) "
+        f"-> {throughput['speedup']:.1f}x "
+        f"(max |diff| {max(throughput['max_abs_diff_1'], throughput['max_abs_diff_4']):.2e})"
+    )
+
+    scatter = bench_mc_scatter(5, mc_lineages, mc_samples)
+    print(
+        f"mc scatter ({scatter['n_lineages']} lineages x "
+        f"{scatter['samples_per_lineage']} samples): "
+        f"inline {scatter['seconds_inline']:.3f}s, "
+        f"4 workers {scatter['seconds_4_workers']:.3f}s"
+    )
+
+    report = {
+        "benchmark": "server",
+        "smoke": args.smoke,
+        "throughput": throughput,
+        "mc_scatter": scatter,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    assert throughput["max_abs_diff_1"] <= 1e-9, (
+        f"1-worker responses disagree: {throughput['max_abs_diff_1']}"
+    )
+    assert throughput["max_abs_diff_4"] <= 1e-9, (
+        f"4-worker responses disagree: {throughput['max_abs_diff_4']}"
+    )
+    if not args.smoke:
+        assert throughput["speedup"] >= 3.0, (
+            f"4-worker speedup {throughput['speedup']}x < 3x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

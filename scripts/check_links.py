@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Check that relative markdown links point at files that exist.
+
+Usage: python scripts/check_links.py README.md ROADMAP.md docs/ARCHITECTURE.md
+
+External links (http/https/mailto) are not fetched — this is a local
+consistency check for the docs CI job, catching renamed or forgotten
+files.  Exits non-zero listing every dangling link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target).  Reference-style links and
+#: autolinks are not used in this repository's docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def dangling_links(path: Path):
+    base = path.parent
+    for match in LINK_RE.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if relative and not (base / relative).exists():
+            yield target
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"{name}: file itself is missing", file=sys.stderr)
+            failures += 1
+            continue
+        for target in dangling_links(path):
+            print(f"{name}: dangling link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} dangling link(s)", file=sys.stderr)
+        return 1
+    print(f"all links resolve in {len(argv)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -26,7 +26,16 @@ Commands:
 
   ``update`` inserts or re-weights one tuple (probability-only changes
   refresh cached circuits without recompiling); the final line reports
-  the session's cache statistics.
+  the session's cache statistics.  The workload may also be JSON Lines
+  (one request object per line); a malformed file reports the
+  offending request — with its line number in the JSON Lines case —
+  and exits non-zero.
+* ``serve data.json --listen 8080 --workers 4`` — the concurrent
+  serving front instead of a replay: an asyncio JSON-over-HTTP server
+  (:mod:`repro.serve.server`) over a :class:`repro.serve.ServerPool`
+  sharding query shapes across worker processes.  ``POST /evaluate``,
+  ``/answers``, ``/batch``, ``/update``; ``GET /stats``, ``/healthz``.
+  Ctrl-C drains in-flight requests and stops the workers gracefully.
 * ``zoo`` — print the paper's query table with our verdicts.
 
 Databases load through :func:`repro.db.io.load_database`, which accepts
@@ -40,6 +49,7 @@ rejected as probable data bugs; every database-loading subcommand takes
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -146,8 +156,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help='JSON file: {"R": [[[1], 0.5], ...]} or {"R": {"[1]": 0.5}}',
     )
     p_serve.add_argument(
-        "--requests", required=True, metavar="FILE",
-        help="JSON list of request objects (see module docstring)",
+        "--requests", metavar="FILE",
+        help="replay a workload: JSON list of request objects, or JSON "
+             "Lines with one object per line (see module docstring)",
+    )
+    p_serve.add_argument(
+        "--listen", metavar="[HOST:]PORT",
+        help="serve JSON-over-HTTP on this address instead of replaying "
+             "a workload file",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes for --listen (0 = in-process, default 2); "
+             "query shapes are hash-sharded across workers",
     )
     p_serve.add_argument("--constants", default="")
     p_serve.add_argument(
@@ -273,25 +294,20 @@ def _answer_text(answer: tuple) -> str:
 
 
 def _run_serve(args) -> int:
-    import json
-
-    from .serve import QuerySession
-
-    db = _load_db(args)
-    with open(args.requests) as handle:
-        try:
-            requests = json.load(handle)
-        except json.JSONDecodeError as error:
-            raise DatabaseFormatError(
-                f"{args.requests}: not valid JSON: {error}"
-            ) from error
-    if not isinstance(requests, list):
+    if (args.requests is None) == (args.listen is None):
         print(
-            f"error: {args.requests}: expected a JSON list of request "
-            f"objects, got {type(requests).__name__}",
+            "error: serve needs exactly one of --requests FILE (replay a "
+            "workload) or --listen [HOST:]PORT (start the HTTP server)",
             file=sys.stderr,
         )
         return 2
+    db = _load_db(args)
+    if args.listen is not None:
+        return _run_serve_http(args, db)
+
+    from .serve import QuerySession
+
+    requests = _load_requests(args.requests)
     session = QuerySession(
         db,
         exact_fallback=args.exact,
@@ -299,13 +315,91 @@ def _run_serve(args) -> int:
         compile_budget=args.compile_budget,
     )
     constants = _constants(args.constants)
-    for number, request in enumerate(requests, start=1):
+    for label, request in requests:
         try:
             _serve_request(session, request, constants)
-        except (QueryParseError, DatabaseFormatError, ValueError) as error:
-            print(f"error: request {number}: {error}", file=sys.stderr)
+        except (QueryParseError, DatabaseFormatError, ValueError,
+                TypeError) as error:
+            print(
+                f"error: {args.requests}, {label}: {error}\n"
+                f"  offending request: {json.dumps(request)}",
+                file=sys.stderr,
+            )
             return 2
     print(f"session: {session.stats.describe()}")
+    return 0
+
+
+def _load_requests(path: str) -> List[tuple]:
+    """Parse a workload file into ``(label, request)`` pairs.
+
+    Accepts a JSON list of request objects, or JSON Lines (one object
+    per line).  Malformed content raises :class:`DatabaseFormatError`
+    naming the offending line, so the CLI exits non-zero instead of
+    silently succeeding on a half-read file.
+    """
+    with open(path) as handle:
+        text = handle.read()
+    if not text.strip():
+        raise DatabaseFormatError(f"{path}: empty request file")
+    if text.lstrip()[0] == "[":
+        try:
+            requests = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise DatabaseFormatError(
+                f"{path}: not valid JSON: {error}"
+            ) from error
+        if not isinstance(requests, list):
+            raise DatabaseFormatError(
+                f"{path}: expected a JSON list of request objects, "
+                f"got {type(requests).__name__}"
+            )
+        return [
+            (f"request {number}", request)
+            for number, request in enumerate(requests, start=1)
+        ]
+    pairs = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise DatabaseFormatError(
+                f"{path}, line {number}: not valid JSON: {error}\n"
+                f"  offending line: {line.strip()}"
+            ) from error
+        pairs.append((f"line {number}", request))
+    return pairs
+
+
+def _run_serve_http(args, db) -> int:
+    from .serve import ServerPool, SessionConfig, serve_forever
+
+    host, _, port_text = args.listen.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(
+            f"error: --listen expects [HOST:]PORT, got {args.listen!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 0:
+        print(f"error: --workers must be >= 0, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    pool = ServerPool(
+        db,
+        workers=args.workers,
+        config=SessionConfig(
+            exact_fallback=args.exact,
+            mc_samples=args.samples,
+            compile_budget=args.compile_budget,
+        ),
+    )
+    serve_forever(pool, host, port)
     return 0
 
 
@@ -317,20 +411,31 @@ def _request_field(request: dict, name: str):
     return request[name]
 
 
+def _request_query(request: dict) -> str:
+    text = _request_field(request, "query")
+    if not isinstance(text, str):
+        raise ValueError(f"query must be a string, got {text!r}")
+    return text
+
+
 def _serve_request(session, request, constants) -> None:
     if not isinstance(request, dict) or "op" not in request:
         raise ValueError(f'expected an object with an "op" key, got {request!r}')
     op = request["op"]
     if op == "evaluate":
-        text = _request_field(request, "query")
+        text = _request_query(request)
         value = session.evaluate(parse(text, constants=constants))
         print(f"evaluate {text!r}: p = {value:.10f}")
     elif op == "answers":
-        text = _request_field(request, "query")
+        text = _request_query(request)
         query = parse(text, constants=constants)
         top = request.get("top")
-        if top is not None and (isinstance(top, bool) or not isinstance(top, int)):
-            raise ValueError(f"answers top must be an integer, got {top!r}")
+        if top is not None and (
+            isinstance(top, bool) or not isinstance(top, int) or top < 0
+        ):
+            raise ValueError(
+                f"answers top must be a non-negative integer, got {top!r}"
+            )
         ranked = session.answers(query, k=top)
         print(f"answers {text!r}: {len(ranked)} answers")
         for rank, (answer, value) in enumerate(ranked, start=1):

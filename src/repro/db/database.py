@@ -79,6 +79,35 @@ class ProbabilisticDatabase:
             )
         return clone
 
+    def snapshot(self) -> Dict[str, List[Tuple[GroundTuple, float]]]:
+        """A plain-data image of the database, cheap to pickle.
+
+        The serving pool ships this across process boundaries instead of
+        the live object graph (relations drag their column indexes and
+        version counters along; workers rebuild those lazily).  Round
+        trips through :meth:`from_snapshot`::
+
+            >>> db = ProbabilisticDatabase.from_dict({"R": {(1,): 0.5}})
+            >>> ProbabilisticDatabase.from_snapshot(db.snapshot()).probability("R", (1,))
+            0.5
+        """
+        return {
+            name: [(row, float(p)) for row, p in relation.items()]
+            for name, relation in self._relations.items()
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: Mapping[str, Iterable[Tuple[GroundTuple, float]]]
+    ) -> "ProbabilisticDatabase":
+        """Rebuild a database from :meth:`snapshot` output."""
+        db = cls()
+        for name, rows in snapshot.items():
+            relation = db.relation(name)
+            for row, probability in rows:
+                relation.add(row, probability)
+        return db
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -81,10 +81,39 @@ def load_database(
 ) -> ProbabilisticDatabase:
     """Load a :class:`ProbabilisticDatabase` from a JSON file.
 
-    ``source`` is a path or an open text file.  Accepts the list and
-    the mapping format (see module docstring), validating as it goes.
-    Duplicate rows (or duplicated JSON object keys) raise
-    :class:`DatabaseFormatError` unless ``on_duplicate="overwrite"``.
+    Args:
+        source: a filesystem path, or an open text file (anything with
+            ``.read()`` — the CLI passes paths, tests pass
+            ``io.StringIO``).  Accepts the list and the mapping format
+            (see module docstring), validating as it goes.
+        on_duplicate: ``"error"`` (default) rejects files mentioning
+            the same row twice — including textually duplicated JSON
+            object keys — as probable data bugs; ``"overwrite"`` loads
+            them last-wins.
+
+    Returns:
+        The populated database.
+
+    Raises:
+        DatabaseFormatError: invalid JSON, a malformed row/probability
+            (with the relation and row named), or a duplicate row
+            under ``on_duplicate="error"``.
+        ValueError: an unknown ``on_duplicate`` mode.
+        OSError: an unreadable path.
+
+    Example::
+
+        >>> import io
+        >>> db = load_database(io.StringIO(
+        ...     '{"R": [[[1], 0.5]], "S": {"[1, 2]": 0.4}}'))
+        >>> db.probability("R", (1,)), db.probability("S", (1, 2))
+        (0.5, 0.4)
+        >>> load_database(io.StringIO('{"R": [[[1], 0.5], [[1], 0.7]]}'))
+        Traceback (most recent call last):
+            ...
+        repro.db.io.DatabaseFormatError: <stream>: relation 'R', entry 1: \
+duplicate row [1] (already loaded with probability 0.5); pass \
+on_duplicate='overwrite' to keep the last value
     """
     _check_on_duplicate(on_duplicate)
     if hasattr(source, "read"):

@@ -92,7 +92,36 @@ class Engine(abc.ABC):
         one shared grounding pass, then evaluates each *residual*
         Boolean query (head variables bound to the answer's constants)
         through :meth:`probability`; engines override this with
-        shared-work plans.  ``k`` truncates to the top-k answers.
+        shared-work plans.
+
+        Args:
+            query: Boolean or answer-tuple conjunctive query (an
+                answer-tuple query carries a head, e.g. parsed from
+                ``"Q(x) :- R(x), S(x,y)"``).
+            db: the database to evaluate over.
+            k: keep only the ``k`` most probable answers (None = all).
+
+        Returns:
+            ``(answer tuple, probability)`` pairs sorted by descending
+            probability (ties broken by canonical tuple order); exact
+            zeros are dropped.
+
+        Raises:
+            UnsupportedQueryError: the engine's preconditions exclude
+                this query (e.g. a self-join handed to the safe-plan
+                engine).
+            UnsafeQueryError: the lifted engine found no PTIME
+                decomposition — the query is #P-hard.
+
+        Example (with the router as the engine)::
+
+            >>> from repro.core.parser import parse
+            >>> from repro.db.database import ProbabilisticDatabase
+            >>> from repro.engines.router import RouterEngine
+            >>> db = ProbabilisticDatabase.from_dict(
+            ...     {"R": {(1,): 0.5, (2,): 0.9}, "S": {(1, 7): 0.4, (2, 7): 0.8}})
+            >>> RouterEngine().answers(parse("Q(x) :- R(x), S(x,y)"), db, k=1)
+            [((2,), 0.7200000000000001)]
         """
         if query.head is None:
             return rank_answers([((), self.probability(query, db))], k)

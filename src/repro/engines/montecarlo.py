@@ -136,6 +136,35 @@ class MonteCarloEngine(Engine):
         """
         return estimate_lineage(lineage, self.samples, self.seed, self.backend)
 
+    def estimate_lineages(
+        self,
+        lineages: Dict[GroundTuple, Lineage],
+        parallel_map=None,
+    ) -> Dict[GroundTuple, Tuple[float, float]]:
+        """Batch :meth:`estimate_lineage`: ``{key: (estimate, half-width)}``.
+
+        Each lineage is estimated independently with the engine's own
+        seed, so results are deterministic per lineage and independent
+        of batch composition or ordering.  ``parallel_map`` substitutes
+        the mapping strategy: any :func:`map`-compatible callable
+        (``mapper(fn, items) -> iterable``), e.g. a thread pool's
+        ``Executor.map``; the default is a serial loop in this
+        process.  The *process-level* counterpart is
+        :meth:`repro.serve.pool.ServerPool.estimate_lineages`, which
+        scatters a lineage batch across pool workers (each shard
+        reusing its own vectorized numpy backend) rather than mapping
+        in-process.
+        """
+        items = list(lineages.items())
+        mapper = parallel_map if parallel_map is not None else map
+        estimates = mapper(
+            lambda item: self.estimate_lineage(item[1]), items
+        )
+        return {
+            key: estimate
+            for (key, _lineage), estimate in zip(items, estimates)
+        }
+
     def answers(
         self,
         query: ConjunctiveQuery,

@@ -108,6 +108,28 @@ class RouterEngine(Engine):
       traffic an unbounded list is a memory leak, so it is a deque
       bounded to the most recent ``history_limit`` decisions (default
       10 000; ``None`` restores the unbounded behaviour).
+
+    Raises:
+        ValueError: negative ``compile_budget`` or non-positive
+            ``history_limit``.
+
+    Example — route one safe and one #P-hard query::
+
+        >>> from repro.core.parser import parse
+        >>> from repro.db.database import ProbabilisticDatabase
+        >>> db = ProbabilisticDatabase.from_dict({
+        ...     "R": {(1,): 0.5}, "S": {(1, 2): 0.4}, "T": {(2,): 0.8}})
+        >>> router = RouterEngine()
+        >>> round(router.probability(parse("R(x), S(x,y)"), db), 6)
+        0.2
+        >>> router.history[-1].engine            # PTIME tier answered
+        'safe-plan'
+        >>> round(router.probability(parse("R(x), S(x,y), T(y)"), db), 6)
+        0.16
+        >>> router.history[-1].engine            # exact despite #P-hardness
+        'compiled'
+        >>> router.history[-1].fallback_reason
+        'no safe plan (non-hierarchical)'
     """
 
     name = "router"

@@ -58,7 +58,37 @@ def clause_sort_key(clause: Clause) -> Tuple:
 
 
 class PackedLineage:
-    """CSR + padded bit-matrix view of one lineage, cached on it."""
+    """CSR + padded bit-matrix view of one lineage, cached on it.
+
+    Build through :meth:`of` (which caches the packed form on the
+    lineage) rather than the constructor.  All arrays are aligned with
+    :attr:`events`, the dense id order shared with the scalar backends.
+
+    Args:
+        lineage: the DNF lineage to pack; its ``weights`` must cover
+            every event its clauses mention.
+
+    Raises:
+        RuntimeError: when numpy is unavailable (callers fall back to
+            the scalar backend; see ``HAVE_NUMPY``).
+        KeyError: when a clause mentions an event absent from
+            ``lineage.weights``.
+
+    Example — pack a grounded lineage and draw a world batch::
+
+        >>> from repro.core.parser import parse
+        >>> from repro.db.database import ProbabilisticDatabase
+        >>> from repro.lineage.grounding import ground_lineage
+        >>> db = ProbabilisticDatabase.from_dict(
+        ...     {"R": {(1,): 0.5}, "S": {(1, 2): 0.4, (1, 3): 0.9}})
+        >>> packed = PackedLineage.of(ground_lineage(parse("R(x), S(x,y)"), db))
+        >>> packed.n_clauses, len(packed.events)
+        (2, 3)
+        >>> import numpy as np
+        >>> worlds = packed.sample_worlds(np.random.default_rng(0), batch=4)
+        >>> worlds.shape, packed.clause_satisfaction(worlds).shape
+        ((3, 4), (2, 4))
+    """
 
     __slots__ = (
         "events",

@@ -1,18 +1,46 @@
-"""Query-session serving layer: cross-query caching over mutable data.
+"""The serving subsystem: sessions, the sharded pool, the HTTP front.
 
-See :mod:`repro.serve.session` for the architecture.  Quickstart::
+Three layers, each built on the previous (full tour in
+``docs/ARCHITECTURE.md``):
 
-    from repro.db.io import load_database
-    from repro.serve import QuerySession
+* :class:`QuerySession` — one long-lived session over one mutable
+  database: prepared queries, precise invalidation, batched circuit
+  sweeps (:mod:`repro.serve.session`);
+* :class:`ServerPool` — sessions sharded across worker processes by
+  canonical query shape, with a request-coalescing front and database
+  version broadcast (:mod:`repro.serve.pool`);
+* :class:`RequestServer` / :func:`serve_forever` — the asyncio
+  JSON-over-HTTP server the CLI exposes as ``repro serve --listen``
+  (:mod:`repro.serve.server`).
 
-    session = QuerySession(load_database("data.json"))
-    session.evaluate("R(x), S(x,y)")          # cold: classify + plan
-    session.evaluate("R(x), S(x,y)")          # pure result-cache hit
-    session.update("R", (1,), 0.9)            # probability-only change
-    session.evaluate("R(x), S(x,y)")          # re-weighted, not re-planned
-    print(session.stats.describe())
+Quickstart (in-process session)::
+
+    >>> from repro.db.database import ProbabilisticDatabase
+    >>> from repro.serve import QuerySession
+    >>> db = ProbabilisticDatabase.from_dict(
+    ...     {"R": {(1,): 0.5}, "S": {(1, 2): 0.4}})
+    >>> session = QuerySession(db)
+    >>> round(session.evaluate("R(x), S(x,y)"), 6)   # cold: classify + plan
+    0.2
+    >>> session.update("R", (1,), 0.9)               # probability-only change
+    >>> round(session.evaluate("R(x), S(x,y)"), 6)   # re-weighted, not re-planned
+    0.36
 """
 
+from .pool import PoolStats, ServerPool, SessionConfig, WorkerError, shard_of
+from .server import BackgroundServer, RequestServer, serve_forever
 from .session import PreparedQuery, QuerySession, SessionStats
 
-__all__ = ["PreparedQuery", "QuerySession", "SessionStats"]
+__all__ = [
+    "BackgroundServer",
+    "PoolStats",
+    "PreparedQuery",
+    "QuerySession",
+    "RequestServer",
+    "ServerPool",
+    "SessionConfig",
+    "SessionStats",
+    "WorkerError",
+    "serve_forever",
+    "shard_of",
+]

@@ -1,0 +1,744 @@
+"""A sharded pool of :class:`~repro.serve.session.QuerySession` workers.
+
+One :class:`QuerySession` amortizes work across calls; a
+:class:`ServerPool` amortizes it across *processes* for concurrent
+traffic.  The moving parts:
+
+* **Shape sharding.**  Requests are hash-partitioned by the canonical
+  query shape (:func:`shard_of`), so every shape always lands on the
+  same worker and that worker's prepared-query LRU and structural
+  circuit cache stay hot.  Sharding also multiplies aggregate cache
+  capacity: each worker only has to hold its own slice of the shape
+  universe, where a single session would thrash its LRU.
+
+* **A batching front.**  Requests issued concurrently (from many
+  threads, or the HTTP server's handlers) park in a per-shard buffer;
+  whichever thread finds the shard idle becomes the *driver* and
+  flushes the whole buffer as one ``evaluate_many`` /
+  ``answers_many`` message, so in-flight same-shape requests coalesce
+  into a single vectorized circuit sweep inside the worker.
+
+* **Version broadcast.**  Each worker holds a replica of the database.
+  :meth:`ServerPool.update` validates against the front copy, then
+  broadcasts the delta to every worker queue; per-queue FIFO order
+  guarantees any request submitted after ``update`` returns observes
+  it.  Direct mutations of the front database (not through the pool)
+  are detected by version drift and repaired with a full snapshot
+  broadcast before the next dispatch.
+
+* **Monte Carlo scatter.**  :meth:`ServerPool.estimate_lineages`
+  splits a batch of unsafe lineages round-robin across workers, each
+  running its own vectorized sampling backend — the pool-level answer
+  to an unsafe-query spike, exact-seed-deterministic per lineage.
+
+``workers=0`` runs everything inline on one lock-guarded session in
+this process — same API, no subprocesses — which keeps doctests, small
+deployments and fork-less platforms simple::
+
+    >>> from repro.db.database import ProbabilisticDatabase
+    >>> db = ProbabilisticDatabase.from_dict(
+    ...     {"R": {(1,): 0.5}, "S": {(1, 2): 0.4}})
+    >>> with ServerPool(db, workers=0) as pool:
+    ...     round(pool.evaluate("R(x), S(x,y)"), 6)
+    0.2
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import zlib
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.parser import parse
+from ..core.query import ConjunctiveQuery, canonical_string
+from ..db.database import ProbabilisticDatabase
+from ..db.relation import Probability, Value
+from ..engines.base import Answer
+from ..lineage.boolean import Lineage
+from .session import QueryLike, QuerySession, SessionStats
+
+__all__ = [
+    "PoolStats",
+    "ServerPool",
+    "SessionConfig",
+    "WorkerError",
+    "shard_of",
+]
+
+
+class WorkerError(RuntimeError):
+    """An exception raised inside a worker process, re-raised here."""
+
+
+def shard_of(shape: str, workers: int) -> int:
+    """Stable shard index for a canonical query shape.
+
+    Uses CRC-32 rather than :func:`hash` — Python string hashing is
+    salted per process, and the whole point is that the same shape maps
+    to the same worker across the front, restarts and tests.
+
+    >>> shard_of("R(v0), S(v0, v1)", 4) == shard_of("R(v0), S(v0, v1)", 4)
+    True
+    """
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    return zlib.crc32(shape.encode("utf-8")) % workers
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Picklable recipe for building one worker's :class:`QuerySession`.
+
+    Engines themselves do not cross process boundaries — each worker
+    rebuilds its own stack from this config plus a database snapshot,
+    so every shard gets private caches and its own sampling backend.
+    """
+
+    exact_fallback: bool = False
+    mc_samples: int = 20_000
+    mc_seed: Optional[int] = None
+    compile_budget: Optional[int] = 10_000
+    mc_backend: str = "auto"
+    max_prepared: int = 256
+
+    def build_session(self, db: ProbabilisticDatabase) -> QuerySession:
+        return QuerySession(
+            db,
+            exact_fallback=self.exact_fallback,
+            mc_samples=self.mc_samples,
+            mc_seed=self.mc_seed,
+            compile_budget=self.compile_budget,
+            mc_backend=self.mc_backend,
+            max_prepared=self.max_prepared,
+        )
+
+
+@dataclass
+class PoolStats:
+    """Aggregated serving statistics across the pool.
+
+    ``workers`` holds one :class:`SessionStats` per worker (in shard
+    order); the front-side counters describe dispatch behaviour.
+    """
+
+    workers: List[SessionStats] = field(default_factory=list)
+    #: Individual requests accepted by the front.
+    requests: int = 0
+    #: Worker messages dispatched by the batching front.
+    batches: int = 0
+    #: Requests that shared a dispatch with at least one other request.
+    coalesced: int = 0
+    #: Single-tuple update broadcasts.
+    updates: int = 0
+    #: Full-snapshot re-syncs forced by out-of-band front-db mutation.
+    syncs: int = 0
+
+    @property
+    def combined(self) -> SessionStats:
+        """The field-wise sum of every worker's session counters."""
+        return SessionStats.merged(self.workers)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.workers)} workers, {self.requests} requests in "
+            f"{self.batches} batches ({self.coalesced} coalesced), "
+            f"{self.updates} updates, {self.syncs} syncs; "
+            f"combined: {self.combined.describe()}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker process protocol
+# ----------------------------------------------------------------------
+#
+# Requests are (op, request_id, payload) tuples on a per-worker queue;
+# replies are (request_id, ok, payload) on one shared result queue.
+# "update" and "sync" are fire-and-forget (the front validated them
+# already); everything else is answered exactly once.
+
+_STOP = "stop"
+
+
+def _worker_main(config, snapshot, request_queue, result_queue) -> None:
+    """Entry point of one worker process."""
+    db = ProbabilisticDatabase.from_snapshot(snapshot)
+    session = config.build_session(db)
+    while True:
+        op, request_id, payload = request_queue.get()
+        if op == _STOP:
+            result_queue.put((request_id, True, None))
+            return
+        if op == "update":
+            db.add(*payload)
+            continue
+        if op == "sync":
+            db = ProbabilisticDatabase.from_snapshot(payload)
+            stats = session.stats
+            session = config.build_session(db)
+            # The rebuilt session starts cold, but the worker's serving
+            # history doesn't reset — keep counters monotone for /stats.
+            session.stats = stats
+            continue
+        try:
+            result = _worker_execute(session, op, payload)
+        except Exception as error:  # noqa: BLE001 - forwarded to the front
+            result_queue.put(
+                (request_id, False, f"{type(error).__name__}: {error}")
+            )
+        else:
+            result_queue.put((request_id, True, result))
+
+
+def _worker_execute(session: QuerySession, op: str, payload):
+    if op == "evaluate_many":
+        return session.evaluate_many(payload)
+    if op == "answers_many":
+        rankings = session.answers_many([query for query, _k in payload])
+        return [
+            ranking if k is None else ranking[:k]
+            for (_query, k), ranking in zip(payload, rankings)
+        ]
+    if op == "estimate":
+        samples, items = payload
+        monte_carlo = session.router.monte_carlo
+        if samples is not None:
+            monte_carlo = type(monte_carlo)(
+                samples=samples,
+                seed=monte_carlo.seed,
+                backend=monte_carlo.backend,
+            )
+        return [
+            (key,) + monte_carlo.estimate_lineage(
+                Lineage(clauses, weights, certainly_true=certain)
+            )
+            for key, clauses, weights, certain in items
+        ]
+    if op == "stats":
+        return session.stats
+    raise ValueError(f"unknown worker op {op!r}")
+
+
+@dataclass
+class _PendingItem:
+    kind: str  # "evaluate" | "answers"
+    query: ConjunctiveQuery
+    k: Optional[int]
+    future: Future
+
+
+class ServerPool:
+    """Shard :class:`QuerySession` serving across worker processes.
+
+    Args:
+        db: the authoritative database.  Mutate it through
+            :meth:`update` to get incremental broadcast; direct
+            mutation is tolerated but costs a full re-sync.
+        workers: number of worker processes; ``0`` serves inline from
+            this process (one lock-guarded session, no subprocesses).
+        config: per-worker :class:`SessionConfig`; defaults match
+            :class:`QuerySession` defaults.
+        start_method: :mod:`multiprocessing` start method.  The default
+            ``"spawn"`` is safe regardless of the front's threads; pass
+            ``"fork"`` on POSIX for faster startup.
+        request_timeout: seconds to wait for a worker reply before
+            raising (None = wait forever).
+
+    Thread-safe: any number of threads may call :meth:`evaluate`,
+    :meth:`answers`, :meth:`update` etc. concurrently; concurrent
+    same-shard requests coalesce into batched sweeps.  Use as a
+    context manager (or call :meth:`close`) for graceful shutdown.
+    """
+
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        *,
+        workers: int = 4,
+        config: Optional[SessionConfig] = None,
+        start_method: str = "spawn",
+        request_timeout: Optional[float] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.db = db
+        self.config = config if config is not None else SessionConfig()
+        self.workers = workers
+        self.request_timeout = request_timeout
+        self._lock = threading.Lock()
+        self._closed = False
+        self._requests = 0
+        self._batches = 0
+        self._coalesced = 0
+        self._updates = 0
+        self._syncs = 0
+        if workers == 0:
+            self._session: Optional[QuerySession] = (
+                self.config.build_session(db)
+            )
+            self._session_lock = threading.RLock()
+            return
+        self._session = None
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(start_method)
+        snapshot = db.snapshot()
+        self._result_queue = ctx.Queue()
+        self._request_queues = []
+        self._processes = []
+        for _ in range(workers):
+            queue = ctx.Queue()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(self.config, snapshot, queue, self._result_queue),
+                daemon=True,
+            )
+            process.start()
+            self._request_queues.append(queue)
+            self._processes.append(process)
+        self._synced_versions = (db.structure_version, db.version)
+        #: request id -> (op, futures, shard) for in-flight messages.
+        self._pending: Dict[int, Tuple[str, List[Future], int]] = {}
+        self._ids = itertools.count()
+        self._buffers: List[List[_PendingItem]] = [[] for _ in range(workers)]
+        self._driving = [False] * workers
+        self._broken: Optional[str] = None
+        self._collector = threading.Thread(
+            target=self._collect, name="serverpool-collector", daemon=True
+        )
+        self._collector.start()
+        self._watcher = threading.Thread(
+            target=self._watch, name="serverpool-watcher", daemon=True
+        )
+        self._watcher.start()
+
+    # ------------------------------------------------------------------
+    # Public request API
+    # ------------------------------------------------------------------
+
+    def evaluate(self, query: QueryLike) -> float:
+        """``p(q)``, served by the query shape's home worker."""
+        return self._request("evaluate", query, None).result(
+            self.request_timeout
+        )
+
+    def evaluate_many(self, queries: Sequence[QueryLike]) -> List[float]:
+        """Evaluate a batch; shards fan out and run concurrently.
+
+        The whole batch is buffered before any dispatch, so each shard
+        receives at most one ``evaluate_many`` message for it — same-
+        shard queries share a worker sweep instead of paying one round
+        trip each.
+        """
+        futures = self._request_many(
+            [("evaluate", query, None) for query in queries]
+        )
+        return [future.result(self.request_timeout) for future in futures]
+
+    def answers(
+        self, query: QueryLike, k: Optional[int] = None
+    ) -> List[Answer]:
+        """Ranked answer tuples of one query."""
+        return self._request("answers", query, k).result(self.request_timeout)
+
+    def answers_many(
+        self, queries: Sequence[QueryLike], k: Optional[int] = None
+    ) -> List[List[Answer]]:
+        """Ranked answers for a batch of queries (buffered like
+        :meth:`evaluate_many`)."""
+        futures = self._request_many(
+            [("answers", query, k) for query in queries]
+        )
+        return [future.result(self.request_timeout) for future in futures]
+
+    def update(
+        self, relation: str, row: Sequence[Value], probability: Probability
+    ) -> None:
+        """Insert or re-weight one tuple, broadcast to every worker.
+
+        Validation happens on the front copy first, so a bad update
+        raises here and never reaches (or diverges) the replicas.
+        After this returns, every subsequently submitted request
+        observes the change (per-worker queues are FIFO).
+        """
+        if self._session is not None:
+            with self._session_lock:
+                self._session.update(relation, tuple(row), probability)
+            with self._lock:
+                self._updates += 1
+            return
+        with self._lock:
+            self._check_open()
+            self._check_alive()
+            self._ensure_synced_locked()
+            self.db.add(relation, tuple(row), probability)
+            message = ("update", None, (relation, tuple(row), probability))
+            for queue in self._request_queues:
+                queue.put(message)
+            self._synced_versions = (
+                self.db.structure_version, self.db.version
+            )
+            self._updates += 1
+
+    def estimate_lineages(
+        self,
+        lineages: Mapping[Hashable, Lineage],
+        samples: Optional[int] = None,
+    ) -> Dict[Hashable, Tuple[float, float]]:
+        """Scatter Monte Carlo estimation of many lineages across workers.
+
+        The pool-level pressure valve for unsafe-query spikes: each
+        worker estimates its slice with its own (vectorized, seeded)
+        sampler, and results come back as ``{key: (estimate, 95%
+        half-width)}``.  ``samples`` overrides the per-lineage sample
+        cap from the worker config.
+        """
+        if self._session is not None:
+            with self._session_lock:
+                monte_carlo = self._session.router.monte_carlo
+                if samples is not None:
+                    monte_carlo = type(monte_carlo)(
+                        samples=samples, seed=monte_carlo.seed,
+                        backend=monte_carlo.backend,
+                    )
+                return monte_carlo.estimate_lineages(dict(lineages))
+        # Decompose into plain clauses/weights for the queue: pickling
+        # a Lineage would drag its cached PackedLineage arrays along.
+        items = [
+            (key, lineage.clauses, dict(lineage.weights),
+             lineage.certainly_true)
+            for key, lineage in lineages.items()
+        ]
+        chunks: List[list] = [[] for _ in range(self.workers)]
+        for index, item in enumerate(items):
+            chunks[index % self.workers].append(item)
+        futures = []
+        with self._lock:
+            self._check_open()
+            self._check_alive()
+            for shard, chunk in enumerate(chunks):
+                if not chunk:
+                    continue
+                future = Future()
+                request_id = next(self._ids)
+                self._pending[request_id] = ("estimate", [future], shard)
+                self._request_queues[shard].put(
+                    ("estimate", request_id, (samples, chunk))
+                )
+                self._batches += 1
+                futures.append(future)
+        results: Dict[Hashable, Tuple[float, float]] = {}
+        for future in futures:
+            for key, estimate, half_width in future.result(
+                self.request_timeout
+            ):
+                results[key] = (estimate, half_width)
+        return results
+
+    def stats(self) -> PoolStats:
+        """Aggregate per-worker :class:`SessionStats` plus front counters."""
+        with self._lock:
+            front = PoolStats(
+                requests=self._requests,
+                batches=self._batches,
+                coalesced=self._coalesced,
+                updates=self._updates,
+                syncs=self._syncs,
+            )
+        if self._session is not None:
+            front.workers = [self._session.stats]
+            return front
+        futures = []
+        with self._lock:
+            self._check_open()
+            self._check_alive()
+            for shard in range(self.workers):
+                future = Future()
+                request_id = next(self._ids)
+                self._pending[request_id] = ("stats", [future], shard)
+                self._request_queues[shard].put(("stats", request_id, None))
+                futures.append(future)
+        front.workers = [
+            future.result(self.request_timeout) for future in futures
+        ]
+        return front
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: drain queues, stop workers, join threads.
+
+        Idempotent.  Stop messages queue *behind* all previously
+        submitted work, so in-flight requests complete first.
+        """
+        if self._session is not None:
+            self._closed = True
+            return
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            futures = []
+            for shard in range(self.workers):
+                future = Future()
+                request_id = next(self._ids)
+                self._pending[request_id] = (_STOP, [future], shard)
+                self._request_queues[shard].put((_STOP, request_id, None))
+                futures.append(future)
+        for future, process in zip(futures, self._processes):
+            try:
+                future.result(timeout if process.is_alive() else 0.1)
+            except Exception:  # noqa: BLE001 - worker already dead
+                pass
+        self._result_queue.put((None, True, None))  # collector sentinel
+        self._collector.join(timeout)
+        for process in self._processes:
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+        for queue in self._request_queues + [self._result_queue]:
+            queue.close()
+
+    def __enter__(self) -> "ServerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Batching front internals
+    # ------------------------------------------------------------------
+
+    def _parse(self, query: QueryLike) -> ConjunctiveQuery:
+        if isinstance(query, str):
+            return parse(query)
+        if not isinstance(query, ConjunctiveQuery):
+            raise TypeError(
+                f"expected query text or ConjunctiveQuery, got {query!r}"
+            )
+        return query
+
+    def _request(self, kind: str, query: QueryLike, k: Optional[int]) -> Future:
+        """Queue one request; returns the future carrying its result."""
+        return self._request_many([(kind, query, k)])[0]
+
+    def _request_many(
+        self, items: Sequence[Tuple[str, QueryLike, Optional[int]]]
+    ) -> List[Future]:
+        """Buffer a whole batch, then drive each touched shard once.
+
+        Buffering before dispatch is what makes single-caller batches
+        coalesce: all same-shard items ride one worker message (and one
+        circuit sweep) instead of one round trip each.  Items from
+        other threads that land in a touched buffer meanwhile are
+        flushed by whichever driver reaches them first.
+        """
+        parsed = [
+            (kind, self._parse(query), k) for kind, query, k in items
+        ]
+        futures: List[Future] = []
+        if self._session is not None:
+            for kind, query, k in parsed:
+                future: Future = Future()
+                self._serve_inline(kind, query, k, future)
+                futures.append(future)
+            return futures
+        to_drive = []
+        with self._lock:
+            self._check_open()
+            self._check_alive()
+            self._ensure_synced_locked()
+            for kind, query, k in parsed:
+                shape = canonical_string(
+                    query.boolean() if kind == "evaluate" else query
+                )
+                shard = shard_of(shape, self.workers)
+                future = Future()
+                futures.append(future)
+                self._requests += 1
+                self._buffers[shard].append(
+                    _PendingItem(kind, query, k, future)
+                )
+                if not self._driving[shard]:
+                    self._driving[shard] = True
+                    to_drive.append(shard)
+        for shard in to_drive:
+            self._drive(shard)
+        return futures
+
+    def _serve_inline(
+        self, kind: str, query: ConjunctiveQuery, k: Optional[int],
+        future: Future,
+    ) -> None:
+        with self._lock:
+            self._requests += 1
+            self._batches += 1
+        try:
+            with self._session_lock:
+                if kind == "evaluate":
+                    result = self._session.evaluate(query)
+                else:
+                    result = self._session.answers(query, k)
+        except Exception as error:  # noqa: BLE001 - delivered via future
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+
+    def _drive(self, shard: int) -> None:
+        """Flush the shard's buffer until it runs dry.
+
+        Exactly one thread drives a shard at a time; it re-checks the
+        buffer after every flush so requests parked by other threads
+        while it was dispatching ride the next message.
+        """
+        while True:
+            with self._lock:
+                batch = self._buffers[shard]
+                if not batch:
+                    self._driving[shard] = False
+                    return
+                self._buffers[shard] = []
+            self._dispatch(shard, batch)
+
+    def _dispatch(self, shard: int, batch: List[_PendingItem]) -> None:
+        evaluates = [item for item in batch if item.kind == "evaluate"]
+        answers = [item for item in batch if item.kind == "answers"]
+        error = None
+        with self._lock:
+            # Re-check under the lock: the pool may have closed (the
+            # STOP message is already queued) or the worker died (the
+            # watcher already swept _pending and this buffer) since
+            # this batch was submitted — enqueueing now would strand
+            # these futures with no reply ever coming.
+            if self._broken is not None:
+                error = WorkerError(self._broken)
+            elif self._closed:
+                error = RuntimeError("ServerPool is closed")
+            else:
+                for kind, items in (
+                    ("evaluate", evaluates), ("answers", answers)
+                ):
+                    if not items:
+                        continue
+                    if len(items) > 1:
+                        self._coalesced += len(items)
+                    request_id = next(self._ids)
+                    if kind == "evaluate":
+                        op, payload = (
+                            "evaluate_many", [item.query for item in items]
+                        )
+                    else:
+                        op, payload = (
+                            "answers_many",
+                            [(item.query, item.k) for item in items],
+                        )
+                    self._pending[request_id] = (
+                        op, [i.future for i in items], shard
+                    )
+                    self._batches += 1
+                    self._request_queues[shard].put((op, request_id, payload))
+        if error is not None:
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(error)
+
+    def _ensure_synced_locked(self) -> None:
+        """Repair replicas after out-of-band front-db mutation."""
+        current = (self.db.structure_version, self.db.version)
+        if current == self._synced_versions:
+            return
+        snapshot = self.db.snapshot()
+        for queue in self._request_queues:
+            queue.put(("sync", None, snapshot))
+        self._synced_versions = current
+        self._syncs += 1
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ServerPool is closed")
+
+    def _check_alive(self) -> None:
+        if self._broken is not None:
+            raise WorkerError(self._broken)
+        dead = [
+            index for index, process in enumerate(self._processes)
+            if not process.is_alive()
+        ]
+        if dead:
+            raise WorkerError(
+                f"worker(s) {dead} died; the pool must be rebuilt"
+            )
+
+    def _watch(self) -> None:
+        """Watcher thread: fail a dead worker's in-flight futures.
+
+        Without it, a worker crashing mid-request (OOM kill, bug) would
+        leave its reply missing forever and `future.result(None)`
+        blocking indefinitely.  Process sentinels fire on any exit;
+        exits during `close()` are the orderly case and are ignored.
+        """
+        from multiprocessing.connection import wait
+
+        sentinels = {
+            process.sentinel: shard
+            for shard, process in enumerate(self._processes)
+        }
+        while sentinels:
+            for sentinel in wait(list(sentinels)):
+                shard = sentinels.pop(sentinel)
+                self._fail_shard(shard)
+
+    def _fail_shard(self, shard: int) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            message = f"worker {shard} died; the pool must be rebuilt"
+            self._broken = message
+            entries = [
+                (request_id, futures)
+                for request_id, (_op, futures, owner)
+                in list(self._pending.items())
+                if owner == shard
+            ]
+            for request_id, _futures in entries:
+                del self._pending[request_id]
+            buffered = self._buffers[shard]
+            self._buffers[shard] = []
+        error = WorkerError(message)
+        for _request_id, futures in entries:
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+        for item in buffered:
+            if not item.future.done():
+                item.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Result collection
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> None:
+        """Collector thread: route worker replies onto their futures."""
+        while True:
+            request_id, ok, payload = self._result_queue.get()
+            if request_id is None:
+                return
+            with self._lock:
+                op, futures, _shard = self._pending.pop(
+                    request_id, (None, [], -1)
+                )
+            if not ok:
+                error = WorkerError(payload)
+                for future in futures:
+                    future.set_exception(error)
+                continue
+            if op in ("evaluate_many", "answers_many"):
+                for future, value in zip(futures, payload):
+                    future.set_result(value)
+            else:  # estimate / stats / stop: one future, raw payload
+                for future in futures:
+                    future.set_result(payload)

@@ -1,0 +1,418 @@
+"""An asyncio JSON-over-HTTP front for a :class:`ServerPool`.
+
+Zero dependencies beyond the standard library: a minimal HTTP/1.1
+parser over :func:`asyncio.start_server`, JSON request and response
+bodies, and the pool's blocking calls pushed onto the default executor
+so the event loop keeps accepting while workers grind.  Concurrent
+handlers therefore land in the pool's batching front together, where
+same-shape requests coalesce into shared circuit sweeps.
+
+Routes (all bodies JSON):
+
+=======  ============  =======================================  ==========================================
+method   path          request body                             response body
+=======  ============  =======================================  ==========================================
+POST     /evaluate     ``{"query": "R(x), S(x,y)"}``            ``{"probability": 0.2}``
+POST     /answers      ``{"query": "Q(x) :- ...", "top": 3}``   ``{"answers": [{"answer": [...], "probability": p}, ...]}``
+POST     /batch        ``{"queries": [...]}``                   ``{"probabilities": [...]}``
+POST     /update       ``{"relation": "R", "row": [1],          ``{"ok": true}``
+                       "probability": 0.9}``
+GET      /stats        —                                        pool + per-worker session counters
+GET      /healthz      —                                        ``{"ok": true, "workers": n}``
+=======  ============  =======================================  ==========================================
+
+Malformed requests get ``400`` with ``{"error": ...}``; unknown routes
+``404``.  Shutdown is graceful: the listener closes first, in-flight
+requests drain, then (optionally) the pool itself is closed.
+
+The synchronous :class:`BackgroundServer` wrapper runs the whole thing
+on a daemon thread for tests, examples and notebook use::
+
+    >>> from repro.db.database import ProbabilisticDatabase
+    >>> from repro.serve.pool import ServerPool
+    >>> db = ProbabilisticDatabase.from_dict({"R": {(1,): 0.5}})
+    >>> with BackgroundServer(ServerPool(db, workers=0)) as server:
+    ...     import json, urllib.request
+    ...     reply = urllib.request.urlopen(urllib.request.Request(
+    ...         f"http://127.0.0.1:{server.port}/evaluate",
+    ...         data=json.dumps({"query": "R(x)"}).encode(),
+    ...         method="POST"))
+    ...     json.load(reply)["probability"]
+    0.5
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+from typing import Optional, Tuple
+
+from ..core.parser import QueryParseError
+from .pool import ServerPool
+
+__all__ = ["BackgroundServer", "RequestServer", "serve_forever"]
+
+#: Refuse request bodies above this size (a plain-text DoS guard).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _BadRequest(Exception):
+    """Client error — reported as HTTP 400 with the message as JSON."""
+
+
+class _NotFound(Exception):
+    """No such route — reported as HTTP 404.
+
+    A dedicated type rather than ``LookupError``: a ``KeyError``
+    escaping pool evaluation must surface as a 500, not be mistaken
+    for an unknown route.
+    """
+
+
+class RequestServer:
+    """The asyncio server component; one instance per listening socket.
+
+    Args:
+        pool: the :class:`ServerPool` serving the traffic (any
+            ``workers`` setting, including inline ``0``).
+        host: interface to bind.
+        port: TCP port; ``0`` picks an ephemeral one (read it back
+            from :attr:`port` after :meth:`start`).
+
+    Use :meth:`start` / :meth:`aclose` from an event loop, or the
+    synchronous :class:`BackgroundServer` wrapper.
+    """
+
+    def __init__(
+        self, pool: ServerPool, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.pool = pool
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: set = set()
+        self._writers: dict = {}
+        self._busy: set = set()
+        self._closing = False
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Serve until ``stop`` is set, then drain and close."""
+        await stop.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop accepting; drain busy handlers, wake idle keep-alives.
+
+        A handler parked in ``read`` between keep-alive requests would
+        otherwise block shutdown until its client disconnected, so
+        idle connections get their transports closed (the pending read
+        fails, the handler exits); handlers mid-request finish writing
+        their response first and then see :attr:`_closing`.
+        """
+        if self._server is None:
+            return
+        self._closing = True
+        self._server.close()
+        await self._server.wait_closed()
+        for task, writer in list(self._writers.items()):
+            if task not in self._busy:
+                writer.close()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._server = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        self._writers[task] = writer
+        try:
+            while not self._closing:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                self._busy.add(task)
+                try:
+                    method, path, headers, body = request
+                    status, payload = await self._respond(method, path, body)
+                    keep_alive = (
+                        headers.get("connection", "keep-alive").lower()
+                        != "close"
+                    )
+                    await self._write_response(
+                        writer, status, payload, keep_alive
+                    )
+                finally:
+                    self._busy.discard(task)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._handlers.discard(task)
+            self._writers.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - client vanished
+                pass
+
+    async def _read_request(
+        self, reader
+    ) -> Optional[Tuple[str, str, dict, bytes]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        parts = request_line.split()
+        if len(parts) != 3:
+            return None
+        method, path, _version = parts
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", 0) or 0)
+        except ValueError:
+            return None  # unparseable framing: close, don't traceback
+        if length < 0 or length > MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _respond(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, dict]:
+        try:
+            return 200, await self._dispatch(method, path, body)
+        except _BadRequest as error:
+            return 400, {"error": str(error)}
+        except _NotFound:
+            return 404, {"error": f"no route {method} {path}"}
+        except (QueryParseError, ValueError, TypeError) as error:
+            return 400, {"error": str(error)}
+        except Exception as error:  # noqa: BLE001 - 500, keep serving
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> dict:
+        pool = self.pool
+        loop = asyncio.get_running_loop()
+        if method == "GET":
+            if path == "/healthz":
+                return {"ok": True, "workers": pool.workers}
+            if path == "/stats":
+                stats = await loop.run_in_executor(None, pool.stats)
+                payload = dataclasses.asdict(stats)
+                payload["combined"] = dataclasses.asdict(stats.combined)
+                payload["describe"] = stats.describe()
+                return payload
+            raise _NotFound(path)
+        if method != "POST":
+            raise _NotFound(path)
+        request = self._json_body(body)
+        if path == "/evaluate":
+            query = self._field(request, "query", str)
+            value = await loop.run_in_executor(None, pool.evaluate, query)
+            return {"probability": value}
+        if path == "/answers":
+            query = self._field(request, "query", str)
+            top = request.get("top")
+            if top is not None and (
+                isinstance(top, bool) or not isinstance(top, int)
+                or top < 0
+            ):
+                raise _BadRequest(
+                    f"top must be a non-negative integer, got {top!r}"
+                )
+            ranked = await loop.run_in_executor(None, pool.answers, query, top)
+            return {
+                "answers": [
+                    {"answer": list(answer), "probability": probability}
+                    for answer, probability in ranked
+                ]
+            }
+        if path == "/batch":
+            queries = self._field(request, "queries", list)
+            if not all(isinstance(text, str) for text in queries):
+                raise _BadRequest("queries must be an array of strings")
+            values = await loop.run_in_executor(
+                None, pool.evaluate_many, queries
+            )
+            return {"probabilities": values}
+        if path == "/update":
+            relation = self._field(request, "relation", str)
+            row = self._field(request, "row", list)
+            probability = request.get("probability")
+            if isinstance(probability, bool) or not isinstance(
+                probability, (int, float)
+            ):
+                raise _BadRequest(
+                    f"probability must be a number, got {probability!r}"
+                )
+            await loop.run_in_executor(
+                None, pool.update, relation, tuple(row), probability
+            )
+            return {"ok": True}
+        raise _NotFound(path)
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        try:
+            request = json.loads(body.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise _BadRequest(f"request body is not valid JSON: {error}")
+        if not isinstance(request, dict):
+            raise _BadRequest(
+                f"request body must be a JSON object, "
+                f"got {type(request).__name__}"
+            )
+        return request
+
+    @staticmethod
+    def _field(request: dict, name: str, kind: type):
+        value = request.get(name)
+        if not isinstance(value, kind) or isinstance(value, bool):
+            raise _BadRequest(
+                f"field {name!r} must be a {kind.__name__}, got {value!r}"
+            )
+        return value
+
+    async def _write_response(
+        self, writer, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        text = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                500: "Internal Server Error"}.get(status, "OK")
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {text}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+def _announce(message: str) -> None:
+    # Flush so the address line reaches pipes (tests, process managers)
+    # immediately, not at exit.
+    print(message, flush=True)
+
+
+def serve_forever(
+    pool: ServerPool,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    announce=_announce,
+) -> None:
+    """Run the HTTP server until SIGINT/SIGTERM; used by the CLI.
+
+    Blocks the calling thread inside an event loop.  On signal, stops
+    accepting, drains in-flight requests, then closes ``pool``
+    gracefully (workers finish their queues before exiting).
+    """
+
+    async def _run() -> None:
+        import signal
+
+        server = RequestServer(pool, host, port)
+        await server.start()
+        announce(f"serving on http://{server.host}:{server.port} "
+                 f"({pool.workers} workers; Ctrl-C to stop)")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await server.serve_until(stop)
+
+    try:
+        asyncio.run(_run())
+    finally:
+        pool.close()
+        announce("server stopped")
+
+
+class BackgroundServer:
+    """Run a :class:`RequestServer` on a daemon thread.
+
+    The synchronous face of the server for tests, examples and
+    interactive use: construction returns once the socket is bound
+    (read the ephemeral port from :attr:`port`), and :meth:`stop` —
+    or leaving the ``with`` block — drains handlers, stops the loop
+    and closes the pool.
+    """
+
+    def __init__(
+        self, pool: ServerPool, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.pool = pool
+        self.server = RequestServer(pool, host, port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._error: Optional[BaseException] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-http-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):  # pragma: no cover - hang guard
+            raise RuntimeError("HTTP server failed to start within 30s")
+        if self._error is not None:
+            raise self._error
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                await self.server.start()
+            except OSError as error:
+                self._error = error
+                return
+            finally:
+                self._ready.set()
+            await self.server.serve_until(self._stop)
+
+        asyncio.run(_main())
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain handlers, stop the loop, close the pool."""
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+        self._loop = None
+        self.pool.close()
+
+    def __enter__(self) -> "BackgroundServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

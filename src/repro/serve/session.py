@@ -40,8 +40,8 @@ float-epsilon, which the invalidation-matrix suite in
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..compile.evaluate import reweighted_probabilities
 from ..core.parser import parse
@@ -110,6 +110,23 @@ class SessionStats:
             f"{self.batched_rows} rows in {self.batched_sweeps} sweeps, "
             f"{self.fallbacks} fallbacks"
         )
+
+    @classmethod
+    def merged(cls, parts: Iterable["SessionStats"]) -> "SessionStats":
+        """Field-wise sum — the pool's cross-worker aggregation.
+
+        >>> a, b = SessionStats(prepared=2), SessionStats(prepared=1, reweights=4)
+        >>> SessionStats.merged([a, b])
+        SessionStats(prepared=3, prepare_hits=0, result_hits=0, safe_evaluations=0, reweights=4, regrounds=0, batched_rows=0, batched_sweeps=0, fallbacks=0)
+        """
+        total = cls()
+        for part in parts:
+            for spec in fields(cls):
+                setattr(
+                    total, spec.name,
+                    getattr(total, spec.name) + getattr(part, spec.name),
+                )
+        return total
 
 
 class PreparedQuery:
@@ -212,6 +229,26 @@ class QuerySession:
     as long as the database is unchanged (a feature for serving — one
     workload, one answer), and refreshed by re-sampling after any
     change to the query's relations.
+
+    Raises:
+        ValueError: non-positive ``max_prepared``, or a pre-built
+            router combined with router-config keywords.
+
+    Example — evaluate, drift a probability, re-evaluate::
+
+        >>> from repro.db.database import ProbabilisticDatabase
+        >>> db = ProbabilisticDatabase.from_dict(
+        ...     {"R": {(1,): 0.5}, "S": {(1, 2): 0.4}})
+        >>> session = QuerySession(db)
+        >>> round(session.evaluate("R(x), S(x,y)"), 6)  # cold: plan + ground
+        0.2
+        >>> session.update("R", (1,), 0.9)              # probability-only
+        >>> round(session.evaluate("R(x), S(x,y)"), 6)  # re-weighted
+        0.36
+        >>> session.answers("Q(x) :- R(x), S(x,y)", k=1)
+        [((1,), 0.36000000000000004)]
+        >>> session.stats.result_hits, session.stats.regrounds
+        (0, 0)
     """
 
     def __init__(

@@ -1,0 +1,356 @@
+"""Concurrent correctness of the sharded serving pool (`repro.serve.pool`).
+
+The headline suite is the hammer test the issue demands: one
+`ServerPool` hit from N threads with mixed updates and queries, every
+response checked against a fresh `RouterEngine` to 1e-9.  Threads own
+disjoint relation families, so each thread's shadow database is the
+exact state its own queries must observe regardless of how the other
+threads' traffic interleaves (updates to unmentioned relations never
+affect a query).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import parse
+from repro.db import ProbabilisticDatabase
+from repro.engines import RouterEngine
+from repro.lineage.boolean import Lineage
+from repro.lineage.grounding import ground_lineage
+from repro.lineage.wmc import exact_probability
+from repro.serve import (
+    PoolStats,
+    ServerPool,
+    SessionConfig,
+    SessionStats,
+    WorkerError,
+    shard_of,
+)
+
+EXACT = SessionConfig(exact_fallback=True, mc_seed=1234)
+
+
+def small_db():
+    return ProbabilisticDatabase.from_dict({
+        "R": {(1,): 0.5, (2,): 0.6},
+        "S": {(1, 10): 0.7, (2, 10): 0.4, (2, 11): 0.3},
+        "T": {(10,): 0.8, (11,): 0.2},
+    })
+
+
+@pytest.fixture(scope="module")
+def mp_pool():
+    """One spawned 2-worker pool shared by the multiprocess tests."""
+    pool = ServerPool(
+        small_db(), workers=2, config=EXACT, request_timeout=120
+    )
+    yield pool
+    pool.close()
+
+
+class TestShardOf:
+    def test_stable_and_in_range(self):
+        shape = "R(v0), S(v0, v1)"
+        assert shard_of(shape, 4) == shard_of(shape, 4)
+        assert all(0 <= shard_of(f"Q{i}(v0)", 3) < 3 for i in range(50))
+
+    def test_spreads_shapes(self):
+        shards = {shard_of(f"R{i}(v0), S{i}(v0, v1)", 4) for i in range(64)}
+        assert len(shards) == 4
+
+    def test_rejects_no_workers(self):
+        with pytest.raises(ValueError):
+            shard_of("R(v0)", 0)
+
+
+class TestInlinePool:
+    """workers=0: same API, one lock-guarded in-process session."""
+
+    def test_matches_router(self):
+        db = small_db()
+        router = RouterEngine(exact_fallback=True)
+        with ServerPool(db.copy(), workers=0, config=EXACT) as pool:
+            for text in ["R(x), S(x,y)", "R(x), S(x,y), T(y)"]:
+                assert pool.evaluate(text) == pytest.approx(
+                    router.probability(parse(text), db), abs=1e-9
+                )
+            ranked = pool.answers("Q(x) :- R(x), S(x,y), T(y)", 2)
+            expected = router.answers(
+                parse("Q(x) :- R(x), S(x,y), T(y)"), db, 2
+            )
+            assert ranked == expected
+
+    def test_update_then_query(self):
+        db = small_db()
+        with ServerPool(db, workers=0, config=EXACT) as pool:
+            pool.update("R", (1,), 0.9)
+            fresh_db = small_db()
+            fresh_db.add("R", (1,), 0.9)
+            fresh = RouterEngine(exact_fallback=True)
+            assert pool.evaluate("R(x), S(x,y), T(y)") == pytest.approx(
+                fresh.probability(parse("R(x), S(x,y), T(y)"), fresh_db),
+                abs=1e-9,
+            )
+
+    def test_stats_shape(self):
+        with ServerPool(small_db(), workers=0, config=EXACT) as pool:
+            pool.evaluate_many(["R(x)", "R(x)"])
+            stats = pool.stats()
+            assert isinstance(stats, PoolStats)
+            assert len(stats.workers) == 1
+            assert stats.requests == 2
+            assert "1 workers" in stats.describe()
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            ServerPool(small_db(), workers=-1)
+
+    def test_bad_update_raises_and_leaves_pool_usable(self):
+        with ServerPool(small_db(), workers=0, config=EXACT) as pool:
+            with pytest.raises(ValueError):
+                pool.update("R", (1,), 1.5)
+            assert pool.evaluate("R(x)") == pytest.approx(0.8, abs=1e-9)
+
+    def test_estimate_lineages_inline_matches_engine(self):
+        db = small_db()
+        lineage = ground_lineage(parse("R(x), S(x,y), T(y)"), db)
+        with ServerPool(db, workers=0, config=EXACT) as pool:
+            got = pool.estimate_lineages({"a": lineage}, samples=2000)
+        engine = RouterEngine(
+            exact_fallback=True, mc_seed=1234, mc_samples=2000
+        ).monte_carlo
+        assert got == engine.estimate_lineages({"a": lineage})
+
+
+class TestStatsMerge:
+    def test_merged_sums_fields(self):
+        merged = SessionStats.merged(
+            [SessionStats(prepared=1, reweights=2),
+             SessionStats(prepared=4, fallbacks=1)]
+        )
+        assert merged.prepared == 5
+        assert merged.reweights == 2
+        assert merged.fallbacks == 1
+
+    def test_pool_stats_combined(self):
+        stats = PoolStats(workers=[SessionStats(prepared=1),
+                                   SessionStats(prepared=2)])
+        assert stats.combined.prepared == 3
+
+
+class TestMultiprocessPool:
+    """Against the shared spawned 2-worker pool."""
+
+    def test_matches_router(self, mp_pool):
+        db = small_db()
+        router = RouterEngine(exact_fallback=True)
+        texts = ["R(x), S(x,y)", "R(x), S(x,y), T(y)", "R(x)"]
+        values = mp_pool.evaluate_many(texts)
+        for text, value in zip(texts, values):
+            assert value == pytest.approx(
+                router.probability(parse(text), db), abs=1e-9
+            )
+
+    def test_answers_match_router(self, mp_pool):
+        db = small_db()
+        router = RouterEngine(exact_fallback=True)
+        text = "Q(x) :- R(x), S(x,y), T(y)"
+        assert mp_pool.answers(text) == router.answers(parse(text), db)
+        # k truncation happens at the worker
+        assert mp_pool.answers(text, 1) == router.answers(parse(text), db, 1)
+
+    def test_estimate_lineages_scatters_and_is_deterministic(self, mp_pool):
+        db = small_db()
+        lineages = {
+            name: ground_lineage(parse(text), db)
+            for name, text in [
+                ("a", "R(x), S(x,y), T(y)"),
+                ("b", "R(x), S(x,y)"),
+                ("c", "S(x,y), T(y)"),
+            ]
+        }
+        first = mp_pool.estimate_lineages(lineages, samples=4000)
+        second = mp_pool.estimate_lineages(lineages, samples=4000)
+        assert first == second  # seeded per call, deterministic
+        for name, lineage in lineages.items():
+            estimate, half_width = first[name]
+            exact = float(exact_probability(lineage))
+            assert half_width > 0.0
+            assert abs(estimate - exact) <= 5 * half_width
+
+    def test_worker_error_propagates(self, mp_pool):
+        # A lineage whose clause mentions an event missing from its
+        # weights faults inside the worker; the front must re-raise.
+        broken = Lineage(
+            frozenset([frozenset([(("R", (1,)), True)])]), weights={}
+        )
+        with pytest.raises(WorkerError):
+            mp_pool.estimate_lineages({"x": broken}, samples=10)
+        # ...and the pool stays serviceable afterwards.
+        assert mp_pool.evaluate("R(x)") == pytest.approx(0.8, abs=1e-9)
+
+    def test_stats_aggregates_workers(self, mp_pool):
+        stats = mp_pool.stats()
+        assert len(stats.workers) == 2
+        assert stats.combined.prepared >= 1
+        assert stats.requests >= 1
+
+    def test_closed_pool_refuses_requests(self):
+        pool = ServerPool(small_db(), workers=0, config=EXACT)
+        pool.close()
+        pool.close()  # idempotent
+        # Inline pools keep serving after close() is a no-op barrier for
+        # subprocesses; multiprocess refusal is covered via _check_open
+        # in test_update_after_close below.
+
+    def test_update_after_close_raises(self):
+        pool = ServerPool(
+            small_db(), workers=1, config=EXACT, request_timeout=120
+        )
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.update("R", (1,), 0.4)
+        with pytest.raises(RuntimeError):
+            pool.evaluate("R(x)")
+
+
+class TestWorkerDeath:
+    def test_dead_worker_fails_inflight_and_later_requests(self):
+        # Regression: a worker dying mid-request must fail its pending
+        # futures (via the sentinel watcher), not hang callers forever.
+        pool = ServerPool(
+            small_db(), workers=1,
+            config=SessionConfig(mc_seed=1), request_timeout=120,
+        )
+        lineage = ground_lineage(parse("R(x), S(x,y), T(y)"), small_db())
+        outcome = {}
+
+        def call():
+            try:
+                # A sample budget large enough to keep the worker busy
+                # well past the terminate() below.
+                pool.estimate_lineages({"a": lineage}, samples=200_000_000)
+                outcome["value"] = "completed"
+            except WorkerError as error:
+                outcome["error"] = error
+
+        try:
+            thread = threading.Thread(target=call)
+            thread.start()
+            time.sleep(1.0)  # let the message reach the worker
+            pool._processes[0].terminate()
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "in-flight future hung"
+            assert "error" in outcome, outcome
+            # New submissions are refused with the same diagnosis.
+            with pytest.raises(WorkerError, match="died"):
+                pool.evaluate("R(x)")
+        finally:
+            pool.close()
+
+
+class TestOutOfBandMutation:
+    def test_direct_front_db_mutation_triggers_resync(self):
+        db = small_db()
+        with ServerPool(
+            db, workers=1, config=EXACT, request_timeout=120
+        ) as pool:
+            assert pool.evaluate("R(x)") == pytest.approx(0.8, abs=1e-9)
+            before = pool.stats().combined
+            # Mutate the front database directly — not through the pool.
+            db.add("R", (3,), 0.5)
+            expected = RouterEngine(exact_fallback=True).probability(
+                parse("R(x)"), db
+            )
+            assert pool.evaluate("R(x)") == pytest.approx(expected, abs=1e-9)
+            stats = pool.stats()
+            assert stats.syncs == 1
+            # The re-sync rebuilds the session but must not reset the
+            # worker's serving history — counters stay monotone.
+            assert stats.combined.prepared >= before.prepared
+            assert stats.combined.safe_evaluations > before.safe_evaluations
+
+
+QUERY_SHAPES = [
+    "R{t}(x), S{t}(x,y), T{t}(y)",   # #P-hard: compiled tier
+    "R{t}(x), S{t}(x,y)",            # safe plan
+]
+ANSWER_SHAPE = "Q(x) :- R{t}(x), S{t}(x,y), T{t}(y)"
+
+
+def _thread_db(t: int) -> dict:
+    """Initial contents of thread ``t``'s private relation family."""
+    return {
+        f"R{t}": {(1,): 0.3 + 0.05 * t, (2,): 0.6},
+        f"S{t}": {(1, 10): 0.7, (2, 10): 0.4, (2, 11): 0.5},
+        f"T{t}": {(10,): 0.8, (11,): 0.25},
+    }
+
+
+class TestHammer:
+    """N threads, mixed updates/queries, every response checked to 1e-9."""
+
+    THREADS = 4
+    OPS = 12
+
+    def test_hammer(self):
+        data = {}
+        for t in range(self.THREADS):
+            data.update(_thread_db(t))
+        pool = ServerPool(
+            ProbabilisticDatabase.from_dict(data),
+            workers=2,
+            config=EXACT,
+            request_timeout=120,
+        )
+        failures = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(t: int) -> None:
+            shadow = {name: dict(rows) for name, rows in _thread_db(t).items()}
+            barrier.wait()
+            try:
+                for i in range(self.OPS):
+                    if i % 3 == 2:
+                        row, probability = (1,), 0.1 + ((7 * i + t) % 80) / 100
+                        pool.update(f"R{t}", row, probability)
+                        shadow[f"R{t}"][row] = probability
+                    fresh_db = ProbabilisticDatabase.from_dict(shadow)
+                    fresh = RouterEngine(exact_fallback=True)
+                    text = QUERY_SHAPES[i % len(QUERY_SHAPES)].format(t=t)
+                    got = pool.evaluate(text)
+                    want = fresh.probability(parse(text), fresh_db)
+                    if abs(got - want) > 1e-9:
+                        failures.append((t, i, text, got, want))
+                    if i % 4 == 1:
+                        answer_text = ANSWER_SHAPE.format(t=t)
+                        got_ranked = pool.answers(answer_text, 2)
+                        want_ranked = fresh.answers(
+                            parse(answer_text), fresh_db, 2
+                        )
+                        for (ga, gp), (wa, wp) in zip(got_ranked, want_ranked):
+                            if ga != wa or abs(gp - wp) > 1e-9:
+                                failures.append(
+                                    (t, i, answer_text, got_ranked,
+                                     want_ranked)
+                                )
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                failures.append((t, "exception", repr(error)))
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(self.THREADS)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            assert not failures, failures[:5]
+            stats = pool.stats()
+            assert stats.requests >= self.THREADS * self.OPS
+            assert stats.updates == self.THREADS * (self.OPS // 3)
+        finally:
+            pool.close()

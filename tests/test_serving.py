@@ -350,7 +350,9 @@ def test_serve_cli_rejects_unknown_op(tmp_path, capsys):
 @pytest.mark.parametrize("request_obj, fragment", [
     ({"op": "evaluate"}, "missing the 'query' field"),
     ({"op": "answers", "query": "Q(x) :- R(x)", "top": "3"},
-     "top must be an integer"),
+     "top must be a non-negative integer"),
+    ({"op": "answers", "query": "Q(x) :- R(x)", "top": -2},
+     "top must be a non-negative integer"),
     ({"op": "batch", "queries": ["R(x)", 42]}, "query strings"),
     ({"op": "update", "relation": "R", "row": [1], "probability": "x"},
      "must be a number"),
@@ -390,3 +392,92 @@ def test_stats_describe_mentions_the_counters():
     session.evaluate("R(x)")
     text = session.stats.describe()
     assert "cached" in text and "reweighted" in text
+
+
+# ----------------------------------------------------------------------
+# Malformed workload files must fail loudly (and name the culprit)
+# ----------------------------------------------------------------------
+
+
+def _write_serve_files(tmp_path, requests_text):
+    database = tmp_path / "db.json"
+    database.write_text(json.dumps({"R": [[[1], 0.5]]}))
+    requests = tmp_path / "requests.json"
+    requests.write_text(requests_text)
+    return database, requests
+
+
+def test_serve_cli_non_string_query_reports_the_request(tmp_path, capsys):
+    # Used to escape as a TypeError traceback; must be a clean exit 2.
+    database, requests = _write_serve_files(
+        tmp_path, json.dumps([{"op": "evaluate", "query": 42}])
+    )
+    assert main(["serve", str(database), "--requests", str(requests)]) == 2
+    err = capsys.readouterr().err
+    assert "request 1" in err
+    assert "query must be a string" in err
+    assert '"query": 42' in err  # the offending request is echoed
+
+
+def test_serve_cli_accepts_json_lines(tmp_path, capsys):
+    database, requests = _write_serve_files(
+        tmp_path,
+        '{"op": "evaluate", "query": "R(x)"}\n'
+        "\n"
+        '{"op": "update", "relation": "R", "row": [1], "probability": 0.9}\n'
+        '{"op": "evaluate", "query": "R(x)"}\n',
+    )
+    assert main(["serve", str(database), "--requests", str(requests)]) == 0
+    out = capsys.readouterr().out
+    assert "p = 0.5000000000" in out and "p = 0.9000000000" in out
+
+
+def test_serve_cli_jsonl_error_names_the_line(tmp_path, capsys):
+    database, requests = _write_serve_files(
+        tmp_path,
+        '{"op": "evaluate", "query": "R(x)"}\n'
+        '{"op": "evaluate" "query"}\n',
+    )
+    assert main(["serve", str(database), "--requests", str(requests)]) == 2
+    err = capsys.readouterr().err
+    assert "line 2" in err
+    assert 'offending line: {"op": "evaluate" "query"}' in err
+
+
+def test_serve_cli_jsonl_bad_request_names_the_line(tmp_path, capsys):
+    database, requests = _write_serve_files(
+        tmp_path,
+        '{"op": "evaluate", "query": "R(x)"}\n'
+        '{"op": "evaluate", "query": "R(x,"}\n',
+    )
+    assert main(["serve", str(database), "--requests", str(requests)]) == 2
+    assert "line 2" in capsys.readouterr().err
+
+
+def test_serve_cli_empty_and_non_list_files(tmp_path, capsys):
+    database, requests = _write_serve_files(tmp_path, "")
+    assert main(["serve", str(database), "--requests", str(requests)]) == 2
+    assert "empty request file" in capsys.readouterr().err
+    requests.write_text('["R(x)"]')
+    assert main(["serve", str(database), "--requests", str(requests)]) == 2
+    assert '"op" key' in capsys.readouterr().err
+
+
+def test_serve_cli_needs_requests_xor_listen(tmp_path, capsys):
+    database = tmp_path / "db.json"
+    database.write_text(json.dumps({"R": [[[1], 0.5]]}))
+    assert main(["serve", str(database)]) == 2
+    assert "exactly one of" in capsys.readouterr().err
+    assert main(["serve", str(database), "--requests", "x.json",
+                 "--listen", "8080"]) == 2
+    assert "exactly one of" in capsys.readouterr().err
+
+
+def test_serve_cli_listen_rejects_bad_address(tmp_path, capsys):
+    database = tmp_path / "db.json"
+    database.write_text(json.dumps({"R": [[[1], 0.5]]}))
+    assert main(["serve", str(database), "--listen", "nope"]) == 2
+    assert "[HOST:]PORT" in capsys.readouterr().err
+    assert main(["serve", str(database), "--listen", "8080",
+                 "--workers", "-2"]) == 2
+    assert "--workers" in capsys.readouterr().err

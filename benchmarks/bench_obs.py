@@ -1,0 +1,290 @@
+"""V1 — the telemetry spine: what does always-on instrumentation cost?
+
+Two claims are measured:
+
+1. **Overhead.**  The same warm mixed workload (result-cache hits,
+   re-weights, batched sweeps — the steady state a serving deployment
+   lives in, and the *worst* case for relative overhead because each
+   request does so little work) is replayed through two
+   :class:`~repro.serve.session.QuerySession` instances: one with the
+   default live :class:`~repro.obs.MetricsRegistry`, one with a
+   disabled registry (``SessionConfig.metrics_enabled=False``'s
+   single-session equivalent).  Instrumented throughput must stay
+   within 5% of the uninstrumented baseline (asserted non-smoke,
+   best-of-``--repeats`` to shave scheduler noise).  Both runs use the
+   exact fallback, and their responses are asserted identical.
+
+2. **Scrape liveness.**  An HTTP server is stood up over an inline
+   pool, a background thread keeps traffic flowing, and ``GET
+   /metrics`` is scraped *mid-run*.  The exposition must parse as
+   Prometheus text format 0.0.4 and contain the core series of every
+   layer (HTTP, pool front, session stages, router tiers), proving a
+   dashboard can watch the stack while it serves.
+
+Emits ``BENCH_obs.json``.  CI smoke: ``python benchmarks/bench_obs.py
+--smoke`` (tiny sizes, correctness + scrape assertions only, no
+overhead assertion; still writes the JSON).
+"""
+
+import argparse
+import json
+import re
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.db import ProbabilisticDatabase, random_database
+from repro.obs import (
+    MetricsRegistry,
+    quantile_from_buckets,
+    render_prometheus,
+)
+from repro.serve import BackgroundServer, QuerySession, ServerPool
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+BOOLEAN_SHAPE = "R{i}(x), S{i}(x,y), T{i}(y)"   # #P-hard: compiled tier
+ANSWER_SHAPE = "Q(x) :- R{i}(x), S{i}(x,y), T{i}(y)"
+
+#: Series every layer must expose on a mid-run scrape.
+CORE_SERIES = (
+    "repro_http_requests_total",
+    "repro_http_request_seconds_bucket",
+    "repro_pool_requests_total",
+    "repro_pool_batch_size_bucket",
+    "repro_session_stage_seconds_bucket",
+    "repro_session_query_seconds_bucket",
+    "repro_session_results_total",
+)
+
+_LABEL = r"[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{" + _LABEL + r"(," + _LABEL + r")*\})?"
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN|[+-]Inf)$"
+)
+
+
+def build_db(n_shapes, domain, density=0.3):
+    """One private R/S/T family per shape (see bench_server)."""
+    merged = ProbabilisticDatabase()
+    for i in range(n_shapes):
+        part = random_database(
+            {f"R{i}": 1, f"S{i}": 2, f"T{i}": 1},
+            domain_size=domain, density=density, seed=2000 + i,
+        )
+        part.relation(f"R{i}").add((0,), 0.5)
+        part.relation(f"S{i}").add((0, 1), 0.5)
+        part.relation(f"T{i}").add((1,), 0.5)
+        for relation in part.relations():
+            merged.add_relation(relation)
+    return merged
+
+
+def build_workload(n_shapes, rounds, db):
+    """Deterministic warm traffic: drift one tuple, query every shape."""
+    first_rows = {
+        i: next(iter(db.relation(f"R{i}").tuples())) for i in range(n_shapes)
+    }
+    plan = []
+    for r in range(rounds):
+        target = r % n_shapes
+        ops = [("update", f"R{target}", first_rows[target],
+                0.15 + 0.6 * ((3 * r + 1) % 7) / 7.0)]
+        ops.append(("batch",
+                    [BOOLEAN_SHAPE.format(i=i) for i in range(n_shapes)]))
+        ops.extend(
+            ("answers", ANSWER_SHAPE.format(i=i), 3)
+            for i in range(0, n_shapes, 4)
+        )
+        plan.append(ops)
+    return plan
+
+
+def run_session(db, plan, metrics_enabled):
+    """Replay the workload once; returns (seconds, responses, session)."""
+    session = QuerySession(
+        db.copy(),
+        exact_fallback=True,
+        metrics=MetricsRegistry(enabled=metrics_enabled),
+    )
+    for ops in plan[:1]:  # warm-up pass, outside the timer
+        for op in ops:
+            if op[0] == "batch":
+                session.evaluate_many(op[1])
+            elif op[0] == "answers":
+                session.answers(op[1], k=op[2])
+    responses = []
+    requests = 0
+    start = time.perf_counter()
+    for ops in plan:
+        for op in ops:
+            if op[0] == "update":
+                session.update(op[1], op[2], op[3])
+            elif op[0] == "batch":
+                responses.extend(session.evaluate_many(op[1]))
+                requests += len(op[1])
+            else:
+                responses.append(session.answers(op[1], k=op[2]))
+                requests += 1
+    return time.perf_counter() - start, requests, responses, session
+
+
+def bench_overhead(n_shapes, domain, rounds, repeats):
+    db = build_db(n_shapes, domain)
+    plan = build_workload(n_shapes, rounds, db)
+    best = {True: float("inf"), False: float("inf")}
+    responses = {}
+    session = None
+    for _ in range(repeats):
+        # Interleave the two configurations so thermal / scheduler
+        # drift hits both equally.
+        for enabled in (True, False):
+            seconds, requests, got, live = run_session(db, plan, enabled)
+            best[enabled] = min(best[enabled], seconds)
+            responses[enabled] = got
+            if enabled:
+                session = live
+    assert responses[True] == responses[False], (
+        "instrumented and uninstrumented runs disagree"
+    )
+    overhead = (best[True] - best[False]) / best[False]
+    snap = session.metrics.snapshot()
+    query = snap["repro_session_query_seconds"]["values"][("evaluate",)]
+    bounds = snap["repro_session_query_seconds"]["buckets"]
+    quantiles = {
+        f"p{int(q * 100)}_evaluate_seconds": round(
+            quantile_from_buckets(query["counts"], bounds, q), 9
+        )
+        for q in (0.5, 0.95, 0.99)
+    }
+    return {
+        "n_shapes": n_shapes,
+        "domain": domain,
+        "rounds": rounds,
+        "repeats": repeats,
+        "requests": requests,
+        "seconds_instrumented": round(best[True], 6),
+        "seconds_uninstrumented": round(best[False], 6),
+        "throughput_instrumented": round(requests / best[True], 1),
+        "throughput_uninstrumented": round(requests / best[False], 1),
+        "overhead_pct": round(100.0 * overhead, 2),
+        **quantiles,
+        "note": (
+            "warm mixed workload (cache hits + reweights), best-of-"
+            f"{repeats}; overhead must stay within 5% (asserted "
+            "non-smoke)"
+        ),
+    }
+
+
+def assert_valid_exposition(text):
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert _SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+
+
+def bench_scrape(n_shapes, domain):
+    """Scrape /metrics while traffic is flowing; assert the core series."""
+    db = build_db(n_shapes, domain)
+    queries = [BOOLEAN_SHAPE.format(i=i) for i in range(n_shapes)]
+    stop = threading.Event()
+    served = [0]
+
+    with BackgroundServer(ServerPool(db, workers=0)) as server:
+        def hammer():
+            body = json.dumps({"queries": queries}).encode()
+            while not stop.is_set():
+                urllib.request.urlopen(urllib.request.Request(
+                    server.url + "/batch", data=body, method="POST",
+                ), timeout=60).read()
+                served[0] += len(queries)
+
+        thread = threading.Thread(target=hammer, daemon=True)
+        thread.start()
+        try:
+            # Let a few batches land, then scrape mid-run.
+            deadline = time.perf_counter() + 30.0
+            while served[0] < 3 * len(queries):
+                if time.perf_counter() > deadline:  # pragma: no cover
+                    raise AssertionError("traffic never started")
+                time.sleep(0.01)
+            text = urllib.request.urlopen(
+                server.url + "/metrics", timeout=60
+            ).read().decode("utf-8")
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        snapshot = server.pool.metrics_snapshot()
+
+    assert_valid_exposition(text)
+    missing = [series for series in CORE_SERIES if series not in text]
+    assert not missing, f"core series missing from mid-run scrape: {missing}"
+    # The snapshot API renders to the same exposition the server sent.
+    assert_valid_exposition(render_prometheus(snapshot))
+    return {
+        "requests_served_during_scrape": served[0],
+        "exposition_lines": len(text.splitlines()),
+        "core_series": list(CORE_SERIES),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes, correctness + scrape asserts only")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of repetitions per configuration")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_shapes, domain, rounds, repeats = 6, 5, 2, 1
+    else:
+        n_shapes, domain, rounds, repeats = 24, 14, 8, 5
+    repeats = args.repeats if args.repeats is not None else repeats
+
+    overhead = bench_overhead(n_shapes, domain, rounds, repeats)
+    print(
+        f"warm workload ({overhead['requests']} requests, "
+        f"{n_shapes} shapes): instrumented "
+        f"{overhead['seconds_instrumented']:.3f}s "
+        f"({overhead['throughput_instrumented']:.0f} req/s), "
+        f"uninstrumented {overhead['seconds_uninstrumented']:.3f}s "
+        f"({overhead['throughput_uninstrumented']:.0f} req/s) "
+        f"-> {overhead['overhead_pct']:+.2f}% overhead; "
+        f"p50/p95/p99 evaluate "
+        f"{overhead['p50_evaluate_seconds'] * 1e3:.3f}/"
+        f"{overhead['p95_evaluate_seconds'] * 1e3:.3f}/"
+        f"{overhead['p99_evaluate_seconds'] * 1e3:.3f} ms"
+    )
+
+    scrape = bench_scrape(max(4, n_shapes // 4), 5)
+    print(
+        f"mid-run scrape: {scrape['exposition_lines']} exposition lines "
+        f"while {scrape['requests_served_during_scrape']} requests flowed; "
+        f"all {len(scrape['core_series'])} core series present"
+    )
+
+    report = {
+        "benchmark": "obs",
+        "smoke": args.smoke,
+        "overhead": overhead,
+        "scrape": scrape,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not args.smoke:
+        assert overhead["overhead_pct"] <= 5.0, (
+            f"instrumentation overhead {overhead['overhead_pct']}% > 5%"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

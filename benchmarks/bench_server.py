@@ -159,6 +159,16 @@ def run_pool(workers, db, plan, config):
                     responses.append(next(rankings_iter))
         seconds = time.perf_counter() - start
         stats = pool.stats()
+        # The telemetry spine survives the run: worker registries must
+        # merge into one scrape-able snapshot (counters + histograms).
+        metrics = pool.metrics_snapshot()
+        for series in ("repro_pool_requests_total",
+                       "repro_session_results_total",
+                       "repro_session_query_seconds"):
+            assert series in metrics, f"merged metrics missing {series}"
+        assert metrics["repro_session_query_seconds"]["values"], (
+            "worker histograms did not merge into the pool snapshot"
+        )
     finally:
         pool.close()
     return seconds, requests, responses, stats

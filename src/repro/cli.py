@@ -29,13 +29,20 @@ Commands:
   the session's cache statistics.  The workload may also be JSON Lines
   (one request object per line); a malformed file reports the
   offending request — with its line number in the JSON Lines case —
-  and exits non-zero.
+  and exits non-zero.  ``--trace FILE`` additionally records one span
+  tree per request (prepare/ground/compile/sweep stages with timings)
+  and writes the JSON trace to ``FILE``.
 * ``serve data.json --listen 8080 --workers 4`` — the concurrent
   serving front instead of a replay: an asyncio JSON-over-HTTP server
   (:mod:`repro.serve.server`) over a :class:`repro.serve.ServerPool`
   sharding query shapes across worker processes.  ``POST /evaluate``,
-  ``/answers``, ``/batch``, ``/update``; ``GET /stats``, ``/healthz``.
-  Ctrl-C drains in-flight requests and stops the workers gracefully.
+  ``/answers``, ``/batch``, ``/update``; ``GET /stats``, ``/healthz``,
+  ``/metrics`` (Prometheus text exposition merged across workers).
+  ``--verbose`` prints an access-log line per request.  Ctrl-C drains
+  in-flight requests and stops the workers gracefully.
+* ``stats http://127.0.0.1:8080`` — fetch a running server's ``/stats``
+  summary (``--json`` for the full counters, ``--metrics`` for the raw
+  Prometheus exposition).
 * ``zoo`` — print the paper's query table with our verdicts.
 
 Databases load through :func:`repro.db.io.load_database`, which accepts
@@ -183,7 +190,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--compile-budget", type=int, default=10_000, metavar="NODES",
         help="circuit node budget for the compiled tier (default 10000)",
     )
+    p_serve.add_argument(
+        "--trace", metavar="FILE",
+        help="replay mode only: record a span tree per request "
+             "(prepare/ground/compile/sweep stages) and write the JSON "
+             "trace to FILE when the workload finishes",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true",
+        help="HTTP mode only: print one access-log line per request "
+             "(method, path, status, duration)",
+    )
     _add_duplicates_flag(p_serve)
+
+    p_stats = sub.add_parser(
+        "stats", help="fetch /stats or /metrics from a running server"
+    )
+    p_stats.add_argument(
+        "url", help="server base URL, e.g. http://127.0.0.1:8080"
+    )
+    p_stats.add_argument(
+        "--metrics", action="store_true",
+        help="print the raw Prometheus /metrics exposition instead of "
+             "the /stats summary",
+    )
+    p_stats.add_argument(
+        "--json", action="store_true",
+        help="print the full /stats JSON instead of the summary line",
+    )
 
     sub.add_parser("zoo", help="classify every query named in the paper")
     return parser
@@ -234,6 +268,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         if args.command == "serve":
             return _run_serve(args)
+
+        if args.command == "stats":
+            return _run_stats(args)
     except (DatabaseFormatError, QueryParseError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -301,18 +338,28 @@ def _run_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.trace is not None and args.listen is not None:
+        print(
+            "error: --trace records a workload replay; for a live server "
+            "scrape GET /metrics instead",
+            file=sys.stderr,
+        )
+        return 2
     db = _load_db(args)
     if args.listen is not None:
         return _run_serve_http(args, db)
 
+    from .obs import Tracer
     from .serve import QuerySession
 
     requests = _load_requests(args.requests)
+    tracer = Tracer(enabled=True) if args.trace is not None else None
     session = QuerySession(
         db,
         exact_fallback=args.exact,
         mc_samples=args.samples,
         compile_budget=args.compile_budget,
+        tracer=tracer,
     )
     constants = _constants(args.constants)
     for label, request in requests:
@@ -326,7 +373,33 @@ def _run_serve(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    if tracer is not None:
+        spans = tracer.export()
+        with open(args.trace, "w") as handle:
+            json.dump(spans, handle, indent=2)
+            handle.write("\n")
+        print(f"trace: {len(spans)} root spans -> {args.trace}")
     print(f"session: {session.stats.describe()}")
+    return 0
+
+
+def _run_stats(args) -> int:
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    if not base.startswith(("http://", "https://")):
+        base = "http://" + base
+    path = "/metrics" if args.metrics else "/stats"
+    with urllib.request.urlopen(base + path, timeout=30) as reply:
+        body = reply.read()
+    if args.metrics:
+        sys.stdout.write(body.decode("utf-8"))
+        return 0
+    payload = json.loads(body)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(payload.get("text") or json.dumps(payload))
     return 0
 
 
@@ -399,7 +472,12 @@ def _run_serve_http(args, db) -> int:
             compile_budget=args.compile_budget,
         ),
     )
-    serve_forever(pool, host, port)
+    access_log = None
+    if args.verbose:
+        def access_log(line: str) -> None:
+            print(line, flush=True)
+
+    serve_forever(pool, host, port, access_log=access_log)
     return 0
 
 

@@ -49,6 +49,7 @@ from ..db.database import GroundTuple, ProbabilisticDatabase, TupleKey
 from ..lineage.boolean import Clause, Lineage
 from ..lineage.grounding import ground_answer_lineages, ground_lineage
 from ..lineage.packed import PackedLineage, clause_sort_key
+from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 from .base import Answer, Engine, clamp01, rank_answers
 
 BACKENDS = ("auto", "numpy", "python")
@@ -91,6 +92,7 @@ class MonteCarloEngine(Engine):
         method: str = "karp-luby",
         seed: Optional[int] = None,
         backend: str = "auto",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if method not in ("karp-luby", "naive"):
             raise ValueError(f"unknown Monte Carlo method {method!r}")
@@ -102,6 +104,26 @@ class MonteCarloEngine(Engine):
         self.last_intervals: Dict[GroundTuple, Tuple[float, float]] = {}
         #: After ``answers``: total samples drawn across all answers.
         self.last_samples_drawn: int = 0
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._metric_samples = registry.counter(
+            "repro_mc_samples_total",
+            "Monte Carlo samples drawn, by estimator method",
+            ("method",),
+        )
+        self._metric_batch = registry.histogram(
+            "repro_mc_batch_size",
+            "Sample batch sizes handed to the sampling backend",
+            buckets=(16, 64, 256, 1024, 4096, 16384, 65536),
+        )
+        self._metric_half_width = registry.gauge(
+            "repro_mc_half_width",
+            "95% confidence half-width of the most recent estimate "
+            "(worst per-answer width for multisimulation runs)",
+        )
+        self._metric_estimates = registry.counter(
+            "repro_mc_estimates_total",
+            "Lineage estimates completed (one per answer or query)",
+        )
 
     def probability(
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
@@ -112,19 +134,32 @@ class MonteCarloEngine(Engine):
         if lineage.is_false:
             return 0.0
         rng = random.Random(self.seed)
+        self._record_run(self.samples)
         if self.method == "naive":
             return naive_estimate(lineage, self.samples, rng, self.backend)
         estimate = karp_luby_estimate(lineage, self.samples, rng, self.backend)
         # The unbiased estimator can land slightly outside [0, 1].
         return clamp01(estimate)
 
+    def _record_run(
+        self, samples: int, half_width: Optional[float] = None
+    ) -> None:
+        """Fold one sampling run into the engine's metric families."""
+        self._metric_samples.labels(self.method).inc(samples)
+        self._metric_batch.observe(samples)
+        self._metric_estimates.inc()
+        if half_width is not None:
+            self._metric_half_width.set(half_width)
+
     def estimate_with_interval(
         self, query: ConjunctiveQuery, db: ProbabilisticDatabase
     ) -> Tuple[float, float]:
         """Karp–Luby estimate and its 95% confidence half-width."""
-        return estimate_with_error(
+        estimate, half_width = estimate_with_error(
             query, db, self.samples, self.seed, self.backend
         )
+        self._record_run(self.samples, half_width)
+        return estimate, half_width
 
     def estimate_lineage(self, lineage: Lineage) -> Tuple[float, float]:
         """Estimate plus half-width for an already-grounded lineage.
@@ -134,7 +169,12 @@ class MonteCarloEngine(Engine):
         still valid, so sampling restarts from the (re-weighted)
         lineage without paying for grounding again.
         """
-        return estimate_lineage(lineage, self.samples, self.seed, self.backend)
+        estimate, half_width = estimate_lineage(
+            lineage, self.samples, self.seed, self.backend
+        )
+        if not (lineage.certainly_true or lineage.is_false):
+            self._record_run(self.samples, half_width)
+        return estimate, half_width
 
     def estimate_lineages(
         self,
@@ -224,12 +264,19 @@ class MonteCarloEngine(Engine):
                 step = min(batch, self.samples - sampler.drawn)
                 sampler.extend(step)
                 drawn += step
+                self._metric_batch.observe(step)
                 estimate, half_width = sampler.interval()
                 # Clamp reported estimates into [0, 1] — the unbiased
                 # estimator can overshoot on tiny-probability answers.
                 intervals[answer] = (clamp01(estimate), half_width)
         self.last_intervals = dict(intervals)
         self.last_samples_drawn = drawn
+        self._metric_samples.labels(self.method).inc(drawn)
+        self._metric_estimates.inc(len(intervals))
+        if samplers:
+            self._metric_half_width.set(
+                max(intervals[answer][1] for answer in samplers)
+            )
         results = [
             (answer, estimate)
             for answer, (estimate, _half_width) in intervals.items()

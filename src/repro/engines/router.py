@@ -30,6 +30,7 @@ from ..db.database import GroundTuple, ProbabilisticDatabase
 from ..lineage.boolean import Lineage
 from ..lineage.grounding import ground_answer_lineages
 from ..lineage.wmc import exact_probability
+from ..obs.metrics import MetricsRegistry
 from .base import Answer, Engine, UnsafeQueryError, UnsupportedQueryError, clamp01, rank_answers
 from .compiled import CompiledEngine
 from .lifted import LiftedEngine
@@ -107,7 +108,12 @@ class RouterEngine(Engine):
       :class:`RoutingDecision` per answer; under sustained serving
       traffic an unbounded list is a memory leak, so it is a deque
       bounded to the most recent ``history_limit`` decisions (default
-      10 000; ``None`` restores the unbounded behaviour).
+      10 000; ``None`` restores the unbounded behaviour);
+    * ``metrics`` — a :class:`~repro.obs.MetricsRegistry` to record
+      per-tier decision counters, per-tier latency histograms and
+      labeled fallback-reason counters into (shared with the Monte
+      Carlo tier); by default the router creates a private registry,
+      readable as :attr:`metrics`.
 
     Raises:
         ValueError: negative ``compile_budget`` or non-positive
@@ -144,6 +150,7 @@ class RouterEngine(Engine):
         circuit_cache: Optional[CircuitCache] = None,
         safety_cache: Optional[Dict[ConjunctiveQuery, bool]] = None,
         history_limit: Optional[int] = 10_000,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if compile_budget is not None and compile_budget < 0:
             raise ValueError(
@@ -153,6 +160,10 @@ class RouterEngine(Engine):
             raise ValueError(
                 f"history_limit must be None or positive, got {history_limit}"
             )
+        #: The router's telemetry registry (shared with the Monte Carlo
+        #: tier; a :class:`~repro.serve.session.QuerySession` injects
+        #: its own so one scrape covers the whole ladder).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.safe_plan = SafePlanEngine()
         self.lifted = LiftedEngine()
         self.lineage = LineageEngine()
@@ -164,12 +175,28 @@ class RouterEngine(Engine):
             else None
         )
         self.monte_carlo = MonteCarloEngine(
-            samples=mc_samples, seed=mc_seed, backend=mc_backend
+            samples=mc_samples, seed=mc_seed, backend=mc_backend,
+            metrics=self.metrics,
         )
         self.exact_fallback = exact_fallback
         self.history: Deque[RoutingDecision] = deque(maxlen=history_limit)
         self._safety_cache: Dict[ConjunctiveQuery, bool] = (
             safety_cache if safety_cache is not None else {}
+        )
+        self._metric_decisions = self.metrics.counter(
+            "repro_router_decisions_total",
+            "Routing decisions by the tier that answered",
+            ("tier",),
+        )
+        self._metric_tier_seconds = self.metrics.histogram(
+            "repro_router_tier_seconds",
+            "Evaluation latency per routing decision, by answering tier",
+            ("tier",),
+        )
+        self._metric_fallbacks = self.metrics.counter(
+            "repro_router_fallbacks_total",
+            "Tiers skipped on the way down the ladder, by reason",
+            ("reason",),
         )
 
     def is_safe(self, query: ConjunctiveQuery) -> bool:
@@ -223,6 +250,8 @@ class RouterEngine(Engine):
         start = time.perf_counter()
         engine, value, safe, reason, interval = self._route(query, db)
         elapsed = time.perf_counter() - start
+        self._metric_decisions.labels(engine).inc()
+        self._metric_tier_seconds.labels(engine).observe(elapsed)
         self.history.append(
             RoutingDecision(
                 query=str(query),
@@ -258,6 +287,8 @@ class RouterEngine(Engine):
         for answer, p, engine, seconds, safe, reason, interval in rows:
             if answer not in kept:
                 continue
+            self._metric_decisions.labels(engine).inc()
+            self._metric_tier_seconds.labels(engine).observe(seconds)
             self.history.append(
                 RoutingDecision(
                     query=str(query),
@@ -289,6 +320,7 @@ class RouterEngine(Engine):
                 )
             except UnsupportedQueryError:
                 reasons.append("no safe plan (non-hierarchical)")
+                self._metric_fallbacks.labels("non_hierarchical").inc()
         elif self.is_safe(query.boolean()):
             try:
                 return (
@@ -298,16 +330,19 @@ class RouterEngine(Engine):
                 )
             except UnsafeQueryError:  # pragma: no cover - safety said yes
                 reasons.append("lifted decomposition failed")
+                self._metric_fallbacks.labels("lifted_failed").inc()
         else:
             reasons.append(
                 "self-join without a safe decomposition (#P-hard by the dichotomy)"
             )
+            self._metric_fallbacks.labels("unsafe_self_join").inc()
         if self.compiled is not None:
             try:
                 value = self.compiled.probability(query, db)
                 return self.compiled.name, value, False, "; ".join(reasons), None
             except UnsupportedQueryError as error:
                 reasons.append(str(error))
+                self._metric_fallbacks.labels("compile_failed").inc()
         if self.exact_fallback:
             return (
                 self.lineage.name,
@@ -342,6 +377,7 @@ class RouterEngine(Engine):
                 )
             except UnsupportedQueryError:
                 reasons.append("no safe plan (residual non-hierarchical)")
+                self._metric_fallbacks.labels("non_hierarchical").inc()
         elif self.is_safe(residual):
             try:
                 start = time.perf_counter()
@@ -352,10 +388,12 @@ class RouterEngine(Engine):
                 )
             except (UnsafeQueryError, UnsupportedQueryError):
                 reasons.append("lifted decomposition failed")  # pragma: no cover
+                self._metric_fallbacks.labels("lifted_failed").inc()
         else:
             reasons.append(
                 "residual has no safe decomposition (#P-hard by the dichotomy)"
             )
+            self._metric_fallbacks.labels("unsafe_self_join").inc()
         reason = "; ".join(reasons)
         lineages = ground_answer_lineages(query, db)
         rows: List[Tuple] = []
@@ -369,6 +407,7 @@ class RouterEngine(Engine):
                 except UnsupportedQueryError as error:
                     leftovers[answer] = lineage
                     compile_reasons[answer] = str(error)
+                    self._metric_fallbacks.labels("compile_failed").inc()
                     continue
                 rows.append((
                     answer, value, self.compiled.name,

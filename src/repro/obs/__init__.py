@@ -1,0 +1,41 @@
+"""Observability: the metrics registry and tracing spans.
+
+The telemetry spine threaded through the engine ladder and the serving
+stack (full tour: the "Observability" section of
+``docs/ARCHITECTURE.md``):
+
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket latency
+  histograms; per-worker registries snapshot to picklable data, merge
+  bucket-wise (:func:`merge_snapshots`) and render as Prometheus text
+  exposition (:func:`render_prometheus`) for ``GET /metrics``;
+* :class:`Tracer` — context-manager spans forming per-request trees,
+  exportable as JSON (``repro serve --trace FILE``); disabled tracers
+  cost roughly one attribute check per stage.
+
+Both are dependency-free and always-on-capable: every instrumented
+component defaults to the shared :data:`NULL_REGISTRY` /
+:data:`NULL_TRACER` no-ops, so telemetry is opt-in per component but
+never needs conditional code at call sites.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    merge_snapshots,
+    quantile_from_buckets,
+    render_prometheus,
+)
+from .trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "merge_snapshots",
+    "quantile_from_buckets",
+    "render_prometheus",
+]

@@ -1,0 +1,160 @@
+"""Lightweight tracing spans: per-request trees, JSON-exportable.
+
+A :class:`Tracer` hands out context-manager spans that nest through a
+thread-local stack; whatever closes with no parent becomes a *root*
+and is retained (bounded) for export.  The serving layer wraps each
+request and its stages (prepare → ground → compile → sweep …) so a
+trace shows exactly which tier absorbed which request and where the
+time went::
+
+    tracer = Tracer(enabled=True)
+    with tracer.span("evaluate", shape="R(v0), S(v0, v1)"):
+        with tracer.span("ground"):
+            ...
+    tracer.export()   # [{"name": "evaluate", "seconds": ..., ...}]
+
+The disabled path is the default and is near-free: ``span()`` returns
+one shared no-op object after a single attribute check, so permanent
+instrumentation costs ~an attribute load + call per stage when tracing
+is off (``NULL_TRACER`` is the module-wide disabled instance).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["NULL_TRACER", "Span", "Tracer"]
+
+
+class _NullSpan:
+    """Shared do-nothing span for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def annotate(self, **attributes) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed, named region with attributes and child spans."""
+
+    __slots__ = ("name", "attributes", "start", "end", "children", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.start = 0.0
+        self.end = 0.0
+        self.children: List["Span"] = []
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes after the fact (e.g. the chosen tier)."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.end = time.perf_counter()
+        self._tracer._pop(self)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation of this span's subtree."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "seconds": round(self.seconds, 9),
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.seconds * 1e3:.3f} ms)"
+
+
+class Tracer:
+    """Hands out spans; retains finished root spans for export.
+
+    Args:
+        enabled: when False (the cheap default), :meth:`span` returns
+            a shared no-op immediately.
+        max_roots: bound on retained root spans — tracing a long
+            serving run must not grow memory without limit; oldest
+            roots are dropped first.
+    """
+
+    def __init__(self, enabled: bool = False, max_roots: int = 1024) -> None:
+        if max_roots <= 0:
+            raise ValueError(f"max_roots must be positive, got {max_roots}")
+        self.enabled = enabled
+        self.roots: Deque[Span] = deque(maxlen=max_roots)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def span(self, name: str, **attributes):
+        """A context manager timing one named region.
+
+        Spans opened while another span of the same thread is active
+        become its children; a span closing with no parent is a root
+        and is retained for :meth:`export`.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, attributes)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate exotic exits (a span closed out of order drops the
+        # frames above it) — tracing must never take the request down.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    def export(self) -> List[dict]:
+        """JSON-ready list of retained root span trees (oldest first)."""
+        with self._lock:
+            return [span.to_dict() for span in self.roots]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.roots.clear()
+
+
+#: The shared disabled tracer — default for instrumented components.
+NULL_TRACER = Tracer(enabled=False)

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 import zlib
 from concurrent.futures import Future
 from dataclasses import dataclass, field
@@ -58,6 +59,7 @@ from ..db.database import ProbabilisticDatabase
 from ..db.relation import Probability, Value
 from ..engines.base import Answer
 from ..lineage.boolean import Lineage
+from ..obs.metrics import MetricsRegistry, merge_snapshots
 from .session import QueryLike, QuerySession, SessionStats
 
 __all__ = [
@@ -103,8 +105,19 @@ class SessionConfig:
     compile_budget: Optional[int] = 10_000
     mc_backend: str = "auto"
     max_prepared: int = 256
+    #: When False, every worker gets a disabled (null) registry —
+    #: the knob ``benchmarks/bench_obs.py`` uses to price telemetry.
+    metrics_enabled: bool = True
 
-    def build_session(self, db: ProbabilisticDatabase) -> QuerySession:
+    def build_session(
+        self,
+        db: ProbabilisticDatabase,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> QuerySession:
+        registry = (
+            metrics if metrics is not None
+            else MetricsRegistry(enabled=self.metrics_enabled)
+        )
         return QuerySession(
             db,
             exact_fallback=self.exact_fallback,
@@ -113,6 +126,7 @@ class SessionConfig:
             compile_budget=self.compile_budget,
             mc_backend=self.mc_backend,
             max_prepared=self.max_prepared,
+            metrics=registry,
         )
 
 
@@ -177,9 +191,11 @@ def _worker_main(config, snapshot, request_queue, result_queue) -> None:
         if op == "sync":
             db = ProbabilisticDatabase.from_snapshot(payload)
             stats = session.stats
-            session = config.build_session(db)
             # The rebuilt session starts cold, but the worker's serving
-            # history doesn't reset — keep counters monotone for /stats.
+            # history doesn't reset — keep counters monotone for /stats,
+            # and re-use the metrics registry (re-registration hands the
+            # new session the existing families) for /metrics.
+            session = config.build_session(db, metrics=session.metrics)
             session.stats = stats
             continue
         try:
@@ -218,6 +234,8 @@ def _worker_execute(session: QuerySession, op: str, payload):
         ]
     if op == "stats":
         return session.stats
+    if op == "metrics":
+        return session.metrics.snapshot()
     raise ValueError(f"unknown worker op {op!r}")
 
 
@@ -227,6 +245,8 @@ class _PendingItem:
     query: ConjunctiveQuery
     k: Optional[int]
     future: Future
+    #: ``perf_counter`` at buffer entry — dispatch observes the wait.
+    enqueued: float = 0.0
 
 
 class ServerPool:
@@ -274,9 +294,37 @@ class ServerPool:
         self._coalesced = 0
         self._updates = 0
         self._syncs = 0
+        #: Front-side registry: dispatch and queueing metrics live
+        #: here; :meth:`metrics_snapshot` merges the workers' registries
+        #: in (inline mode shares this registry with the session).
+        self.metrics = MetricsRegistry(enabled=self.config.metrics_enabled)
+        self._metric_requests = self.metrics.counter(
+            "repro_pool_requests_total",
+            "Requests accepted by the pool front",
+            ("kind",),
+        )
+        self._metric_inflight = self.metrics.gauge(
+            "repro_pool_inflight_requests",
+            "Requests accepted by the front but not yet resolved",
+        )
+        self._metric_queue_wait = self.metrics.histogram(
+            "repro_pool_queue_wait_seconds",
+            "Time a request spent parked in its shard buffer before "
+            "the driving thread dispatched it",
+        )
+        self._metric_batch_size = self.metrics.histogram(
+            "repro_pool_batch_size",
+            "Requests per dispatched worker message (coalescing depth)",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        )
+        self._metric_scatter_seconds = self.metrics.histogram(
+            "repro_pool_scatter_seconds",
+            "End-to-end latency of Monte Carlo scatter calls "
+            "(estimate_lineages)",
+        )
         if workers == 0:
             self._session: Optional[QuerySession] = (
-                self.config.build_session(db)
+                self.config.build_session(db, metrics=self.metrics)
             )
             self._session_lock = threading.RLock()
             return
@@ -395,6 +443,7 @@ class ServerPool:
         half-width)}``.  ``samples`` overrides the per-lineage sample
         cap from the worker config.
         """
+        start = time.perf_counter()
         if self._session is not None:
             with self._session_lock:
                 monte_carlo = self._session.router.monte_carlo
@@ -403,7 +452,9 @@ class ServerPool:
                         samples=samples, seed=monte_carlo.seed,
                         backend=monte_carlo.backend,
                     )
-                return monte_carlo.estimate_lineages(dict(lineages))
+                results = monte_carlo.estimate_lineages(dict(lineages))
+            self._metric_scatter_seconds.observe(time.perf_counter() - start)
+            return results
         # Decompose into plain clauses/weights for the queue: pickling
         # a Lineage would drag its cached PackedLineage arrays along.
         items = [
@@ -435,6 +486,7 @@ class ServerPool:
                 self.request_timeout
             ):
                 results[key] = (estimate, half_width)
+        self._metric_scatter_seconds.observe(time.perf_counter() - start)
         return results
 
     def stats(self) -> PoolStats:
@@ -464,6 +516,75 @@ class ServerPool:
             future.result(self.request_timeout) for future in futures
         ]
         return front
+
+    def metrics_snapshot(self) -> dict:
+        """One merged metrics snapshot: the front plus every worker.
+
+        Worker registries come back as picklable snapshots; counters
+        sum and histograms merge bucket-wise
+        (:func:`~repro.obs.merge_snapshots`), so the result renders
+        directly as the pool's ``/metrics`` exposition.  Inline mode
+        (``workers=0``) shares one registry between front and session,
+        so its snapshot already carries both.
+        """
+        snapshots = [self.metrics.snapshot()]
+        if self._session is None:
+            futures = []
+            with self._lock:
+                self._check_open()
+                self._check_alive()
+                for shard in range(self.workers):
+                    future = Future()
+                    request_id = next(self._ids)
+                    self._pending[request_id] = ("metrics", [future], shard)
+                    self._request_queues[shard].put(
+                        ("metrics", request_id, None)
+                    )
+                    futures.append(future)
+            snapshots.extend(
+                future.result(self.request_timeout) for future in futures
+            )
+        return merge_snapshots(*snapshots)
+
+    def health(self) -> dict:
+        """Liveness report: overall ``ok`` plus per-shard worker status.
+
+        A pool with a dead worker reports ``ok: False`` with the dead
+        shard visible in ``shards``, so a scraper can tell "healthy",
+        "degraded pool" and "closed" apart.
+        """
+        if self._session is not None:
+            return {
+                "ok": not self._closed,
+                "mode": "inline",
+                "workers": 0,
+                "shards": [],
+            }
+        with self._lock:
+            closed = self._closed
+            broken = self._broken
+        shards = [
+            {
+                "shard": shard,
+                "alive": process.is_alive(),
+                "pid": process.pid,
+            }
+            for shard, process in enumerate(self._processes)
+        ]
+        ok = (
+            not closed
+            and broken is None
+            and all(entry["alive"] for entry in shards)
+        )
+        report = {
+            "ok": ok,
+            "mode": "pool",
+            "workers": self.workers,
+            "shards": shards,
+        }
+        if broken is not None:
+            report["broken"] = broken
+        return report
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -560,8 +681,11 @@ class ServerPool:
                 future = Future()
                 futures.append(future)
                 self._requests += 1
+                self._metric_requests.labels(kind).inc()
+                self._metric_inflight.inc()
+                future.add_done_callback(self._request_done)
                 self._buffers[shard].append(
-                    _PendingItem(kind, query, k, future)
+                    _PendingItem(kind, query, k, future, time.perf_counter())
                 )
                 if not self._driving[shard]:
                     self._driving[shard] = True
@@ -577,6 +701,10 @@ class ServerPool:
         with self._lock:
             self._requests += 1
             self._batches += 1
+        self._metric_requests.labels(kind).inc()
+        self._metric_inflight.inc()
+        self._metric_batch_size.observe(1)  # inline: no coalescing front
+        future.add_done_callback(self._request_done)
         try:
             with self._session_lock:
                 if kind == "evaluate":
@@ -604,7 +732,14 @@ class ServerPool:
                 self._buffers[shard] = []
             self._dispatch(shard, batch)
 
+    def _request_done(self, _future: Future) -> None:
+        self._metric_inflight.dec()
+
     def _dispatch(self, shard: int, batch: List[_PendingItem]) -> None:
+        now = time.perf_counter()
+        for item in batch:
+            self._metric_queue_wait.observe(now - item.enqueued)
+        self._metric_batch_size.observe(len(batch))
         evaluates = [item for item in batch if item.kind == "evaluate"]
         answers = [item for item in batch if item.kind == "answers"]
         error = None

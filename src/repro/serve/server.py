@@ -18,7 +18,11 @@ POST     /batch        ``{"queries": [...]}``                   ``{"probabilitie
 POST     /update       ``{"relation": "R", "row": [1],          ``{"ok": true}``
                        "probability": 0.9}``
 GET      /stats        —                                        pool + per-worker session counters
-GET      /healthz      —                                        ``{"ok": true, "workers": n}``
+                                                                (human summary under ``"text"``)
+GET      /healthz      —                                        ``{"ok": ..., "workers": n, "shards":
+                                                                [{"shard": i, "alive": ...}, ...]}``
+GET      /metrics      —                                        Prometheus text exposition (server +
+                                                                pool front + merged worker registries)
 =======  ============  =======================================  ==========================================
 
 Malformed requests get ``400`` with ``{"error": ...}``; unknown routes
@@ -47,15 +51,35 @@ import asyncio
 import dataclasses
 import json
 import threading
-from typing import Optional, Tuple
+import time
+from typing import Callable, Optional, Tuple, Union
 
 from ..core.parser import QueryParseError
+from ..obs.metrics import render_prometheus
 from .pool import ServerPool
 
 __all__ = ["BackgroundServer", "RequestServer", "serve_forever"]
 
 #: Refuse request bodies above this size (a plain-text DoS guard).
 MAX_BODY_BYTES = 1 << 20
+
+#: Known routes — the ``path`` label of the HTTP metrics.  Anything
+#: else is folded into ``"other"`` so arbitrary request paths cannot
+#: mint unbounded label cardinality.
+_ROUTES = frozenset({
+    "/evaluate", "/answers", "/batch", "/update",
+    "/stats", "/healthz", "/metrics",
+})
+
+
+class _Raw:
+    """A non-JSON response body (e.g. Prometheus text exposition)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: bytes, content_type: str) -> None:
+        self.body = body
+        self.content_type = content_type
 
 
 class _BadRequest(Exception):
@@ -80,22 +104,50 @@ class RequestServer:
         host: interface to bind.
         port: TCP port; ``0`` picks an ephemeral one (read it back
             from :attr:`port` after :meth:`start`).
+        access_log: optional callable receiving one line per completed
+            request (``METHOD path status duration-ms``); the CLI wires
+            this to stdout under ``repro serve --listen ... --verbose``.
+
+    HTTP metrics (request counts by route and status, in-flight gauge,
+    end-to-end latency histograms) land in ``pool.metrics``, so a
+    ``GET /metrics`` scrape sees the server, the pool front and every
+    worker in one exposition.
 
     Use :meth:`start` / :meth:`aclose` from an event loop, or the
     synchronous :class:`BackgroundServer` wrapper.
     """
 
     def __init__(
-        self, pool: ServerPool, host: str = "127.0.0.1", port: int = 0
+        self,
+        pool: ServerPool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        access_log: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.pool = pool
         self.host = host
         self.port = port
+        self.access_log = access_log
         self._server: Optional[asyncio.AbstractServer] = None
         self._handlers: set = set()
         self._writers: dict = {}
         self._busy: set = set()
         self._closing = False
+        self._metric_requests = pool.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method, route and status",
+            ("method", "path", "status"),
+        )
+        self._metric_inflight = pool.metrics.gauge(
+            "repro_http_inflight_requests",
+            "HTTP requests currently being handled",
+        )
+        self._metric_seconds = pool.metrics.histogram(
+            "repro_http_request_seconds",
+            "End-to-end HTTP request latency, by route",
+            ("path",),
+        )
 
     async def start(self) -> None:
         """Bind and start accepting connections."""
@@ -146,7 +198,25 @@ class RequestServer:
                 self._busy.add(task)
                 try:
                     method, path, headers, body = request
-                    status, payload = await self._respond(method, path, body)
+                    start = time.perf_counter()
+                    self._metric_inflight.inc()
+                    try:
+                        status, payload = await self._respond(
+                            method, path, body
+                        )
+                    finally:
+                        self._metric_inflight.dec()
+                    elapsed = time.perf_counter() - start
+                    route = path if path in _ROUTES else "other"
+                    self._metric_requests.labels(
+                        method, route, str(status)
+                    ).inc()
+                    self._metric_seconds.labels(route).observe(elapsed)
+                    if self.access_log is not None:
+                        self.access_log(
+                            f"{method} {path} {status} "
+                            f"{elapsed * 1000.0:.2f}ms"
+                        )
                     keep_alive = (
                         headers.get("connection", "keep-alive").lower()
                         != "close"
@@ -197,7 +267,7 @@ class RequestServer:
 
     async def _respond(
         self, method: str, path: str, body: bytes
-    ) -> Tuple[int, dict]:
+    ) -> Tuple[int, Union[dict, _Raw]]:
         try:
             return 200, await self._dispatch(method, path, body)
         except _BadRequest as error:
@@ -214,13 +284,23 @@ class RequestServer:
         loop = asyncio.get_running_loop()
         if method == "GET":
             if path == "/healthz":
-                return {"ok": True, "workers": pool.workers}
+                return await loop.run_in_executor(None, pool.health)
             if path == "/stats":
                 stats = await loop.run_in_executor(None, pool.stats)
                 payload = dataclasses.asdict(stats)
                 payload["combined"] = dataclasses.asdict(stats.combined)
-                payload["describe"] = stats.describe()
+                # "text" is the canonical human-readable key;
+                # "describe" survives as an alias for older callers.
+                payload["text"] = payload["describe"] = stats.describe()
                 return payload
+            if path == "/metrics":
+                snapshot = await loop.run_in_executor(
+                    None, pool.metrics_snapshot
+                )
+                return _Raw(
+                    render_prometheus(snapshot).encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             raise _NotFound(path)
         if method != "POST":
             raise _NotFound(path)
@@ -293,15 +373,24 @@ class RequestServer:
         return value
 
     async def _write_response(
-        self, writer, status: int, payload: dict, keep_alive: bool
+        self,
+        writer,
+        status: int,
+        payload: Union[dict, _Raw],
+        keep_alive: bool,
     ) -> None:
         text = {200: "OK", 400: "Bad Request", 404: "Not Found",
                 500: "Internal Server Error"}.get(status, "OK")
-        body = (json.dumps(payload) + "\n").encode("utf-8")
+        if isinstance(payload, _Raw):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            content_type = "application/json"
         connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {text}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n\r\n"
         )
@@ -321,18 +410,21 @@ def serve_forever(
     port: int = 8080,
     *,
     announce=_announce,
+    access_log: Optional[Callable[[str], None]] = None,
 ) -> None:
     """Run the HTTP server until SIGINT/SIGTERM; used by the CLI.
 
     Blocks the calling thread inside an event loop.  On signal, stops
     accepting, drains in-flight requests, then closes ``pool``
     gracefully (workers finish their queues before exiting).
+    ``access_log`` (one line per completed request) enables the
+    CLI's ``--verbose`` mode.
     """
 
     async def _run() -> None:
         import signal
 
-        server = RequestServer(pool, host, port)
+        server = RequestServer(pool, host, port, access_log=access_log)
         await server.start()
         announce(f"serving on http://{server.host}:{server.port} "
                  f"({pool.workers} workers; Ctrl-C to stop)")
@@ -363,10 +455,15 @@ class BackgroundServer:
     """
 
     def __init__(
-        self, pool: ServerPool, host: str = "127.0.0.1", port: int = 0
+        self,
+        pool: ServerPool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        access_log: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.pool = pool
-        self.server = RequestServer(pool, host, port)
+        self.server = RequestServer(pool, host, port, access_log=access_log)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
         self._error: Optional[BaseException] = None

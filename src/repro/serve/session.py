@@ -39,11 +39,14 @@ float-epsilon, which the invalidation-matrix suite in
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, fields
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..compile.evaluate import reweighted_probabilities
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..core.parser import parse
 from ..core.query import ConjunctiveQuery, canonical_string
 from ..db.database import (
@@ -181,8 +184,12 @@ class _ArtifactBatch:
     row carries a sink callback that receives its (clamped) value.
     """
 
-    def __init__(self, stats: SessionStats) -> None:
+    def __init__(
+        self, stats: SessionStats, stage_seconds=None, tracer: Tracer = NULL_TRACER
+    ) -> None:
         self._stats = stats
+        self._stage_seconds = stage_seconds
+        self._tracer = tracer
         self._groups: Dict[int, Tuple[Artifact, List[TupleKey], list, list]] = {}
 
     def add(
@@ -200,7 +207,13 @@ class _ArtifactBatch:
 
     def flush(self) -> None:
         for artifact, events, rows, sinks in self._groups.values():
-            values = reweighted_probabilities(artifact, events, rows)
+            with self._tracer.span("sweep", rows=len(rows)):
+                start = time.perf_counter()
+                values = reweighted_probabilities(artifact, events, rows)
+                if self._stage_seconds is not None:
+                    self._stage_seconds.labels("sweep").observe(
+                        time.perf_counter() - start
+                    )
             self._stats.batched_sweeps += 1
             self._stats.batched_rows += len(rows)
             for sink, value in zip(sinks, values):
@@ -224,6 +237,19 @@ class QuerySession:
         max_prepared: LRU capacity of the prepared-query cache.
         exact_fallback, mc_samples, mc_seed, compile_budget,
         mc_backend: forwarded to the default router.
+        metrics: a :class:`~repro.obs.MetricsRegistry` shared with the
+            router it builds (stage timers, per-tier counters, Monte
+            Carlo gauges all land in one registry, exposed as
+            :attr:`metrics`).  With a pre-built ``router`` the session
+            adopts ``router.metrics`` instead; passing both is
+            rejected.
+        tracer: a :class:`~repro.obs.Tracer`; when enabled, every
+            request becomes a span tree (stages as child spans).  The
+            default shared disabled tracer costs ~an attribute check
+            per stage.
+        slow_query_threshold, slow_query_limit: queries whose direct
+            evaluation takes longer than the threshold (seconds) are
+            recorded in the bounded :attr:`slow_queries` log.
 
     The Monte Carlo tier is stochastic: cached MC results are served
     as long as the database is unchanged (a feature for serving — one
@@ -262,9 +288,17 @@ class QuerySession:
         mc_seed=_UNSET,
         compile_budget=_UNSET,
         mc_backend=_UNSET,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        slow_query_threshold: float = 0.25,
+        slow_query_limit: int = 64,
     ) -> None:
         if max_prepared <= 0:
             raise ValueError(f"max_prepared must be positive, got {max_prepared}")
+        if slow_query_limit <= 0:
+            raise ValueError(
+                f"slow_query_limit must be positive, got {slow_query_limit}"
+            )
         router_config = {
             name: value
             for name, value in (
@@ -281,13 +315,56 @@ class QuerySession:
                 f"pass either a pre-built router or router configuration, "
                 f"not both: {sorted(router_config)} would be ignored"
             )
+        if router is not None and metrics is not None:
+            raise ValueError(
+                "pass either a pre-built router or a metrics registry, not "
+                "both: a pre-built router already carries its own registry "
+                "(router.metrics), which the session adopts"
+            )
         self.db = db
-        self.router = (
-            router if router is not None else RouterEngine(**router_config)
-        )
+        #: One registry spans the whole ladder: the session's stage
+        #: timers land next to the router's per-tier counters and the
+        #: Monte Carlo gauges, so a single scrape sees every layer.
+        if router is not None:
+            self.metrics = router.metrics
+            self.router = router
+        else:
+            self.metrics = (
+                metrics if metrics is not None else MetricsRegistry()
+            )
+            self.router = RouterEngine(**router_config, metrics=self.metrics)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.max_prepared = max_prepared
         self._prepared: "OrderedDict[str, PreparedQuery]" = OrderedDict()
         self.stats = SessionStats()
+        self.slow_query_threshold = slow_query_threshold
+        #: Bounded log of the slowest-served queries: dicts with
+        #: ``shape`` / ``kind`` / ``tier`` / ``seconds``, newest last.
+        #: A query lands here when its direct evaluation time (shared
+        #: sweep time excluded) exceeds ``slow_query_threshold``.
+        self.slow_queries: Deque[dict] = deque(maxlen=slow_query_limit)
+        self._stage_seconds = self.metrics.histogram(
+            "repro_session_stage_seconds",
+            "Serving-stage latency inside the session "
+            "(prepare/ground/compile/reweight/sweep/safe/fallback)",
+            ("stage",),
+        )
+        self._query_seconds = self.metrics.histogram(
+            "repro_session_query_seconds",
+            "Per-query direct evaluation time in the session "
+            "(shared batched-sweep time excluded; see stage=sweep)",
+            ("kind",),
+        )
+        self._results_total = self.metrics.counter(
+            "repro_session_results_total",
+            "Results served, by how the cache matrix resolved them",
+            ("path",),
+        )
+        self._slow_total = self.metrics.counter(
+            "repro_session_slow_queries_total",
+            "Queries whose direct evaluation exceeded the slow-query "
+            "threshold",
+        )
 
     # ------------------------------------------------------------------
     # Preparation
@@ -306,7 +383,12 @@ class QuerySession:
             self._prepared.move_to_end(shape)
             self.stats.prepare_hits += 1
             return prepared
-        prepared = PreparedQuery(query, shape, self.router.plan_query(query))
+        with self.tracer.span("prepare", shape=shape):
+            start = time.perf_counter()
+            prepared = PreparedQuery(query, shape, self.router.plan_query(query))
+            self._stage_seconds.labels("prepare").observe(
+                time.perf_counter() - start
+            )
         self._prepared[shape] = prepared
         self.stats.prepared += 1
         while len(self._prepared) > self.max_prepared:
@@ -358,11 +440,18 @@ class QuerySession:
                 unique.append(prepared)
             slots.append(slot_of[prepared.shape])
         results: List[Optional[float]] = [None] * len(unique)
-        batch = _ArtifactBatch(self.stats)
+        batch = _ArtifactBatch(self.stats, self._stage_seconds, self.tracer)
         deferred: List[Tuple[int, PreparedQuery, Tuple[RelationVersion, ...]]] = []
         for index, prepared in enumerate(unique):
-            value = self._evaluate_boolean(prepared, batch, results, index,
-                                           deferred)
+            with self.tracer.span(
+                "evaluate", shape=prepared.shape, tier=prepared.tier
+            ):
+                start = time.perf_counter()
+                value = self._evaluate_boolean(prepared, batch, results,
+                                               index, deferred)
+                self._observe_query(
+                    "evaluate", prepared, time.perf_counter() - start
+                )
             if value is not None:
                 results[index] = value
         batch.flush()
@@ -383,6 +472,7 @@ class QuerySession:
         snapshot = self.db.version_snapshot(prepared.relations)
         if prepared.result_versions == snapshot:
             self.stats.result_hits += 1
+            self._results_total.labels("cached").inc()
             return prepared.result
         query = prepared.query
         if prepared.tier != "unsafe":
@@ -391,8 +481,13 @@ class QuerySession:
                 if prepared.tier == self.router.safe_plan.name
                 else self.router.lifted
             )
+            start = time.perf_counter()
             value = engine.probability(query, self.db)
+            self._stage_seconds.labels("safe").observe(
+                time.perf_counter() - start
+            )
             self.stats.safe_evaluations += 1
+            self._results_total.labels("safe").inc()
             self._store(prepared, snapshot, value)
             return value
         self._refresh_boolean(prepared, snapshot)
@@ -423,8 +518,14 @@ class QuerySession:
         structure = _structure_of(snapshot)
         if prepared.structure == structure:
             self.stats.reweights += 1
+            self._results_total.labels("reweighted").inc()
             return
-        lineage = ground_lineage(prepared.query, self.db)
+        with self.tracer.span("ground", shape=prepared.shape):
+            start = time.perf_counter()
+            lineage = ground_lineage(prepared.query, self.db)
+            self._stage_seconds.labels("ground").observe(
+                time.perf_counter() - start
+            )
         prepared.lineage = lineage
         prepared.artifact = prepared.events = prepared.sources = None
         if (
@@ -432,11 +533,16 @@ class QuerySession:
             and not lineage.certainly_true
             and not lineage.is_false
         ):
-            canonical, weights, renaming = canonicalize_lineage(lineage)
-            try:
-                artifact = self.router.compiled.compile_lineage(canonical)
-            except UnsupportedQueryError:
-                artifact = None
+            with self.tracer.span("compile", shape=prepared.shape):
+                start = time.perf_counter()
+                canonical, weights, renaming = canonicalize_lineage(lineage)
+                try:
+                    artifact = self.router.compiled.compile_lineage(canonical)
+                except UnsupportedQueryError:
+                    artifact = None
+                self._stage_seconds.labels("compile").observe(
+                    time.perf_counter() - start
+                )
             if artifact is not None:
                 events = sorted(weights)
                 inverse = {new: old for old, new in renaming.items()}
@@ -445,15 +551,26 @@ class QuerySession:
                 prepared.sources = [inverse[event] for event in events]
         prepared.structure = structure
         self.stats.regrounds += 1
+        self._results_total.labels("grounded").inc()
 
     def _fallback_probability(self, lineage: Lineage) -> float:
         """The router's tier-4 fallback, fed the cached lineage."""
         fresh = self._fresh_lineage(lineage)
         self.stats.fallbacks += 1
-        if self.router.exact_fallback:
-            return float(exact_probability(fresh))
-        estimate, _half_width = self.router.monte_carlo.estimate_lineage(fresh)
-        return clamp01(estimate)
+        self._results_total.labels("fallback").inc()
+        with self.tracer.span("fallback"):
+            start = time.perf_counter()
+            if self.router.exact_fallback:
+                value = float(exact_probability(fresh))
+            else:
+                estimate, _half_width = (
+                    self.router.monte_carlo.estimate_lineage(fresh)
+                )
+                value = clamp01(estimate)
+            self._stage_seconds.labels("fallback").observe(
+                time.perf_counter() - start
+            )
+        return value
 
     # ------------------------------------------------------------------
     # Answer-tuple evaluation
@@ -498,10 +615,17 @@ class QuerySession:
             self.evaluate_many(boolean_queries) if boolean_queries else []
         )
         results: List[Optional[List[Answer]]] = [None] * len(unique)
-        batch = _ArtifactBatch(self.stats)
+        batch = _ArtifactBatch(self.stats, self._stage_seconds, self.tracer)
         finals: List[Tuple[int, PreparedQuery, Tuple[RelationVersion, ...], List[Answer]]] = []
         for index, prepared in enumerate(unique):
-            ranked = self._evaluate_answers(prepared, batch, finals, index)
+            with self.tracer.span(
+                "answers", shape=prepared.shape, tier=prepared.tier
+            ):
+                start = time.perf_counter()
+                ranked = self._evaluate_answers(prepared, batch, finals, index)
+                self._observe_query(
+                    "answers", prepared, time.perf_counter() - start
+                )
             if ranked is not None:
                 results[index] = ranked
         batch.flush()
@@ -533,16 +657,27 @@ class QuerySession:
         snapshot = self.db.version_snapshot(prepared.relations)
         if prepared.result_versions == snapshot:
             self.stats.result_hits += 1
+            self._results_total.labels("cached").inc()
             return prepared.result
         query = prepared.query
         if prepared.tier == self.router.safe_plan.name:
+            start = time.perf_counter()
             ranked = self.router.safe_plan.answers(query, self.db)
+            self._stage_seconds.labels("safe").observe(
+                time.perf_counter() - start
+            )
             self.stats.safe_evaluations += 1
+            self._results_total.labels("safe").inc()
             self._store(prepared, snapshot, ranked)
             return ranked
         if prepared.tier == self.router.lifted.name:
+            start = time.perf_counter()
             ranked = self.router.lifted.answers(query, self.db, assume_safe=True)
+            self._stage_seconds.labels("safe").observe(
+                time.perf_counter() - start
+            )
             self.stats.safe_evaluations += 1
+            self._results_total.labels("safe").inc()
             self._store(prepared, snapshot, ranked)
             return ranked
         self._refresh_answers(prepared, snapshot)
@@ -565,14 +700,19 @@ class QuerySession:
         structure = _structure_of(snapshot)
         if prepared.structure == structure:
             self.stats.reweights += 1
+            self._results_total.labels("reweighted").inc()
             return
         trivial: List[Answer] = []
         leftovers: Dict[GroundTuple, Lineage] = {}
         groups: Dict[int, CompiledGroup] = {}
         positions: Dict[int, Dict[TupleKey, int]] = {}
-        for answer, lineage in ground_answer_lineages(
-            prepared.query, self.db
-        ).items():
+        with self.tracer.span("ground", shape=prepared.shape):
+            start = time.perf_counter()
+            lineages = ground_answer_lineages(prepared.query, self.db)
+            self._stage_seconds.labels("ground").observe(
+                time.perf_counter() - start
+            )
+        for answer, lineage in lineages.items():
             if lineage.certainly_true:
                 trivial.append((answer, 1.0))
                 continue
@@ -581,10 +721,16 @@ class QuerySession:
             if self.router.compiled is None:
                 leftovers[answer] = lineage
                 continue
+            start = time.perf_counter()
             canonical, weights, renaming = canonicalize_lineage(lineage)
             try:
                 artifact = self.router.compiled.compile_lineage(canonical)
             except UnsupportedQueryError:
+                artifact = None
+            self._stage_seconds.labels("compile").observe(
+                time.perf_counter() - start
+            )
+            if artifact is None:
                 leftovers[answer] = lineage
                 continue
             key = id(artifact)
@@ -605,6 +751,7 @@ class QuerySession:
         prepared.leftovers = leftovers
         prepared.structure = structure
         self.stats.regrounds += 1
+        self._results_total.labels("grounded").inc()
 
     def _fallback_answers(
         self, leftovers: Dict[GroundTuple, Lineage]
@@ -615,16 +762,38 @@ class QuerySession:
             for answer, lineage in leftovers.items()
         }
         self.stats.fallbacks += 1
-        if self.router.exact_fallback:
-            return [
-                (answer, float(exact_probability(lineage)))
-                for answer, lineage in fresh.items()
-            ]
-        return self.router.monte_carlo.answers_from_lineages(fresh)
+        self._results_total.labels("fallback").inc()
+        with self.tracer.span("fallback", answers=len(fresh)):
+            start = time.perf_counter()
+            if self.router.exact_fallback:
+                ranked = [
+                    (answer, float(exact_probability(lineage)))
+                    for answer, lineage in fresh.items()
+                ]
+            else:
+                ranked = self.router.monte_carlo.answers_from_lineages(fresh)
+            self._stage_seconds.labels("fallback").observe(
+                time.perf_counter() - start
+            )
+        return ranked
 
     # ------------------------------------------------------------------
     # Shared plumbing
     # ------------------------------------------------------------------
+
+    def _observe_query(
+        self, kind: str, prepared: PreparedQuery, seconds: float
+    ) -> None:
+        """Record one query's direct evaluation time; log it if slow."""
+        self._query_seconds.labels(kind).observe(seconds)
+        if seconds > self.slow_query_threshold:
+            self._slow_total.inc()
+            self.slow_queries.append({
+                "shape": prepared.shape,
+                "kind": kind,
+                "tier": prepared.tier,
+                "seconds": seconds,
+            })
 
     def _parse(self, query: QueryLike) -> ConjunctiveQuery:
         if isinstance(query, str):
@@ -646,8 +815,13 @@ class QuerySession:
 
     def _weight_row(self, sources: Sequence[TupleKey]) -> List[float]:
         """Live marginals for a circuit's events, in canonical order."""
+        start = time.perf_counter()
         probability = self.db.probability
-        return [float(probability(name, row)) for name, row in sources]
+        row = [float(probability(name, row)) for name, row in sources]
+        self._stage_seconds.labels("reweight").observe(
+            time.perf_counter() - start
+        )
+        return row
 
     def _fresh_lineage(self, lineage: Lineage) -> Lineage:
         """The cached clause structure with live marginals."""

@@ -1,0 +1,475 @@
+"""The observability spine: registry, merge, quantiles, exposition.
+
+Pins the properties the serving stack depends on:
+
+* histogram merge is element-wise and therefore associative and
+  commutative — worker snapshots can fold together in any order;
+* quantile estimates are exact on distributions the bucket layout can
+  represent, and saturate at the last finite bound on overflow;
+* counters survive a multi-thread increment hammer without losing
+  events;
+* ``render_prometheus`` emits valid text exposition format 0.0.4
+  (checked by a tiny line-level parser, and end-to-end through a
+  live ``GET /metrics`` scrape).
+"""
+
+import math
+import re
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    merge_snapshots,
+    quantile_from_buckets,
+    render_prometheus,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+# ----------------------------------------------------------------------
+# Registry and metric basics
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_counts_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("t_total", "help", ("tier",))
+        requests.labels("safe").inc()
+        requests.labels("safe").inc(2)
+        requests.labels("mc").inc()
+        snap = registry.snapshot()
+        assert snap["t_total"]["values"][("safe",)] == 3
+        assert snap["t_total"]["values"][("mc",)] == 1
+        with pytest.raises(ValueError):
+            requests.labels("safe").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("t_level", "help")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert registry.snapshot()["t_level"]["values"][()] == 4.0
+
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("t_total", "help", ("tier",))
+        second = registry.counter("t_total", "help", ("tier",))
+        assert first is second
+
+    def test_reregistration_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "help")
+        with pytest.raises(ValueError, match="re-registered"):
+            registry.gauge("t_total", "help")
+        with pytest.raises(ValueError, match="re-registered"):
+            registry.counter("t_total", "help", ("tier",))
+
+    def test_label_arity_checked(self):
+        registry = MetricsRegistry()
+        family = registry.counter("t_total", "help", ("a", "b"))
+        with pytest.raises(ValueError, match="expects labels"):
+            family.labels("only-one")
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("t_total", "help", ("tier",))
+        counter.labels("safe").inc()
+        counter.inc()
+        histogram = registry.histogram("t_seconds", "help")
+        histogram.observe(0.5)
+        assert registry.snapshot() == {}
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_counter_thread_hammer(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total", "help", ("tier",))
+        histogram = registry.histogram("t_seconds", "help")
+        child = counter.labels("safe")
+        per_thread = 10_000
+
+        def hammer():
+            for _ in range(per_thread):
+                child.inc()
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = registry.snapshot()
+        assert snap["t_total"]["values"][("safe",)] == 4 * per_thread
+        assert snap["t_seconds"]["values"][()]["count"] == 4 * per_thread
+
+
+# ----------------------------------------------------------------------
+# Histograms: quantiles and merge algebra
+# ----------------------------------------------------------------------
+
+
+class TestHistogram:
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+    def test_quantile_on_known_distribution(self):
+        # One observation per bucket of (1, 2, 3, 4): the q-quantile
+        # interpolates to exact bucket boundaries.
+        histogram = Histogram((1.0, 2.0, 3.0, 4.0))
+        for value in (0.5, 1.5, 2.5, 3.5):
+            histogram.observe(value)
+        assert histogram.quantile(0.25) == pytest.approx(1.0)
+        assert histogram.quantile(0.5) == pytest.approx(2.0)
+        assert histogram.quantile(0.75) == pytest.approx(3.0)
+        assert histogram.quantile(1.0) == pytest.approx(4.0)
+
+    def test_quantile_interpolates_within_bucket(self):
+        # 100 observations all landing in the single (0, 1] bucket:
+        # the median interpolates to the bucket midpoint.
+        histogram = Histogram((1.0,))
+        for _ in range(100):
+            histogram.observe(0.3)
+        assert histogram.quantile(0.5) == pytest.approx(0.5)
+        assert histogram.quantile(0.9) == pytest.approx(0.9)
+
+    def test_quantile_uniform_distribution(self):
+        # Uniform on (0, 10s] over the default buckets: estimates must
+        # land within one bucket of the true quantile.
+        histogram = Histogram(DEFAULT_LATENCY_BUCKETS)
+        n = 10_000
+        for i in range(n):
+            histogram.observe(10.0 * (i + 1) / n)
+        for q in (0.5, 0.95, 0.99):
+            estimate = histogram.quantile(q)
+            true = 10.0 * q
+            # Bucket resolution: the estimate must fall in the same
+            # bucket as the true quantile (bounds straddle it).
+            assert estimate <= 10.0
+            assert abs(estimate - true) <= 2.6  # widest bucket is 2.5s
+
+    def test_quantile_overflow_saturates(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(50.0)
+        histogram.observe(60.0)
+        assert histogram.quantile(0.5) == 2.0
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_quantile_empty_is_nan(self):
+        assert math.isnan(Histogram((1.0,)).quantile(0.5))
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).quantile(1.5)
+
+    def test_quantile_from_buckets_matches_live(self):
+        histogram = Histogram((0.001, 0.01, 0.1, 1.0))
+        for value in (0.0005, 0.005, 0.005, 0.05, 0.5, 2.0):
+            histogram.observe(value)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert quantile_from_buckets(
+                histogram.counts, histogram.bounds, q
+            ) == pytest.approx(histogram.quantile(q), nan_ok=True)
+
+
+def _make_snapshot(seed_values):
+    registry = MetricsRegistry()
+    counter = registry.counter("m_total", "help", ("tier",))
+    histogram = registry.histogram(
+        "m_seconds", "help", ("stage",), buckets=(0.001, 0.01, 0.1, 1.0)
+    )
+    gauge = registry.gauge("m_level", "help")
+    for tier, value in seed_values:
+        counter.labels(tier).inc()
+        histogram.labels("stage-" + tier).observe(value)
+        gauge.inc(value)
+    return registry.snapshot()
+
+
+class TestMerge:
+    def test_merge_is_order_independent(self):
+        a = _make_snapshot([("safe", 0.0005), ("mc", 0.5), ("mc", 0.05)])
+        b = _make_snapshot([("safe", 0.002), ("safe", 0.9)])
+        c = _make_snapshot([("lifted", 0.008), ("mc", 5.0)])
+        orderings = [
+            merge_snapshots(a, b, c),
+            merge_snapshots(c, b, a),
+            merge_snapshots(b, a, c),
+            merge_snapshots(a, merge_snapshots(b, c)),
+            merge_snapshots(merge_snapshots(a, b), c),
+        ]
+        for other in orderings[1:]:
+            assert other == orderings[0]
+
+    def test_merge_sums_counters_and_buckets(self):
+        a = _make_snapshot([("safe", 0.0005)])
+        b = _make_snapshot([("safe", 0.0005), ("safe", 0.5)])
+        merged = merge_snapshots(a, b)
+        assert merged["m_total"]["values"][("safe",)] == 3
+        hist = merged["m_seconds"]["values"][("stage-safe",)]
+        assert hist["count"] == 3
+        assert sum(hist["counts"]) == 3
+        assert hist["sum"] == pytest.approx(0.501)
+
+    def test_merge_rejects_mismatched_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("m_seconds", "help", buckets=(1.0, 2.0))
+        other = MetricsRegistry()
+        other.histogram("m_seconds", "help", buckets=(5.0,))
+        with pytest.raises(ValueError, match="mismatched"):
+            merge_snapshots(registry.snapshot(), other.snapshot())
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots() == {}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_LABEL = r"[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"                 # metric name
+    r"(\{" + _LABEL + r"(," + _LABEL + r")*\})?"  # optional labels
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN|[+-]Inf)$"  # value
+)
+
+
+def assert_valid_prometheus(text):
+    """A tiny exposition-format validator: every line is a comment or
+    a well-formed sample; histogram buckets are cumulative and end at
+    the ``+Inf`` bucket == ``_count``."""
+    assert text.endswith("\n")
+    buckets = {}  # series key -> list of cumulative counts
+    counts = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert _SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+        name_part, _, value = line.rpartition(" ")
+        if "_bucket{" in name_part:
+            series = re.sub(r'(,?le="[^"]*")', "", name_part)
+            series = series.replace("{}", "")
+            buckets.setdefault(series, []).append(float(value))
+        elif name_part.split("{")[0].endswith("_count"):
+            counts[name_part.replace("_count", "_bucket", 1)] = float(value)
+    for series, cumulative in buckets.items():
+        assert cumulative == sorted(cumulative), (
+            f"non-cumulative buckets in {series}"
+        )
+        assert series in counts
+        assert cumulative[-1] == counts[series]
+
+
+class TestRender:
+    def test_render_is_valid_exposition(self):
+        snap = _make_snapshot([("safe", 0.0005), ("mc", 0.5)])
+        text = render_prometheus(snap)
+        assert_valid_prometheus(text)
+        assert '# TYPE m_total counter' in text
+        assert '# TYPE m_seconds histogram' in text
+        assert 'm_total{tier="safe"} 1' in text
+        assert 'm_seconds_bucket{stage="stage-mc",le="+Inf"} 1' in text
+        assert 'm_seconds_count{stage="stage-mc"} 1' in text
+
+    def test_render_escapes_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total", "help", ("why",)).labels(
+            'a "quoted\\path"\nnewline'
+        ).inc()
+        text = render_prometheus(registry.snapshot())
+        assert r'why="a \"quoted\\path\"\nnewline"' in text
+        assert_valid_prometheus(text)
+
+    def test_render_empty_snapshot(self):
+        assert render_prometheus({}) == ""
+
+    def test_merged_render_round_trip(self):
+        a = _make_snapshot([("safe", 0.0005)])
+        b = _make_snapshot([("safe", 0.02), ("mc", 0.5)])
+        text = render_prometheus(merge_snapshots(a, b))
+        assert_valid_prometheus(text)
+        assert 'm_total{tier="safe"} 2' in text
+
+
+# ----------------------------------------------------------------------
+# Tracing spans
+# ----------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_disabled_tracer_is_noop(self):
+        with NULL_TRACER.span("anything", key="value") as span:
+            span.annotate(more="attrs")
+        assert NULL_TRACER.export() == []
+
+    def test_span_nesting(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("request", shape="R(v0)"):
+            with tracer.span("ground"):
+                pass
+            with tracer.span("compile") as span:
+                span.annotate(nodes=17)
+        (root,) = tracer.export()
+        assert root["name"] == "request"
+        assert root["attributes"] == {"shape": "R(v0)"}
+        assert [child["name"] for child in root["children"]] == [
+            "ground", "compile",
+        ]
+        assert root["children"][1]["attributes"] == {"nodes": 17}
+        assert root["seconds"] >= root["children"][0]["seconds"]
+
+    def test_roots_are_bounded(self):
+        tracer = Tracer(enabled=True, max_roots=4)
+        for index in range(10):
+            with tracer.span(f"span-{index}"):
+                pass
+        exported = tracer.export()
+        assert [span["name"] for span in exported] == [
+            "span-6", "span-7", "span-8", "span-9",
+        ]
+        tracer.clear()
+        assert tracer.export() == []
+
+    def test_separate_threads_do_not_nest(self):
+        tracer = Tracer(enabled=True)
+        done = threading.Event()
+
+        def other_thread():
+            with tracer.span("other"):
+                pass
+            done.set()
+
+        with tracer.span("main"):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert done.is_set()
+        names = {span["name"] for span in tracer.export()}
+        assert names == {"main", "other"}
+        for span in tracer.export():
+            assert "children" not in span
+
+
+# ----------------------------------------------------------------------
+# End-to-end: instrumented session, pool merge, live /metrics scrape
+# ----------------------------------------------------------------------
+
+
+def _make_db():
+    from repro.db.database import ProbabilisticDatabase
+
+    return ProbabilisticDatabase.from_dict({
+        "R": {(1,): 0.5, (2,): 0.3},
+        "S": {(1, 2): 0.4, (2, 2): 0.8},
+        "T": {(2,): 0.7},
+    })
+
+
+class TestInstrumentation:
+    def test_session_shares_registry_with_router(self):
+        from repro.serve.session import QuerySession
+
+        from repro.core.parser import parse
+
+        session = QuerySession(_make_db())
+        assert session.metrics is session.router.metrics
+        session.evaluate("R(x), S(x,y)")       # safe tier
+        session.evaluate("R(x), S(x,y), T(y)")  # unsafe tier
+        # A direct router call lands in the same shared registry.
+        session.router.probability(parse("R(x), S(x,y)"), session.db)
+        snap = session.metrics.snapshot()
+        decisions = snap["repro_router_decisions_total"]["values"]
+        assert sum(decisions.values()) >= 1
+        stages = snap["repro_session_stage_seconds"]["values"]
+        assert ("prepare",) in stages
+        results = snap["repro_session_results_total"]["values"]
+        assert results[("safe",)] == 1
+        text = render_prometheus(snap)
+        assert_valid_prometheus(text)
+
+    def test_session_rejects_router_plus_metrics(self):
+        from repro.engines.router import RouterEngine
+        from repro.serve.session import QuerySession
+
+        with pytest.raises(ValueError, match="pre-built router"):
+            QuerySession(
+                _make_db(), RouterEngine(), metrics=MetricsRegistry()
+            )
+
+    def test_slow_query_log(self):
+        from repro.serve.session import QuerySession
+
+        session = QuerySession(_make_db(), slow_query_threshold=0.0)
+        session.evaluate("R(x), S(x,y)")
+        assert len(session.slow_queries) == 1
+        entry = session.slow_queries[0]
+        assert entry["kind"] == "evaluate"
+        assert entry["seconds"] > 0.0
+        snap = session.metrics.snapshot()
+        assert snap["repro_session_slow_queries_total"]["values"][()] == 1
+
+    def test_inline_pool_snapshot_merges_front_and_session(self):
+        from repro.serve.pool import ServerPool
+
+        with ServerPool(_make_db(), workers=0) as pool:
+            pool.evaluate("R(x), S(x,y)")
+            pool.answers("Q(x) :- R(x), S(x,y)")
+            snap = pool.metrics_snapshot()
+        assert snap["repro_pool_requests_total"]["values"][("evaluate",)] == 1
+        assert snap["repro_pool_requests_total"]["values"][("answers",)] == 1
+        # Front and session metrics land in one snapshot.
+        assert "repro_session_stage_seconds" in snap
+        assert snap["repro_pool_inflight_requests"]["values"][()] == 0.0
+        assert_valid_prometheus(render_prometheus(snap))
+
+    def test_pool_disabled_metrics(self):
+        from repro.serve.pool import ServerPool, SessionConfig
+
+        config = SessionConfig(metrics_enabled=False)
+        with ServerPool(_make_db(), workers=0, config=config) as pool:
+            pool.evaluate("R(x), S(x,y)")
+            assert pool.metrics_snapshot() == {}
+
+    def test_http_metrics_scrape(self):
+        from repro.serve.pool import ServerPool
+        from repro.serve.server import BackgroundServer
+
+        lines = []
+        with BackgroundServer(
+            ServerPool(_make_db(), workers=0), access_log=lines.append
+        ) as server:
+            import json
+
+            for _ in range(2):
+                urllib.request.urlopen(urllib.request.Request(
+                    server.url + "/evaluate",
+                    data=json.dumps({"query": "R(x), S(x,y)"}).encode(),
+                    method="POST",
+                ), timeout=60).read()
+            reply = urllib.request.urlopen(
+                server.url + "/metrics", timeout=60
+            )
+            content_type = reply.headers["Content-Type"]
+            text = reply.read().decode("utf-8")
+        assert content_type.startswith("text/plain")
+        assert_valid_prometheus(text)
+        assert 'repro_http_requests_total{method="POST",path="/evaluate",status="200"} 2' in text
+        assert "repro_http_request_seconds_bucket" in text
+        assert "repro_router_decisions_total" in text
+        assert "repro_session_stage_seconds_bucket" in text
+        # One access-log line per completed request (the scrape itself
+        # included).
+        assert lines[0].startswith("POST /evaluate 200 ")
+        assert lines[1].startswith("POST /evaluate 200 ")
+        assert lines[2].startswith("GET /metrics 200 ")
+        assert all(line.endswith("ms") for line in lines)

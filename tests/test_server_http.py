@@ -100,10 +100,13 @@ class TestRoutes:
 
     def test_healthz_and_stats(self, server):
         health = get(server.url + "/healthz")
-        assert health == {"ok": True, "workers": 0}
+        assert health == {
+            "ok": True, "mode": "inline", "workers": 0, "shards": [],
+        }
         stats = get(server.url + "/stats")
         assert stats["combined"]["prepared"] >= 1
         assert "describe" in stats
+        assert stats["text"] == stats["describe"]
 
 
 class TestErrors:

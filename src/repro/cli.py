@@ -191,6 +191,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="circuit node budget for the compiled tier (default 10000)",
     )
     p_serve.add_argument(
+        "--scatter-policy", choices=("adaptive", "always", "never"),
+        default="adaptive",
+        help="HTTP mode only: when Monte Carlo lineage batches ship to "
+             "worker processes — 'adaptive' uses a measured cost model, "
+             "'always'/'never' force scatter or front-inline (default "
+             "adaptive)",
+    )
+    p_serve.add_argument(
         "--trace", metavar="FILE",
         help="replay mode only: record a span tree per request "
              "(prepare/ground/compile/sweep stages) and write the JSON "
@@ -471,6 +479,7 @@ def _run_serve_http(args, db) -> int:
             mc_samples=args.samples,
             compile_budget=args.compile_budget,
         ),
+        scatter_policy=args.scatter_policy,
     )
     access_log = None
     if args.verbose:

@@ -1,0 +1,95 @@
+"""Optional numba-jitted sampling kernels (gated, never required).
+
+The vectorized numpy Karp–Luby path evaluates *every* clause of every
+trial: the padded gather has no way to stop at the chosen clause, so a
+trial whose first clause is already satisfied still pays for the full
+clause matrix.  A scalar jitted loop can do what the python oracle
+does — scan clauses in order and break at the first satisfied one, and
+sample *world* bits only inside the comparison — while running at
+compiled speed.
+
+numba is deliberately not a dependency: this module degrades to
+``HAVE_NUMBA = False`` when the import fails, and
+:func:`repro.engines.montecarlo.resolve_backend` then never selects
+the ``"numba"`` backend.  Nothing here is imported for its side
+effects; the kernel is compiled lazily on first call.
+
+Determinism contract: the kernel consumes *pre-drawn* uniforms (the
+same ``(n_events, batch)`` float32 matrix the numpy path compares
+against the weights), so its hit counts are bit-identical to the numpy
+backend's for the same generator stream — the parity suite pins this.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - which branch runs depends on the env
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover
+    numba = None
+    HAVE_NUMBA = False
+
+__all__ = ["HAVE_NUMBA", "kl_coverage_hits"]
+
+
+def _kl_coverage_hits_py(
+    clause_starts,
+    literal_events,
+    literal_polarities,
+    weights_f32,
+    chosen,
+    uniforms,
+    forced,
+):
+    """Karp–Luby coverage count over one pre-drawn uniform batch.
+
+    For each trial (column of ``uniforms``): force the chosen clause's
+    literals, then scan the *earlier* clauses in order; the trial is a
+    hit iff none of them is satisfied.  World bits are materialized
+    lazily — ``uniforms[event, trial] < weight`` — only when a clause
+    scan actually reads them, and the scan breaks at the first
+    satisfied clause, which is exactly the work the fully-vectorized
+    path cannot skip.
+
+    ``forced`` is caller-provided int8 scratch of length ``n_events``
+    (-1 unset, else the forced bit) so the kernel allocates nothing;
+    it is reset clause-locally after every trial.
+    """
+    hits = 0
+    batch = uniforms.shape[1]
+    for trial in range(batch):
+        clause = chosen[trial]
+        for position in range(clause_starts[clause], clause_starts[clause + 1]):
+            forced[literal_events[position]] = literal_polarities[position]
+        covered = True
+        for earlier in range(clause):
+            satisfied = True
+            for position in range(
+                clause_starts[earlier], clause_starts[earlier + 1]
+            ):
+                event = literal_events[position]
+                state = forced[event]
+                if state < 0:
+                    value = uniforms[event, trial] < weights_f32[event]
+                else:
+                    value = state != 0
+                if value != (literal_polarities[position] != 0):
+                    satisfied = False
+                    break
+            if satisfied:
+                covered = False
+                break
+        if covered:
+            hits += 1
+        for position in range(clause_starts[clause], clause_starts[clause + 1]):
+            forced[literal_events[position]] = -1
+    return hits
+
+
+if HAVE_NUMBA:  # pragma: no cover - numba absent in the reference env
+    kl_coverage_hits = numba.njit(cache=True, nogil=True)(
+        _kl_coverage_hits_py
+    )
+else:
+    kl_coverage_hits = _kl_coverage_hits_py

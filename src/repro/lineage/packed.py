@@ -25,6 +25,31 @@ matrix vectorizes across the batch, where the batch-major equivalent
 (or ``ufunc.reduceat`` over ragged segments) is an order of magnitude
 slower.
 
+Two further layers serve the scatter/serving hot path:
+
+* **Flat buffers** — :meth:`PackedLineage.to_buffers` /
+  :meth:`PackedLineage.from_buffers` round-trip the whole structure
+  through four flat arrays (int32 CSR + uint8 polarities + float64
+  weights), the wire format :mod:`repro.serve.transfer` ships through
+  ``multiprocessing.shared_memory`` so worker processes rebuild a
+  sampler without re-interning or re-grounding anything.  A
+  reconstructed instance is *detached*: its ``events`` are dense ids,
+  not tuple keys, which is all the samplers need.
+  :meth:`reweight` swaps the marginals in place (the serving
+  "probability drifted, structure didn't" refresh), and
+  :meth:`shape_hash` / :meth:`weight_hash` key the worker-side lineage
+  cache.
+
+* **Arenas** — :class:`SampleArena` holds the per-batch world and
+  scratch matrices so repeated :meth:`sample_worlds` /
+  :meth:`clause_satisfaction` calls (the Karp–Luby ``extend`` loop)
+  reuse one allocation instead of mallocing multi-megabyte
+  intermediates per batch.  The arena variant also folds clause
+  satisfaction column-by-column (one ``(n_clauses, batch)`` gather per
+  literal position) instead of materializing the full
+  ``(n_literals, batch)`` gather, keeping the working set
+  cache-resident.  Both variants are bit-for-bit identical.
+
 The packed form is built lazily and cached on the lineage, so repeated
 estimator calls (the multisimulation top-k loop) pay the interning
 cost once.  numpy is optional at import time; constructing a
@@ -34,7 +59,8 @@ scalar backend.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import hashlib
+from typing import Dict, List, Optional, Tuple
 
 try:  # pragma: no cover - exercised by whichever env runs the suite
     import numpy as np
@@ -46,6 +72,17 @@ from .boolean import Clause, Lineage
 
 HAVE_NUMPY = np is not None
 
+#: Canonical dtypes of the flat-buffer wire format, in serialization
+#: order.  ``clause_starts`` travels as int32 (lineages with 2^31
+#: literals do not fit in memory anyway); polarities as uint8 because
+#: bool has no stable wire width guarantee across numpy versions.
+BUFFER_SPECS: Tuple[Tuple[str, str], ...] = (
+    ("clause_starts", "int32"),
+    ("literal_events", "int32"),
+    ("literal_polarities", "uint8"),
+    ("weights", "float64"),
+)
+
 
 def clause_sort_key(clause: Clause) -> Tuple:
     """Deterministic clause order shared by every sampling backend.
@@ -55,6 +92,44 @@ def clause_sort_key(clause: Clause) -> Tuple:
     identically for their trials to be comparable draw-for-draw.
     """
     return tuple(sorted((str(key), polarity) for key, polarity in clause))
+
+
+class SampleArena:
+    """Preallocated sampling buffers, reused across batches.
+
+    One arena serves one ``(packed shape, batch, dtype)`` combination at
+    a time; :meth:`ensure` reallocates only when any of those change (a
+    Karp–Luby run over one lineage sees at most two batch sizes: the
+    cap and the final remainder).  An arena may be shared across
+    lineages — the scatter workers hold one per process — at the cost
+    of a reallocation whenever the lineage shape changes.  Holding the
+    arena on the sampler rather than the packed lineage keeps
+    concurrent samplers over one lineage independent.
+    """
+
+    __slots__ = ("key", "uniforms", "worlds", "satisfied", "gather")
+
+    def __init__(self) -> None:
+        self.key = None
+        self.uniforms = None
+        self.worlds = None
+        self.satisfied = None
+        self.gather = None
+
+    def ensure(self, packed: "PackedLineage", batch: int, dtype) -> None:
+        key = (
+            packed.n_events, packed.n_clauses, packed.padded_width,
+            batch, dtype,
+        )
+        if self.key == key:
+            return
+        self.key = key
+        self.uniforms = np.empty((packed.n_events, batch), dtype=dtype)
+        self.worlds = np.empty((packed.n_events, batch), dtype=bool)
+        self.satisfied = np.empty((packed.n_clauses, batch), dtype=bool)
+        self.gather = np.empty(
+            (packed.n_clauses * packed.padded_width, batch), dtype=bool
+        )
 
 
 class PackedLineage:
@@ -106,6 +181,7 @@ class PackedLineage:
         "clause_distribution",
         "clause_cumulative",
         "total",
+        "_shape_hash",
     )
 
     def __init__(self, lineage: Lineage) -> None:
@@ -122,20 +198,14 @@ class PackedLineage:
         self.weights = np.array(
             [lineage.weights[event] for event in self.events], dtype=np.float64
         )
-        # float32 copy for the uniform-draw compare: halves the
-        # bandwidth of world generation; the ~1e-7 relative rounding of
-        # a marginal is far below any Monte Carlo resolution.
-        self.weights_f32 = self.weights.astype(np.float32)
         clauses = sorted(lineage.clauses, key=clause_sort_key)
         starts = [0]
         event_ids: List[int] = []
         polarities: List[bool] = []
-        per_clause: List[List[Tuple[int, bool]]] = []
         for clause in clauses:
             literals = sorted(
                 ((self.event_index[key], polarity) for key, polarity in clause)
             )
-            per_clause.append(literals)
             for event_id, polarity in literals:
                 event_ids.append(event_id)
                 polarities.append(polarity)
@@ -143,20 +213,54 @@ class PackedLineage:
         self.clause_starts = np.array(starts, dtype=np.int64)
         self.literal_events = np.array(event_ids, dtype=np.int32)
         self.literal_polarities = np.array(polarities, dtype=bool)
-        width = max((len(lits) for lits in per_clause), default=0)
+        self._shape_hash: Optional[str] = None
+        self._build_padded()
+        self._finalize()
+
+    @classmethod
+    def of(cls, lineage: Lineage) -> "PackedLineage":
+        """The packed form of ``lineage``, built once and cached on it."""
+        packed = getattr(lineage, "_packed", None)
+        if packed is None:
+            packed = cls(lineage)
+            lineage._packed = packed
+        return packed
+
+    # ------------------------------------------------------------------
+    # Construction internals (shared by __init__ / from_buffers / reweight)
+    # ------------------------------------------------------------------
+
+    def _build_padded(self) -> None:
+        """Padded literal matrix from the CSR arrays, no python loops.
+
+        Padding repeats each clause's *own first literal* (duplicating a
+        conjunct never changes the clause's truth value), so the fixed
+        ``any`` fold over ``padded_width`` columns equals the ragged
+        evaluation.
+        """
+        starts = self.clause_starts
+        n_clauses = len(starts) - 1
+        lengths = starts[1:] - starts[:-1]
+        width = int(lengths.max()) if n_clauses else 0
         self.padded_width = width
-        padded_ev = np.zeros((len(per_clause), width), dtype=np.int32)
-        padded_pol = np.zeros((len(per_clause), width), dtype=bool)
-        for row, literals in enumerate(per_clause):
-            for col in range(width):
-                # Repeat the first literal as padding: duplicating a
-                # conjunct never changes the clause's truth value.
-                event_id, polarity = literals[col if col < len(literals) else 0]
-                padded_ev[row, col] = event_id
-                padded_pol[row, col] = polarity
+        if n_clauses == 0 or width == 0:
+            self.padded_events = np.zeros(0, dtype=np.int32)
+            self.padded_polarities = np.zeros(0, dtype=bool)
+            return
+        columns = np.arange(width, dtype=np.int64)[None, :]
+        offsets = np.where(columns < lengths[:, None], columns, 0)
+        flat = (starts[:-1, None] + offsets).reshape(-1)
         #: Flattened (n_clauses * width) padded literal columns.
-        self.padded_events = padded_ev.reshape(-1)
-        self.padded_polarities = padded_pol.reshape(-1)
+        self.padded_events = self.literal_events[flat]
+        self.padded_polarities = self.literal_polarities[flat]
+
+    def _finalize(self) -> None:
+        """Everything derived from (CSR, weights): per-clause products,
+        the Karp–Luby clause distribution, and the float32 weights."""
+        # float32 copy for the uniform-draw compare: halves the
+        # bandwidth of world generation; the ~1e-7 relative rounding of
+        # a marginal is far below any Monte Carlo resolution.
+        self.weights_f32 = self.weights.astype(np.float32)
         # Per-clause Π weight(literal) in log space: one gather + one
         # reduceat instead of a python product per clause.
         literal_weights = np.where(
@@ -164,7 +268,7 @@ class PackedLineage:
             self.weights[self.literal_events],
             1.0 - self.weights[self.literal_events],
         )
-        if per_clause:
+        if self.n_clauses:
             with np.errstate(divide="ignore"):
                 log_weights = np.log(literal_weights)
             self.clause_log_probs = np.add.reduceat(
@@ -187,14 +291,100 @@ class PackedLineage:
             else None
         )
 
+    # ------------------------------------------------------------------
+    # Flat-buffer wire format (the zero-copy scatter transport)
+    # ------------------------------------------------------------------
+
+    def to_buffers(self) -> Dict[str, "np.ndarray"]:
+        """The four flat arrays that fully determine the sampler.
+
+        Event *identities* deliberately do not travel: estimation only
+        needs the dense structure, so a worker reconstructs a detached
+        instance without re-interning tuple keys.  Dtypes follow
+        :data:`BUFFER_SPECS`.
+        """
+        return {
+            "clause_starts": self.clause_starts.astype(np.int32),
+            "literal_events": self.literal_events,
+            "literal_polarities": self.literal_polarities.astype(np.uint8),
+            "weights": self.weights,
+        }
+
     @classmethod
-    def of(cls, lineage: Lineage) -> "PackedLineage":
-        """The packed form of ``lineage``, built once and cached on it."""
-        packed = getattr(lineage, "_packed", None)
-        if packed is None:
-            packed = cls(lineage)
-            lineage._packed = packed
-        return packed
+    def from_buffers(cls, buffers: Dict[str, "np.ndarray"]) -> "PackedLineage":
+        """Rebuild a (detached) packed lineage from :meth:`to_buffers`.
+
+        Every array is copied, so the result owns its memory and the
+        source buffers (e.g. a shared-memory segment) can be released
+        immediately.  The reconstruction is bit-exact: estimates from a
+        round-tripped instance equal the original's at a fixed seed.
+
+        >>> from repro.core.parser import parse
+        >>> from repro.db.database import ProbabilisticDatabase
+        >>> from repro.lineage.grounding import ground_lineage
+        >>> db = ProbabilisticDatabase.from_dict(
+        ...     {"R": {(1,): 0.5}, "S": {(1, 2): 0.4, (1, 3): 0.9}})
+        >>> packed = PackedLineage.of(ground_lineage(parse("R(x), S(x,y)"), db))
+        >>> clone = PackedLineage.from_buffers(packed.to_buffers())
+        >>> clone.n_clauses == packed.n_clauses, float(clone.total) == float(packed.total)
+        (True, True)
+        """
+        if np is None:  # pragma: no cover - callers check HAVE_NUMPY
+            raise RuntimeError("PackedLineage requires numpy")
+        self = object.__new__(cls)
+        self.clause_starts = np.array(buffers["clause_starts"], dtype=np.int64)
+        self.literal_events = np.array(
+            buffers["literal_events"], dtype=np.int32
+        )
+        self.literal_polarities = np.array(
+            buffers["literal_polarities"], dtype=bool
+        )
+        self.weights = np.array(buffers["weights"], dtype=np.float64)
+        # Detached: dense ids stand in for the tuple events.
+        self.events = list(range(len(self.weights)))
+        self.event_index = {}
+        self._shape_hash = None
+        self._build_padded()
+        self._finalize()
+        return self
+
+    def reweight(self, weights) -> None:
+        """Swap the marginals in place, keeping the clause structure.
+
+        The scatter cache's refresh path: a probability-only database
+        change re-ships one float64 vector instead of the whole
+        structure, and the clause distribution is rebuilt locally.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.n_events,):
+            raise ValueError(
+                f"expected {self.n_events} weights, got shape {weights.shape}"
+            )
+        self.weights = weights.copy()
+        self._finalize()
+
+    def shape_hash(self) -> str:
+        """Digest of the weight-independent structure (cache key).
+
+        Stable across processes and runs — computed from the canonical
+        wire-format bytes, not python ``hash``.  Cached: the structure
+        is immutable.
+        """
+        cached = self._shape_hash
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(len(self.weights).to_bytes(8, "little"))
+            digest.update(self.clause_starts.astype(np.int32).tobytes())
+            digest.update(self.literal_events.tobytes())
+            digest.update(self.literal_polarities.astype(np.uint8).tobytes())
+            cached = self._shape_hash = digest.hexdigest()
+        return cached
+
+    def weight_hash(self) -> str:
+        """Digest of the marginals (recomputed: :meth:`reweight` exists)."""
+        return hashlib.blake2b(
+            self.weights.tobytes(), digest_size=16
+        ).hexdigest()
 
     # ------------------------------------------------------------------
     # Shape
@@ -202,7 +392,7 @@ class PackedLineage:
 
     @property
     def n_events(self) -> int:
-        return len(self.events)
+        return len(self.weights)
 
     @property
     def n_clauses(self) -> int:
@@ -214,31 +404,77 @@ class PackedLineage:
 
     @property
     def batch_cost(self) -> int:
-        """Elements touched per sample (batch sizing heuristic)."""
+        """Elements touched per sample (batch sizing + cost heuristic)."""
         return max(1, self.n_events, self.n_clauses * self.padded_width)
 
     # ------------------------------------------------------------------
     # Batched sampling primitives (worlds are event-major: (E, batch))
     # ------------------------------------------------------------------
 
-    def sample_worlds(self, rng, batch: int):
-        """An ``(n_events, batch)`` boolean world matrix ~ the marginals."""
-        uniforms = rng.random((self.n_events, batch), dtype=np.float32)
-        return uniforms < self.weights_f32[:, None]
+    def sample_worlds(
+        self,
+        rng,
+        batch: int,
+        arena: Optional[SampleArena] = None,
+        dtype=None,
+    ):
+        """An ``(n_events, batch)`` boolean world matrix ~ the marginals.
 
-    def clause_satisfaction(self, worlds):
+        With an ``arena`` the uniforms and the world matrix land in the
+        arena's preallocated buffers (identical values — ``out=`` draws
+        consume the generator stream exactly like fresh allocations).
+        ``dtype`` selects the uniform precision; the float32 default
+        halves draw bandwidth (see ``benchmarks/bench_sampling.py`` for
+        the float32-vs-float64 rows pinning this choice).
+        """
+        if dtype is None:
+            dtype = np.float32
+        threshold = (
+            self.weights_f32 if dtype == np.float32 else self.weights
+        )
+        if arena is None:
+            uniforms = rng.random((self.n_events, batch), dtype=dtype)
+            return uniforms < threshold[:, None]
+        arena.ensure(self, batch, dtype)
+        rng.random(out=arena.uniforms, dtype=dtype)
+        np.less(arena.uniforms, threshold[:, None], out=arena.worlds)
+        return arena.worlds
+
+    def clause_satisfaction(self, worlds, arena: Optional[SampleArena] = None):
         """``(n_clauses, batch)`` clause truth values, one matrix pass.
 
-        Gathers the padded literal rows of the world matrix, compares
-        against the polarities, and folds each clause's fixed-width
-        window with one ``any`` reduction — no ragged segments.
+        Both paths gather the padded literal rows of the world matrix,
+        compare against the polarities, and fold each clause's
+        fixed-width window with one ``any`` reduction — no ragged
+        segments.  With an arena every intermediate lands in the
+        preallocated ``gather``/``satisfied`` buffers (``np.take`` with
+        ``out=`` instead of fancy indexing): same truth table, zero
+        per-batch allocations.
         """
-        literal_rows = worlds[self.padded_events]
-        violated = literal_rows != self.padded_polarities[:, None]
+        if arena is None:
+            literal_rows = worlds[self.padded_events]
+            violated = literal_rows != self.padded_polarities[:, None]
+            batch = worlds.shape[1]
+            return ~violated.reshape(
+                self.n_clauses, self.padded_width, batch
+            ).any(axis=1)
+        if self.padded_width == 0:
+            # Only empty clauses (certainly-true lineages): an empty
+            # conjunction holds vacuously, matching the reshape-fold.
+            arena.satisfied.fill(True)
+            return arena.satisfied
         batch = worlds.shape[1]
-        return ~violated.reshape(
-            self.n_clauses, self.padded_width, batch
-        ).any(axis=1)
+        gather, satisfied = arena.gather, arena.satisfied
+        # mode="clip" skips the bounds-checked buffering path (the ids
+        # are dense event indices, always in range, so it never clips).
+        np.take(worlds, self.padded_events, axis=0, out=gather, mode="clip")
+        np.not_equal(gather, self.padded_polarities[:, None], out=gather)
+        np.any(
+            gather.reshape(self.n_clauses, self.padded_width, batch),
+            axis=1, out=satisfied,
+        )
+        np.logical_not(satisfied, out=satisfied)
+        return satisfied
 
     def force_clauses(self, worlds, chosen) -> None:
         """Overwrite each sample's events so its chosen clause holds.
@@ -268,7 +504,9 @@ class PackedLineage:
             self.clause_cumulative, uniforms, side="right"
         ).clip(max=self.n_clauses - 1).astype(np.int64)
 
-    def coverage_hits(self, worlds, chosen) -> int:
+    def coverage_hits(
+        self, worlds, chosen, arena: Optional[SampleArena] = None
+    ) -> int:
         """Karp–Luby coverage count for a forced world batch.
 
         A trial is a hit when its chosen clause is the *first* satisfied
@@ -277,6 +515,6 @@ class PackedLineage:
         the first True per column) finds it in one pass; the indicator
         is simply ``first == chosen``.
         """
-        satisfied = self.clause_satisfaction(worlds)
+        satisfied = self.clause_satisfaction(worlds, arena)
         first_satisfied = satisfied.argmax(axis=0)
         return int((first_satisfied == chosen).sum())

@@ -30,6 +30,7 @@ Quickstart (in-process session)::
 from .pool import PoolStats, ServerPool, SessionConfig, WorkerError, shard_of
 from .server import BackgroundServer, RequestServer, serve_forever
 from .session import PreparedQuery, QuerySession, SessionStats
+from .transfer import ScatterCache
 
 __all__ = [
     "BackgroundServer",
@@ -37,6 +38,7 @@ __all__ = [
     "PreparedQuery",
     "QuerySession",
     "RequestServer",
+    "ScatterCache",
     "ServerPool",
     "SessionConfig",
     "SessionStats",

@@ -27,9 +27,13 @@ traffic.  The moving parts:
   broadcast before the next dispatch.
 
 * **Monte Carlo scatter.**  :meth:`ServerPool.estimate_lineages`
-  splits a batch of unsafe lineages round-robin across workers, each
-  running its own vectorized sampling backend — the pool-level answer
-  to an unsafe-query spike, exact-seed-deterministic per lineage.
+  ships a batch of unsafe lineages to the workers as packed flat
+  buffers over shared memory (pickle fallback), with a worker-side
+  structural cache so repeated spikes on the same query transfer
+  nothing, and an adaptive cost model that keeps small batches inline
+  — the pool-level answer to an unsafe-query spike, exact-seed-
+  deterministic per lineage (see ``docs/ARCHITECTURE.md`` § "Monte
+  Carlo scatter").
 
 ``workers=0`` runs everything inline on one lock-guarded session in
 this process — same API, no subprocesses — which keeps doctests, small
@@ -46,6 +50,7 @@ deployments and fork-less platforms simple::
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 import zlib
@@ -58,9 +63,15 @@ from ..core.query import ConjunctiveQuery, canonical_string
 from ..db.database import ProbabilisticDatabase
 from ..db.relation import Probability, Value
 from ..engines.base import Answer
+from ..engines.montecarlo import MonteCarloEngine, resolve_backend
 from ..lineage.boolean import Lineage
+from ..lineage.packed import HAVE_NUMPY, PackedLineage, SampleArena
 from ..obs.metrics import MetricsRegistry, merge_snapshots
 from .session import QueryLike, QuerySession, SessionStats
+from .transfer import ScatterCache, pack_arrays, release_segment, unpack_arrays
+
+SCATTER_POLICIES = ("adaptive", "always", "never")
+SCATTER_TRANSPORTS = ("auto", "shm", "pickle")
 
 __all__ = [
     "PoolStats",
@@ -90,6 +101,22 @@ def shard_of(shape: str, workers: int) -> int:
     return zlib.crc32(shape.encode("utf-8")) % workers
 
 
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-POSIX
+        return os.cpu_count() or 1
+
+
+def _decompose(key, lineage: Lineage) -> tuple:
+    """Plain clauses/weights for the legacy queue op: pickling a
+    Lineage would drag its cached PackedLineage arrays along."""
+    return (
+        key, lineage.clauses, dict(lineage.weights), lineage.certainly_true
+    )
+
+
 @dataclass(frozen=True)
 class SessionConfig:
     """Picklable recipe for building one worker's :class:`QuerySession`.
@@ -108,6 +135,9 @@ class SessionConfig:
     #: When False, every worker gets a disabled (null) registry —
     #: the knob ``benchmarks/bench_obs.py`` uses to price telemetry.
     metrics_enabled: bool = True
+    #: Capacity of each worker's packed-lineage LRU (structures kept
+    #: for reweight-only scatter refreshes); 0 disables caching.
+    scatter_cache: int = 128
 
     def build_session(
         self,
@@ -180,6 +210,11 @@ def _worker_main(config, snapshot, request_queue, result_queue) -> None:
     """Entry point of one worker process."""
     db = ProbabilisticDatabase.from_snapshot(snapshot)
     session = config.build_session(db)
+    # Scatter state outlives session re-syncs: cached packed lineages
+    # are validated by front-computed hashes, never by db versions, so
+    # a sync (or update) can't make an entry stale — at worst the front
+    # ships a fresh weights vector.
+    scatter = _WorkerScatter(config)
     while True:
         op, request_id, payload = request_queue.get()
         if op == _STOP:
@@ -199,7 +234,7 @@ def _worker_main(config, snapshot, request_queue, result_queue) -> None:
             session.stats = stats
             continue
         try:
-            result = _worker_execute(session, op, payload)
+            result = _worker_execute(session, op, payload, scatter)
         except Exception as error:  # noqa: BLE001 - forwarded to the front
             result_queue.put(
                 (request_id, False, f"{type(error).__name__}: {error}")
@@ -208,7 +243,18 @@ def _worker_main(config, snapshot, request_queue, result_queue) -> None:
             result_queue.put((request_id, True, result))
 
 
-def _worker_execute(session: QuerySession, op: str, payload):
+class _WorkerScatter:
+    """Per-worker scatter state: the packed-lineage LRU and the arena."""
+
+    def __init__(self, config: SessionConfig) -> None:
+        self.cache = ScatterCache(config.scatter_cache)
+        self.arena = SampleArena() if HAVE_NUMPY else None
+
+
+def _worker_execute(
+    session: QuerySession, op: str, payload,
+    scatter: Optional[_WorkerScatter] = None,
+):
     if op == "evaluate_many":
         return session.evaluate_many(payload)
     if op == "answers_many":
@@ -221,22 +267,69 @@ def _worker_execute(session: QuerySession, op: str, payload):
         samples, items = payload
         monte_carlo = session.router.monte_carlo
         if samples is not None:
-            monte_carlo = type(monte_carlo)(
-                samples=samples,
-                seed=monte_carlo.seed,
-                backend=monte_carlo.backend,
-            )
+            # reconfigured() (not a hand-rolled ctor call) so the
+            # override keeps the method, backend and metrics registry.
+            monte_carlo = monte_carlo.reconfigured(samples=samples)
         return [
             (key,) + monte_carlo.estimate_lineage(
                 Lineage(clauses, weights, certainly_true=certain)
             )
             for key, clauses, weights, certain in items
         ]
+    if op == "estimate_packed":
+        return _worker_estimate_packed(session, payload, scatter)
     if op == "stats":
         return session.stats
     if op == "metrics":
         return session.metrics.snapshot()
     raise ValueError(f"unknown worker op {op!r}")
+
+
+def _worker_estimate_packed(
+    session: QuerySession, payload, scatter: _WorkerScatter
+):
+    """Estimate a manifest of packed lineages shipped as flat buffers.
+
+    Manifest entries are ``("full", key, shape_hash, weight_hash,
+    {buffer_name: array_index})``, ``("weights", key, shape_hash,
+    weight_hash, array_index)`` or ``("cached", key, shape_hash,
+    weight_hash)``; array indices point into the transport payload.
+    Cache lookups the front predicted wrong (evictions, races) come
+    back in ``misses`` and the front retries them with full buffers —
+    the worker never guesses at missing structure.
+    """
+    samples, transport_payload, manifest = payload
+    arrays = unpack_arrays(transport_payload)
+    monte_carlo = session.router.monte_carlo
+    if samples is not None:
+        monte_carlo = monte_carlo.reconfigured(samples=samples)
+    cache = scatter.cache
+    results = []
+    misses = []
+    start = time.perf_counter()
+    for entry in manifest:
+        kind, key, shape_hash, weight_hash = entry[:4]
+        if kind == "full":
+            packed = PackedLineage.from_buffers(
+                {name: arrays[index] for name, index in entry[4].items()}
+            )
+            cache.put(shape_hash, weight_hash, packed)
+        elif kind == "weights":
+            packed = cache.get(shape_hash, weight_hash, arrays[entry[4]])
+        else:  # "cached"
+            packed = cache.get(shape_hash, weight_hash)
+        if packed is None:
+            misses.append(key)
+            continue
+        estimate, half_width = monte_carlo.estimate_packed(
+            packed, scatter.arena
+        )
+        results.append((key, estimate, half_width))
+    return {
+        "results": results,
+        "misses": misses,
+        "compute_seconds": time.perf_counter() - start,
+    }
 
 
 @dataclass
@@ -265,6 +358,12 @@ class ServerPool:
             ``"fork"`` on POSIX for faster startup.
         request_timeout: seconds to wait for a worker reply before
             raising (None = wait forever).
+        scatter_policy: when :meth:`estimate_lineages` ships work to
+            workers — ``"adaptive"`` (cost model, the default),
+            ``"always"`` or ``"never"`` (always estimate on the front).
+        scatter_transport: how packed lineages travel — ``"auto"``
+            (shared memory, pickle when unavailable), ``"shm"`` or
+            ``"pickle"``.
 
     Thread-safe: any number of threads may call :meth:`evaluate`,
     :meth:`answers`, :meth:`update` etc. concurrently; concurrent
@@ -280,13 +379,41 @@ class ServerPool:
         config: Optional[SessionConfig] = None,
         start_method: str = "spawn",
         request_timeout: Optional[float] = None,
+        scatter_policy: str = "adaptive",
+        scatter_transport: str = "auto",
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if scatter_policy not in SCATTER_POLICIES:
+            raise ValueError(
+                f"unknown scatter policy {scatter_policy!r}; "
+                f"expected one of {SCATTER_POLICIES}"
+            )
+        if scatter_transport not in SCATTER_TRANSPORTS:
+            raise ValueError(
+                f"unknown scatter transport {scatter_transport!r}; "
+                f"expected one of {SCATTER_TRANSPORTS}"
+            )
         self.db = db
         self.config = config if config is not None else SessionConfig()
         self.workers = workers
         self.request_timeout = request_timeout
+        self.scatter_policy = scatter_policy
+        self.scatter_transport = scatter_transport
+        #: Introspection: what the last ``estimate_lineages`` call
+        #: decided (choice, estimated seconds, item counts) — consumed
+        #: by the benchmark sweep and the policy tests.
+        self.last_scatter_decision: Optional[dict] = None
+        # Adaptive-policy cost model: EWMA of seconds per cost unit
+        # (batch_cost × sample) and of per-call dispatch overhead,
+        # refreshed from the same measurements that feed the
+        # repro_pool_scatter_seconds histogram.  Seeds are deliberately
+        # pessimistic-per-unit so a cold pool keeps small batches
+        # inline until real measurements arrive.
+        self._unit_seconds = 5e-9
+        self._overhead_seconds = 2e-3
+        self._front_mc: Optional[MonteCarloEngine] = None
+        self._front_arena = SampleArena() if HAVE_NUMPY else None
         self._lock = threading.Lock()
         self._closed = False
         self._requests = 0
@@ -322,6 +449,21 @@ class ServerPool:
             "End-to-end latency of Monte Carlo scatter calls "
             "(estimate_lineages)",
         )
+        self._metric_scatter_policy = self.metrics.counter(
+            "repro_pool_scatter_policy_total",
+            "estimate_lineages calls by adaptive-policy outcome",
+            ("choice",),
+        )
+        self._metric_scatter_items = self.metrics.counter(
+            "repro_pool_scatter_items_total",
+            "Lineages shipped to workers, by transfer path",
+            ("path",),
+        )
+        self._metric_scatter_transport = self.metrics.counter(
+            "repro_pool_scatter_transport_total",
+            "Scatter messages dispatched, by transport",
+            ("transport",),
+        )
         if workers == 0:
             self._session: Optional[QuerySession] = (
                 self.config.build_session(db, metrics=self.metrics)
@@ -347,6 +489,11 @@ class ServerPool:
             self._request_queues.append(queue)
             self._processes.append(process)
         self._synced_versions = (db.structure_version, db.version)
+        #: Per shard: shape_hash -> weight_hash last shipped, the
+        #: front's (optimistic) model of each worker's scatter cache.
+        self._worker_shapes: List[Dict[str, str]] = [
+            {} for _ in range(workers)
+        ]
         #: request id -> (op, futures, shard) for in-flight messages.
         self._pending: Dict[int, Tuple[str, List[Future], int]] = {}
         self._ids = itertools.count()
@@ -435,33 +582,289 @@ class ServerPool:
         lineages: Mapping[Hashable, Lineage],
         samples: Optional[int] = None,
     ) -> Dict[Hashable, Tuple[float, float]]:
-        """Scatter Monte Carlo estimation of many lineages across workers.
+        """Monte Carlo estimation of many lineages, scattered when worth it.
 
-        The pool-level pressure valve for unsafe-query spikes: each
-        worker estimates its slice with its own (vectorized, seeded)
-        sampler, and results come back as ``{key: (estimate, 95%
-        half-width)}``.  ``samples`` overrides the per-lineage sample
+        The pool-level pressure valve for unsafe-query spikes; results
+        come back as ``{key: (estimate, 95% half-width)}``, bit-
+        identical regardless of where they ran (inline, shm scatter,
+        pickle scatter) because every path seeds a sampler the same
+        way per lineage.  ``samples`` overrides the per-lineage sample
         cap from the worker config.
+
+        With workers, lineages travel as packed flat buffers through
+        shared memory, workers keep a structural LRU so repeats ship
+        nothing (or just a weights vector), and the adaptive policy
+        runs batches inline on the front when their estimated compute
+        wouldn't amortize the dispatch overhead — see
+        ``docs/ARCHITECTURE.md`` § "Monte Carlo scatter".
         """
         start = time.perf_counter()
         if self._session is not None:
+            # Copy the engine reference under the lock, then sample
+            # outside it: a long unsafe batch must not block concurrent
+            # evaluate/answers traffic on the inline session.
             with self._session_lock:
                 monte_carlo = self._session.router.monte_carlo
-                if samples is not None:
-                    monte_carlo = type(monte_carlo)(
-                        samples=samples, seed=monte_carlo.seed,
-                        backend=monte_carlo.backend,
-                    )
-                results = monte_carlo.estimate_lineages(dict(lineages))
+            if samples is not None:
+                monte_carlo = monte_carlo.reconfigured(samples=samples)
+            results = monte_carlo.estimate_lineages(dict(lineages))
             self._metric_scatter_seconds.observe(time.perf_counter() - start)
             return results
-        # Decompose into plain clauses/weights for the queue: pickling
-        # a Lineage would drag its cached PackedLineage arrays along.
-        items = [
-            (key, lineage.clauses, dict(lineage.weights),
-             lineage.certainly_true)
-            for key, lineage in lineages.items()
+        with self._lock:
+            self._check_open()
+            self._check_alive()
+        results: Dict[Hashable, Tuple[float, float]] = {}
+        packed_items: List[tuple] = []  # (key, PackedLineage, cost units)
+        legacy_items: List[tuple] = []  # (key, clauses, weights, certain)
+        per_lineage_samples = (
+            samples if samples is not None else self.config.mc_samples
+        )
+        vectorized = (
+            HAVE_NUMPY
+            and resolve_backend(self.config.mc_backend) != "python"
+        )
+        for key, lineage in lineages.items():
+            # Trivial lineages short-circuit exactly like
+            # estimate_lineage() does, so no path ever samples them.
+            if lineage.certainly_true:
+                results[key] = (1.0, 0.0)
+                continue
+            if lineage.is_false:
+                results[key] = (0.0, 0.0)
+                continue
+            if not vectorized:
+                legacy_items.append(_decompose(key, lineage))
+                continue
+            try:
+                packed = PackedLineage.of(lineage)
+            except Exception:  # noqa: BLE001 - malformed lineage
+                # Ship it unpacked so the failure happens *in a worker*
+                # and surfaces uniformly as WorkerError.
+                legacy_items.append(_decompose(key, lineage))
+                continue
+            if packed.total == 0.0:
+                results[key] = (0.0, 0.0)
+                continue
+            packed_items.append(
+                (key, packed, packed.batch_cost * per_lineage_samples)
+            )
+        choice, estimated, effective = self._scatter_choice(packed_items)
+        self.last_scatter_decision = {
+            "choice": choice,
+            "estimated_seconds": estimated,
+            "workers_effective": effective,
+            "packed_items": len(packed_items),
+            "legacy_items": len(legacy_items),
+        }
+        legacy_futures = self._scatter_legacy(legacy_items, samples)
+        if packed_items:
+            self._metric_scatter_policy.labels(choice).inc()
+            if choice == "inline":
+                self._estimate_inline(packed_items, samples, results)
+            else:
+                self._scatter_packed(packed_items, samples, results)
+        for future in legacy_futures:
+            for key, estimate, half_width in future.result(
+                self.request_timeout
+            ):
+                results[key] = (estimate, half_width)
+        self._metric_scatter_seconds.observe(time.perf_counter() - start)
+        return results
+
+    # -- scatter internals (workers > 0) --------------------------------
+
+    #: On an effectively single-core host scattering can't beat inline
+    #: on throughput, but batches expected to hog the front thread for
+    #: longer than this still ship to a worker so concurrent traffic
+    #: stays responsive.
+    _FRONT_HOG_SECONDS = 0.25
+
+    def _scatter_choice(
+        self, packed_items: List[tuple]
+    ) -> Tuple[str, float, int]:
+        """(choice, estimated seconds, effective workers) for a batch.
+
+        Scattering trades ``(1 - 1/W)`` of the compute for one dispatch
+        round trip, so it wins when ``estimated > overhead · W/(W-1)``.
+        ``W`` is capped by the cores actually available — spawning work
+        across 4 workers on 1 core parallelizes nothing.
+        """
+        cost_units = sum(cost for _key, _packed, cost in packed_items)
+        with self._lock:
+            estimated = cost_units * self._unit_seconds
+            overhead = self._overhead_seconds
+        effective = max(1, min(self.workers, _available_cpus()))
+        if self.scatter_policy == "always":
+            return "scatter", estimated, effective
+        if self.scatter_policy == "never":
+            return "inline", estimated, effective
+        if effective > 1:
+            threshold = overhead * effective / (effective - 1)
+            choice = "scatter" if estimated > threshold else "inline"
+        else:
+            choice = (
+                "scatter" if estimated > self._FRONT_HOG_SECONDS
+                else "inline"
+            )
+        return choice, estimated, effective
+
+    def _front_engine(self, samples: Optional[int]) -> MonteCarloEngine:
+        """The front's own sampler for inline-policy batches.
+
+        Configured identically to every worker's engine (same seed,
+        samples, backend), so an inline decision changes *where* the
+        batch runs, never what it returns.
+        """
+        engine = self._front_mc
+        if engine is None:
+            engine = self._front_mc = MonteCarloEngine(
+                samples=self.config.mc_samples,
+                seed=self.config.mc_seed,
+                backend=self.config.mc_backend,
+                metrics=self.metrics,
+            )
+        if samples is not None and samples != engine.samples:
+            return engine.reconfigured(samples=samples)
+        return engine
+
+    def _estimate_inline(
+        self, packed_items: List[tuple], samples: Optional[int],
+        results: Dict[Hashable, Tuple[float, float]],
+    ) -> None:
+        engine = self._front_engine(samples)
+        compute_start = time.perf_counter()
+        for key, packed, _cost in packed_items:
+            results[key] = engine.estimate_packed(packed, self._front_arena)
+        compute = time.perf_counter() - compute_start
+        cost_units = sum(cost for _key, _packed, cost in packed_items)
+        if cost_units:
+            self._observe_scatter_costs(unit_seconds=compute / cost_units)
+
+    def _scatter_packed(
+        self, packed_items: List[tuple], samples: Optional[int],
+        results: Dict[Hashable, Tuple[float, float]],
+    ) -> None:
+        """Ship packed lineages to workers, cost-balanced, cache-aware.
+
+        Chunking is longest-processing-time greedy on estimated cost
+        (not round-robin), so one huge lineage doesn't serialize the
+        batch behind it.  Cache misses reported by a worker are retried
+        once with full buffers — full entries cannot miss, so the retry
+        round terminates.
+        """
+        chunks: List[List[tuple]] = [[] for _ in range(self.workers)]
+        loads = [0.0] * self.workers
+        for key, packed, cost in sorted(
+            packed_items, key=lambda item: -item[2]
+        ):
+            shard = min(range(self.workers), key=loads.__getitem__)
+            chunks[shard].append((key, packed))
+            loads[shard] += cost
+        wall_start = time.perf_counter()
+        compute_seconds: List[float] = []
+        round_items = [
+            (shard, chunk) for shard, chunk in enumerate(chunks) if chunk
         ]
+        force_full = False
+        while round_items:
+            dispatched = []
+            for shard, chunk in round_items:
+                future, segment = self._send_packed(
+                    shard, chunk, samples, force_full
+                )
+                dispatched.append((shard, dict(chunk), future, segment))
+            round_items = []
+            for shard, by_key, future, segment in dispatched:
+                try:
+                    reply = future.result(self.request_timeout)
+                finally:
+                    release_segment(segment)
+                for key, estimate, half_width in reply["results"]:
+                    results[key] = (estimate, half_width)
+                compute_seconds.append(reply["compute_seconds"])
+                if reply["misses"]:
+                    round_items.append(
+                        (shard,
+                         [(key, by_key[key]) for key in reply["misses"]])
+                    )
+            force_full = True
+        wall = time.perf_counter() - wall_start
+        cost_units = sum(cost for _key, _packed, cost in packed_items)
+        if compute_seconds and cost_units:
+            self._observe_scatter_costs(
+                unit_seconds=sum(compute_seconds) / cost_units,
+                overhead_seconds=max(0.0, wall - max(compute_seconds)),
+            )
+
+    def _send_packed(
+        self, shard: int, chunk: List[tuple], samples: Optional[int],
+        force_full: bool,
+    ) -> Tuple[Future, Optional[object]]:
+        """Dispatch one ``estimate_packed`` message to ``shard``.
+
+        Builds the manifest against the front's model of the worker's
+        cache (``_worker_shapes``): a structure the worker should
+        already hold ships as ``cached`` (hashes only) or ``weights``
+        (one float64 vector); everything else ships full buffers.  The
+        model is updated at enqueue time — per-shard FIFO makes that
+        sound, and a wrong guess (eviction, crash) only costs a miss
+        retry.
+        """
+        arrays: List[object] = []
+        manifest: List[tuple] = []
+        paths = {"full": 0, "weights": 0, "cached": 0}
+        with self._lock:
+            self._check_open()
+            self._check_alive()
+            known = self._worker_shapes[shard]
+            for key, packed in chunk:
+                shape_hash = packed.shape_hash()
+                weight_hash = packed.weight_hash()
+                have = None if force_full else known.get(shape_hash)
+                if have == weight_hash:
+                    manifest.append(("cached", key, shape_hash, weight_hash))
+                    paths["cached"] += 1
+                elif have is not None:
+                    manifest.append(
+                        ("weights", key, shape_hash, weight_hash,
+                         len(arrays))
+                    )
+                    arrays.append(packed.weights)
+                    paths["weights"] += 1
+                else:
+                    buffers = packed.to_buffers()
+                    indices = {}
+                    for name in (
+                        "clause_starts", "literal_events",
+                        "literal_polarities", "weights",
+                    ):
+                        indices[name] = len(arrays)
+                        arrays.append(buffers[name])
+                    manifest.append(
+                        ("full", key, shape_hash, weight_hash, indices)
+                    )
+                    paths["full"] += 1
+                known[shape_hash] = weight_hash
+            payload, segment = pack_arrays(arrays, self.scatter_transport)
+            for path, count in paths.items():
+                if count:
+                    self._metric_scatter_items.labels(path).inc(count)
+            self._metric_scatter_transport.labels(payload[0]).inc()
+            future: Future = Future()
+            request_id = next(self._ids)
+            self._pending[request_id] = ("estimate_packed", [future], shard)
+            self._request_queues[shard].put(
+                ("estimate_packed", request_id, (samples, payload, manifest))
+            )
+            self._batches += 1
+        return future, segment
+
+    def _scatter_legacy(
+        self, items: List[tuple], samples: Optional[int]
+    ) -> List[Future]:
+        """Round-robin the non-packable leftovers over the legacy op."""
+        if not items:
+            return []
         chunks: List[list] = [[] for _ in range(self.workers)]
         for index, item in enumerate(items):
             chunks[index % self.workers].append(item)
@@ -469,6 +872,7 @@ class ServerPool:
         with self._lock:
             self._check_open()
             self._check_alive()
+            self._metric_scatter_items.labels("legacy").inc(len(items))
             for shard, chunk in enumerate(chunks):
                 if not chunk:
                     continue
@@ -480,14 +884,23 @@ class ServerPool:
                 )
                 self._batches += 1
                 futures.append(future)
-        results: Dict[Hashable, Tuple[float, float]] = {}
-        for future in futures:
-            for key, estimate, half_width in future.result(
-                self.request_timeout
-            ):
-                results[key] = (estimate, half_width)
-        self._metric_scatter_seconds.observe(time.perf_counter() - start)
-        return results
+        return futures
+
+    def _observe_scatter_costs(
+        self,
+        unit_seconds: Optional[float] = None,
+        overhead_seconds: Optional[float] = None,
+    ) -> None:
+        """Fold fresh measurements into the adaptive-policy EWMAs."""
+        with self._lock:
+            if unit_seconds is not None:
+                self._unit_seconds += 0.3 * (
+                    unit_seconds - self._unit_seconds
+                )
+            if overhead_seconds is not None:
+                self._overhead_seconds += 0.3 * (
+                    overhead_seconds - self._overhead_seconds
+                )
 
     def stats(self) -> PoolStats:
         """Aggregate per-worker :class:`SessionStats` plus front counters."""

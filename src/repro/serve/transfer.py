@@ -1,0 +1,214 @@
+"""Shared-memory transport and worker-side cache for lineage scatter.
+
+:meth:`ServerPool.estimate_lineages <repro.serve.pool.ServerPool.estimate_lineages>`
+ships :class:`~repro.lineage.packed.PackedLineage` flat buffers to
+worker processes.  Pickling those arrays through a
+``multiprocessing.Queue`` copies every byte twice (serialize +
+deserialize) through a pipe; this module instead packs all arrays of
+one message into a single ``multiprocessing.shared_memory`` segment —
+the queue then carries only the segment name and a list of
+``(offset, dtype, shape)`` specs, and the worker reads the arrays
+straight out of the mapping.
+
+* :func:`pack_arrays` (front side) returns a transport payload plus
+  the segment handle to unlink once the reply arrives.  When shared
+  memory is unavailable (or the caller forces it) the payload degrades
+  to the arrays themselves — the **pickle fallback** — with identical
+  semantics.
+* :func:`unpack_arrays` (worker side) reconstructs the arrays.  It
+  always copies out of the segment so the mapping can be closed
+  immediately, and it detaches the segment from the worker's resource
+  tracker: CPython registers *every* attach for cleanup, and a tracked
+  attach-only segment would be unlinked a second time (with a warning)
+  when the worker exits.
+
+:class:`ScatterCache` is the worker-side LRU keyed by the lineage's
+structural hash: repeated spikes on the same unsafe query re-use the
+worker's packed copy, so the steady state ships no structure at all
+(and a probability-only drift ships one weights vector).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised by whichever env runs the suite
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from ..lineage.packed import PackedLineage
+
+__all__ = [
+    "ScatterCache",
+    "pack_arrays",
+    "unpack_arrays",
+]
+
+#: Transport tags carried in the payload tuple.
+SHM = "shm"
+PICKLE = "pickle"
+
+
+def pack_arrays(
+    arrays: Sequence["np.ndarray"], transport: str = "auto"
+) -> Tuple[tuple, Optional[object]]:
+    """Bundle ``arrays`` for one worker message.
+
+    Returns ``(payload, segment)``: the queue-safe payload and the
+    shared-memory handle the *caller* must ``close()`` + ``unlink()``
+    once the worker has replied (``None`` under the pickle fallback).
+    ``transport`` forces a path: ``"shm"``, ``"pickle"``, or ``"auto"``
+    (shared memory when available, pickle otherwise).
+    """
+    if transport not in ("auto", SHM, PICKLE):
+        raise ValueError(f"unknown scatter transport {transport!r}")
+    if transport != PICKLE and arrays:
+        try:
+            return _pack_shm(arrays)
+        except Exception:
+            if transport == SHM:
+                raise
+            # "auto": /dev/shm may be missing or full — fall through.
+    return (PICKLE, [np.ascontiguousarray(a) for a in arrays]), None
+
+
+def _pack_shm(arrays: Sequence["np.ndarray"]) -> Tuple[tuple, object]:
+    from multiprocessing import shared_memory
+
+    specs: List[Tuple[int, str, tuple]] = []
+    offset = 0
+    contiguous = []
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        contiguous.append(array)
+        # 64-byte alignment keeps every view's dtype alignment valid.
+        offset = (offset + 63) & ~63
+        specs.append((offset, array.dtype.str, array.shape))
+        offset += array.nbytes
+    segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for array, (start, _dtype, _shape) in zip(contiguous, specs):
+        view = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf, offset=start
+        )
+        view[...] = array
+        del view  # views into segment.buf block segment.close()
+    return (SHM, segment.name, specs), segment
+
+
+def release_segment(segment) -> None:
+    """Close + unlink the front's shm handle, tolerating early cleanup."""
+    if segment is None:
+        return
+    try:
+        segment.close()
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+def unpack_arrays(payload: tuple) -> List["np.ndarray"]:
+    """Worker-side inverse of :func:`pack_arrays` (always copies)."""
+    tag = payload[0]
+    if tag == PICKLE:
+        return list(payload[1])
+    if tag != SHM:
+        raise ValueError(f"unknown scatter transport payload {tag!r}")
+    _tag, name, specs = payload
+    segment = _attach_untracked(name)
+    try:
+        return [
+            np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset
+            ).copy()
+            for offset, dtype, shape in specs
+        ]
+    finally:
+        segment.close()
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing segment without taking ownership.
+
+    The creating (front) process owns the segment's lifetime.  On
+    CPython >= 3.13 ``track=False`` expresses that directly; older
+    versions register every attach with the resource tracker — which
+    pool workers *share* with the front (spawn hands the tracker down),
+    so the duplicate registration collapses in the tracker's name set
+    and the front's unlink still deregisters exactly once.  Explicitly
+    unregistering here would double-remove and make the front's
+    cleanup whine, so we deliberately leave the tracked attach alone.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+class _CacheEntry:
+    __slots__ = ("weight_hash", "packed")
+
+    def __init__(self, weight_hash: str, packed: PackedLineage) -> None:
+        self.weight_hash = weight_hash
+        self.packed = packed
+
+
+class ScatterCache:
+    """Worker-side LRU of packed lineages, keyed by structural hash.
+
+    One entry per clause *structure*; the entry remembers which weight
+    vector it currently carries (``weight_hash``) so the front can ship
+    a bare ``(shape, weights)`` refresh — :meth:`reweight` swaps the
+    marginals in place — or, when both hashes match, nothing at all.
+    Hashes always come from the front's *current* lineage, so a stale
+    entry can never be served: a mismatch is a miss, answered by the
+    front re-shipping full buffers.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self, shape_hash: str, weight_hash: str,
+        weights: Optional["np.ndarray"] = None,
+    ) -> Optional[PackedLineage]:
+        """The cached packed lineage for ``shape_hash``, or ``None``.
+
+        With ``weights`` given, a structure hit whose weight hash
+        differs is refreshed in place (the reweight path); without
+        them, any mismatch is a miss.
+        """
+        entry = self._entries.get(shape_hash)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.weight_hash != weight_hash:
+            if weights is None:
+                self.misses += 1
+                return None
+            entry.packed.reweight(weights)
+            entry.weight_hash = weight_hash
+        self._entries.move_to_end(shape_hash)
+        self.hits += 1
+        return entry.packed
+
+    def put(
+        self, shape_hash: str, weight_hash: str, packed: PackedLineage
+    ) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[shape_hash] = _CacheEntry(weight_hash, packed)
+        self._entries.move_to_end(shape_hash)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)

@@ -134,6 +134,96 @@ class TestDrawForDrawParity:
         assert auto.hits == manual.packed.coverage_hits(worlds, chosen)
 
 
+class TestArenaKernels:
+    """The in-place arena variants must be bit-identical to the
+    allocating paths: ``out=`` uniform draws consume the generator
+    stream exactly like fresh allocations, and the column-fold clause
+    evaluation computes the same truth table as the padded gather."""
+
+    def test_arena_worlds_equal_fresh_alloc(self):
+        from repro.lineage.packed import SampleArena
+
+        packed = PackedLineage.of(small_lineage())
+        fresh = packed.sample_worlds(np.random.default_rng(3), 128)
+        arena = SampleArena()
+        reused = packed.sample_worlds(
+            np.random.default_rng(3), 128, arena=arena
+        )
+        assert np.array_equal(fresh, reused)
+        # Second fill reuses the same buffers (no reallocation).
+        buffer_id = id(arena.worlds)
+        packed.sample_worlds(np.random.default_rng(4), 128, arena=arena)
+        assert id(arena.worlds) == buffer_id
+
+    def test_arena_satisfaction_equal(self):
+        from repro.lineage.packed import SampleArena
+
+        packed = PackedLineage.of(small_lineage())
+        arena = SampleArena()
+        worlds = packed.sample_worlds(
+            np.random.default_rng(11), 256, arena=arena
+        )
+        assert np.array_equal(
+            packed.clause_satisfaction(worlds, arena=arena),
+            reference_satisfaction(packed, worlds),
+        )
+
+    def test_extend_with_arena_matches_no_arena_draws(self):
+        lineage = small_lineage()
+        with_arena = KarpLubySampler(lineage, random.Random(21), "numpy")
+        with_arena.extend(500)  # extend() uses the sampler's arena
+        bare = KarpLubySampler(lineage, random.Random(21), "numpy")
+        chosen, worlds = bare._draw_batch(500)  # no arena: fresh arrays
+        assert with_arena.hits == bare.packed.coverage_hits(worlds, chosen)
+
+    def test_float64_worlds_same_distribution(self):
+        # float32 is the default; the float64 variant exists for the
+        # benchmark's precision comparison and must stay valid.
+        packed = PackedLineage.of(small_lineage())
+        worlds = packed.sample_worlds(
+            np.random.default_rng(5), 4096, dtype=np.float64
+        )
+        expected = packed.weights.mean()
+        assert worlds.mean() == pytest.approx(expected, abs=0.05)
+
+    def test_kernel_hits_match_numpy_coverage(self):
+        # The (python view of the) numba kernel consumes the same
+        # pre-drawn uniforms as the numpy path and must agree exactly.
+        from repro.engines._native import _kl_coverage_hits_py
+
+        packed = PackedLineage.of(small_lineage())
+        rng = np.random.default_rng(17)
+        chosen = packed.sample_clauses(rng, 400)
+        uniforms = rng.random((packed.n_events, 400), dtype=np.float32)
+        worlds = uniforms < packed.weights_f32[:, None]
+        packed.force_clauses(worlds, chosen)
+        expected = packed.coverage_hits(worlds, chosen)
+        forced = np.full(packed.n_events, -1, dtype=np.int8)
+        got = _kl_coverage_hits_py(
+            packed.clause_starts,
+            packed.literal_events,
+            packed.literal_polarities.view(np.int8),
+            packed.weights_f32,
+            chosen,
+            uniforms,
+            forced,
+        )
+        assert got == expected
+        assert np.all(forced == -1)  # scratch reset between trials
+
+    def test_numba_backend_matches_numpy(self):
+        from repro.engines._native import HAVE_NUMBA
+
+        if not HAVE_NUMBA:
+            pytest.skip("numba not installed")
+        lineage = small_lineage()
+        jitted = KarpLubySampler(lineage, random.Random(33), "numba")
+        jitted.extend(500)
+        vectorized = KarpLubySampler(lineage, random.Random(33), "numpy")
+        vectorized.extend(500)
+        assert jitted.hits == vectorized.hits
+
+
 class TestStatisticalAgreement:
     @pytest.mark.parametrize(
         "entry", fast_entries(), ids=lambda entry: entry.name
@@ -196,8 +286,20 @@ class TestBackendPlumbing:
         with pytest.raises(ValueError):
             resolve_backend("cuda")
 
-    def test_auto_prefers_numpy(self):
-        assert resolve_backend("auto") == "numpy"
+    def test_auto_prefers_fastest_available(self):
+        from repro.engines._native import HAVE_NUMBA
+
+        assert resolve_backend("auto") == (
+            "numba" if HAVE_NUMBA else "numpy"
+        )
+
+    def test_numba_gated_when_absent(self):
+        from repro.engines._native import HAVE_NUMBA
+
+        if HAVE_NUMBA:
+            pytest.skip("numba installed: the gate is open by design")
+        with pytest.raises(RuntimeError):
+            resolve_backend("numba")
 
     def test_answers_intervals_clamped(self):
         # Two independent high-probability clauses: total M = 1.8 > 1,

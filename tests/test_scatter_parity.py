@@ -1,0 +1,411 @@
+"""Scatter-vs-inline parity for `ServerPool.estimate_lineages`.
+
+The contract under test: a Monte Carlo lineage batch returns the SAME
+``(estimate, half_width)`` tuples — exact equality, not statistical —
+no matter where it runs (``workers=0`` inline, shared-memory scatter,
+pickle-fallback scatter, adaptive front-inline) because every path
+seeds a per-lineage sampler identically.  Around that core: the flat-
+buffer round trip, the worker-side structural cache (including the
+reweight-after-update and miss-retry protocols), the adaptive policy's
+decisions, and the inline mode's lock discipline.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import parse
+from repro.db import ProbabilisticDatabase
+from repro.engines.montecarlo import MonteCarloEngine
+from repro.lineage.grounding import ground_lineage
+from repro.lineage.packed import PackedLineage
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ScatterCache, ServerPool, SessionConfig
+from repro.serve.transfer import pack_arrays, release_segment, unpack_arrays
+
+CONFIG = SessionConfig(mc_samples=2_000, mc_seed=1234)
+
+
+def scatter_db(n=10):
+    return ProbabilisticDatabase.from_dict({
+        "R": {(i,): 0.2 + 0.05 * (i % 10) for i in range(n)},
+        "S": {
+            (i, j): 0.1 + 0.03 * ((i + j) % 20)
+            for i in range(n) for j in range(4)
+        },
+        "T": {(j,): 0.3 + 0.1 * (j % 5) for j in range(4)},
+    })
+
+
+def scatter_lineages(db, n=5):
+    """n structurally distinct unsafe lineages over ``db``."""
+    texts = ["R(x), S(x,y)", "R(x), S(x,y), T(y)", "S(x,y), T(y)"]
+    return {
+        f"q{i}": ground_lineage(parse(texts[i % len(texts)]), db)
+        for i in range(n)
+    }
+
+
+# ----------------------------------------------------------------------
+# Flat-buffer round trip
+# ----------------------------------------------------------------------
+
+
+class TestBuffers:
+    def test_round_trip_preserves_structure_and_estimates(self):
+        db = scatter_db()
+        lineage = ground_lineage(parse("R(x), S(x,y)"), db)
+        packed = PackedLineage.of(lineage)
+        clone = PackedLineage.from_buffers(packed.to_buffers())
+        assert clone.n_events == packed.n_events
+        assert clone.n_clauses == packed.n_clauses
+        assert np.array_equal(clone.clause_starts, packed.clause_starts)
+        assert np.array_equal(clone.weights, packed.weights)
+        assert clone.total == packed.total
+        engine = MonteCarloEngine(samples=2_000, seed=7)
+        assert engine.estimate_packed(clone) == engine.estimate_packed(packed)
+        assert engine.estimate_packed(clone) == engine.estimate_lineage(
+            lineage
+        )
+
+    def test_from_buffers_copies(self):
+        db = scatter_db()
+        packed = PackedLineage.of(ground_lineage(parse("R(x), S(x,y)"), db))
+        buffers = packed.to_buffers()
+        clone = PackedLineage.from_buffers(buffers)
+        buffers["weights"][:] = 0.0
+        assert clone.weights.sum() > 0.0
+
+    def test_hashes(self):
+        db = scatter_db()
+        lineage = ground_lineage(parse("R(x), S(x,y)"), db)
+        packed = PackedLineage.of(lineage)
+        clone = PackedLineage.from_buffers(packed.to_buffers())
+        assert clone.shape_hash() == packed.shape_hash()
+        assert clone.weight_hash() == packed.weight_hash()
+        other = PackedLineage.of(ground_lineage(parse("S(x,y), T(y)"), db))
+        assert other.shape_hash() != packed.shape_hash()
+        clone.reweight(packed.weights * 0.5)
+        assert clone.shape_hash() == packed.shape_hash()
+        assert clone.weight_hash() != packed.weight_hash()
+
+    def test_reweight_matches_fresh_pack(self):
+        db = scatter_db()
+        lineage = ground_lineage(parse("R(x), S(x,y)"), db)
+        packed = PackedLineage.of(lineage)
+        clone = PackedLineage.from_buffers(packed.to_buffers())
+        clone.reweight(packed.weights * 0.5)
+        reference = PackedLineage.from_buffers(
+            {**packed.to_buffers(), "weights": packed.weights * 0.5}
+        )
+        engine = MonteCarloEngine(samples=2_000, seed=7)
+        assert engine.estimate_packed(clone) == engine.estimate_packed(
+            reference
+        )
+
+    def test_reweight_rejects_wrong_shape(self):
+        db = scatter_db()
+        packed = PackedLineage.of(ground_lineage(parse("R(x), S(x,y)"), db))
+        with pytest.raises(ValueError):
+            packed.reweight(np.zeros(packed.n_events + 1))
+
+
+# ----------------------------------------------------------------------
+# Transport and the worker-side cache
+# ----------------------------------------------------------------------
+
+
+class TestTransport:
+    @pytest.mark.parametrize("transport", ["shm", "pickle", "auto"])
+    def test_round_trip(self, transport):
+        arrays = [
+            np.arange(7, dtype=np.int32),
+            np.array([0.25, 0.5], dtype=np.float64),
+            np.ones((3, 2), dtype=np.uint8),
+        ]
+        payload, segment = pack_arrays(arrays, transport)
+        try:
+            out = unpack_arrays(payload)
+        finally:
+            release_segment(segment)
+        assert len(out) == len(arrays)
+        for sent, received in zip(arrays, out):
+            assert received.dtype == sent.dtype
+            assert np.array_equal(received, sent)
+
+    def test_empty_message(self):
+        payload, segment = pack_arrays([], "auto")
+        assert segment is None
+        assert unpack_arrays(payload) == []
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            pack_arrays([], "carrier-pigeon")
+
+
+class TestScatterCache:
+    def test_hit_and_weight_mismatch(self):
+        db = scatter_db()
+        packed = PackedLineage.of(ground_lineage(parse("R(x), S(x,y)"), db))
+        cache = ScatterCache(capacity=4)
+        cache.put("shape", "w1", packed)
+        assert cache.get("shape", "w1") is packed
+        assert cache.get("shape", "w2") is None  # stale weights: a miss
+        assert cache.get("other", "w1") is None
+
+    def test_reweight_refresh(self):
+        db = scatter_db()
+        packed = PackedLineage.of(ground_lineage(parse("R(x), S(x,y)"), db))
+        cache = ScatterCache(capacity=4)
+        cache.put("shape", "w1", packed)
+        new_weights = packed.weights * 0.5
+        refreshed = cache.get("shape", "w2", new_weights)
+        assert refreshed is packed
+        assert np.array_equal(refreshed.weights, new_weights)
+        assert cache.get("shape", "w2") is packed  # hash updated in place
+
+    def test_lru_eviction_and_zero_capacity(self):
+        db = scatter_db()
+        packed = PackedLineage.of(ground_lineage(parse("R(x), S(x,y)"), db))
+        cache = ScatterCache(capacity=1)
+        cache.put("a", "w", packed)
+        cache.put("b", "w", packed)
+        assert cache.get("a", "w") is None
+        assert cache.get("b", "w") is packed
+        disabled = ScatterCache(capacity=0)
+        disabled.put("a", "w", packed)
+        assert len(disabled) == 0
+
+
+# ----------------------------------------------------------------------
+# Pool-level parity
+# ----------------------------------------------------------------------
+
+
+class TestPoolParity:
+    @pytest.fixture(scope="class")
+    def inline_results(self):
+        db = scatter_db()
+        lineages = scatter_lineages(db)
+        with ServerPool(scatter_db(), workers=0, config=CONFIG) as pool:
+            return lineages, pool.estimate_lineages(lineages)
+
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    def test_scatter_matches_inline_exactly(self, inline_results, transport):
+        lineages, expected = inline_results
+        with ServerPool(
+            scatter_db(), workers=2, config=CONFIG,
+            scatter_policy="always", scatter_transport=transport,
+        ) as pool:
+            first = pool.estimate_lineages(lineages)
+            second = pool.estimate_lineages(lineages)  # cached round
+        assert first == expected
+        assert second == expected
+
+    def test_adaptive_inline_matches_workers0(self, inline_results):
+        lineages, expected = inline_results
+        with ServerPool(
+            scatter_db(), workers=2, config=CONFIG,
+            scatter_policy="adaptive",
+        ) as pool:
+            results = pool.estimate_lineages(lineages)
+            decision = pool.last_scatter_decision
+        assert results == expected
+        assert decision["choice"] in ("inline", "scatter")
+
+    def test_samples_override_parity(self, inline_results):
+        lineages, _ = inline_results
+        with ServerPool(scatter_db(), workers=0, config=CONFIG) as pool:
+            expected = pool.estimate_lineages(lineages, samples=500)
+        with ServerPool(
+            scatter_db(), workers=2, config=CONFIG, scatter_policy="always",
+        ) as pool:
+            scattered = pool.estimate_lineages(lineages, samples=500)
+        assert scattered == expected
+
+    def test_trivial_lineages_short_circuit(self):
+        db = scatter_db()
+        base = ground_lineage(parse("R(x), S(x,y)"), db)
+        certain = type(base)(
+            base.clauses, dict(base.weights), certainly_true=True
+        )
+        impossible = type(base)(frozenset(), {})
+        batch = {"sure": certain, "no": impossible, "mc": base}
+        with ServerPool(scatter_db(), workers=0, config=CONFIG) as pool:
+            expected = pool.estimate_lineages(batch)
+        with ServerPool(
+            scatter_db(), workers=1, config=CONFIG, scatter_policy="always",
+        ) as pool:
+            results = pool.estimate_lineages(batch)
+        assert results == expected
+        assert results["sure"] == (1.0, 0.0)
+        assert results["no"] == (0.0, 0.0)
+
+
+class TestWorkerCacheProtocol:
+    def test_update_broadcast_reweights_not_stale(self):
+        """After an update, cached structures must re-estimate with the
+        NEW weights (shipped as a weights-only refresh), not replay the
+        stale cached marginals."""
+        db = scatter_db()
+        with ServerPool(
+            db, workers=1, config=CONFIG, scatter_policy="always",
+        ) as pool:
+            before = pool.estimate_lineages(
+                {"q": ground_lineage(parse("R(x), S(x,y)"), pool.db)}
+            )
+            pool.update("R", (0,), 0.95)  # probability-only change
+            lineage = ground_lineage(parse("R(x), S(x,y)"), pool.db)
+            after = pool.estimate_lineages({"q": lineage})
+            snapshot = pool.metrics_snapshot()
+        engine = MonteCarloEngine(
+            samples=CONFIG.mc_samples, seed=CONFIG.mc_seed
+        )
+        assert after["q"] == engine.estimate_lineage(lineage)
+        assert after["q"] != before["q"]
+        items = snapshot["repro_pool_scatter_items_total"]["values"]
+        assert items.get(("weights",), 0) >= 1
+
+    def test_cache_miss_retry_recovers(self):
+        """A front whose cache model is stale (worker evicted) gets a
+        miss reply and silently retries with full buffers."""
+        config = SessionConfig(mc_samples=2_000, mc_seed=1234, scatter_cache=1)
+        db = scatter_db()
+        lineages = {
+            "a": ground_lineage(parse("R(x), S(x,y)"), db),
+            "b": ground_lineage(parse("S(x,y), T(y)"), db),
+        }
+        with ServerPool(scatter_db(), workers=0, config=config) as pool:
+            expected = pool.estimate_lineages(lineages)
+        with ServerPool(
+            scatter_db(), workers=1, config=config, scatter_policy="always",
+        ) as pool:
+            first = pool.estimate_lineages(lineages)
+            # The worker's capacity-1 LRU kept only one structure; the
+            # front believes both are cached, so one ship must miss.
+            second = pool.estimate_lineages(lineages)
+            snapshot = pool.metrics_snapshot()
+        assert first == expected
+        assert second == expected
+        items = snapshot["repro_pool_scatter_items_total"]["values"]
+        assert items.get(("full",), 0) >= 3  # 2 initial + >=1 miss retry
+
+    def test_shipped_paths_progress_full_to_cached(self):
+        db = scatter_db()
+        lineages = scatter_lineages(db, n=3)
+        with ServerPool(
+            scatter_db(), workers=1, config=CONFIG, scatter_policy="always",
+        ) as pool:
+            pool.estimate_lineages(lineages)
+            pool.estimate_lineages(lineages)
+            snapshot = pool.metrics_snapshot()
+        items = snapshot["repro_pool_scatter_items_total"]["values"]
+        assert items.get(("full",), 0) == 3
+        assert items.get(("cached",), 0) == 3
+
+
+class TestAdaptivePolicy:
+    def test_choice_thresholds(self):
+        db = scatter_db()
+        packed = PackedLineage.of(ground_lineage(parse("R(x), S(x,y)"), db))
+        with ServerPool(db.copy(), workers=2, config=CONFIG) as pool:
+            tiny = [("k", packed, 1_000)]
+            choice, _est, _workers = pool._scatter_choice(tiny)
+            assert choice == "inline"
+            # Estimated compute far beyond any dispatch overhead (and
+            # beyond the single-core front-hog bound): must scatter.
+            huge = [("k", packed, 10**12)]
+            choice, estimated, _workers = pool._scatter_choice(huge)
+            assert choice == "scatter"
+            assert estimated > 1.0
+
+    def test_forced_policies(self):
+        db = scatter_db()
+        packed = PackedLineage.of(ground_lineage(parse("R(x), S(x,y)"), db))
+        items = [("k", packed, 10**12)]
+        with ServerPool(
+            db.copy(), workers=2, config=CONFIG, scatter_policy="never",
+        ) as pool:
+            assert pool._scatter_choice(items)[0] == "inline"
+        with ServerPool(
+            db.copy(), workers=2, config=CONFIG, scatter_policy="always",
+        ) as pool:
+            assert pool._scatter_choice([("k", packed, 1)])[0] == "scatter"
+
+    def test_rejects_unknown_policy_and_transport(self):
+        db = scatter_db()
+        with pytest.raises(ValueError):
+            ServerPool(db, workers=0, scatter_policy="sometimes")
+        with pytest.raises(ValueError):
+            ServerPool(db, workers=0, scatter_transport="osmosis")
+
+    def test_decision_recorded(self):
+        db = scatter_db()
+        lineages = scatter_lineages(db, n=2)
+        with ServerPool(db.copy(), workers=2, config=CONFIG) as pool:
+            pool.estimate_lineages(lineages)
+            decision = pool.last_scatter_decision
+        assert decision is not None
+        assert decision["packed_items"] == 2
+        assert decision["legacy_items"] == 0
+        assert decision["estimated_seconds"] >= 0.0
+
+
+class TestInlineMode:
+    def test_estimation_does_not_hold_session_lock(self):
+        """workers=0: a slow lineage batch must not block concurrent
+        evaluate traffic (the engine is copied out, sampling runs
+        outside the session lock)."""
+        db = scatter_db()
+        lineage = ground_lineage(parse("R(x), S(x,y)"), db)
+        with ServerPool(db, workers=0, config=CONFIG) as pool:
+            engine = pool._session.router.monte_carlo
+            started, release = threading.Event(), threading.Event()
+
+            def blocking_estimate(lineages, parallel_map=None):
+                started.set()
+                assert release.wait(10), "estimate never released"
+                return {key: (0.5, 0.1) for key in lineages}
+
+            engine.estimate_lineages = blocking_estimate
+            worker = threading.Thread(
+                target=pool.estimate_lineages, args=({"q": lineage},)
+            )
+            worker.start()
+            try:
+                assert started.wait(5), "estimate never started"
+                # The batch is parked inside the (patched) estimator;
+                # evaluate must still get the session lock and answer.
+                assert 0.0 <= pool.evaluate("R(x), S(x,y)") <= 1.0
+            finally:
+                release.set()
+                worker.join(10)
+            assert not worker.is_alive()
+
+    def test_samples_override_keeps_metrics_registry(self):
+        """The satellite bug: a samples override used to rebuild the
+        engine without its registry, losing sample metrics for exactly
+        the overridden calls."""
+        db = scatter_db()
+        lineage = ground_lineage(parse("R(x), S(x,y)"), db)
+        with ServerPool(db, workers=0, config=CONFIG) as pool:
+            pool.estimate_lineages({"q": lineage}, samples=321)
+            snapshot = pool.metrics_snapshot()
+        series = snapshot["repro_mc_samples_total"]["values"]
+        assert sum(series.values()) >= 321
+
+    def test_reconfigured_preserves_everything(self):
+        registry = MetricsRegistry()
+        engine = MonteCarloEngine(
+            samples=1_000, method="naive", seed=9, backend="numpy",
+            metrics=registry,
+        )
+        clone = engine.reconfigured(samples=50)
+        assert clone.samples == 50
+        assert clone.method == "naive"
+        assert clone.seed == 9
+        assert clone.backend == "numpy"
+        assert clone._registry is registry
+        unchanged = engine.reconfigured()
+        assert unchanged.samples == 1_000

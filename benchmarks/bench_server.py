@@ -36,23 +36,45 @@ gate, asserted in smoke mode too): on a single-core host the policy
 earns this by choosing the front's inline fast path, on a multi-core
 host by scattering across real CPUs.
 
+Two robustness sections ride along (PR 8).  **Overload**: a
+:class:`~repro.serve.server.BackgroundServer` with a small
+``max_inflight`` cap is offered 2x its admitted capacity by closed-loop
+HTTP clients; accepted requests must keep a bounded p99 (the cap is
+what prevents unbounded queueing) and shed requests must come back as
+503 + ``Retry-After`` fast — rejection is the cheap path.  **Chaos
+replay**: the mixed workload replays through a 4-worker pool while a
+seeded RNG SIGKILLs a live worker every N accepted requests; the
+supervisor respawns shards from snapshot + update log, and the run
+must end with zero client-visible errors other than honest 503 sheds
+and every accepted answer agreeing with the fresh router to 1e-9.
+
 Emits ``BENCH_server.json``.  CI smoke: ``python
 benchmarks/bench_server.py --smoke`` (tiny sizes, correctness +
-scatter-gate assertions, no throughput timing assertions; still
-writes the JSON).
+scatter-gate + chaos/overload assertions, no throughput timing
+assertions; still writes the JSON).
 """
 
 import argparse
+import http.client
 import json
+import os
+import random
+import signal
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.core import parse
 from repro.db import ProbabilisticDatabase, random_database
 from repro.engines import RouterEngine
 from repro.lineage.grounding import ground_lineage
-from repro.serve import ServerPool, SessionConfig
+from repro.serve import (
+    BackgroundServer,
+    PoolOverloadError,
+    ServerPool,
+    SessionConfig,
+)
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_server.json"
 
@@ -327,6 +349,197 @@ def bench_mc_scatter(domain, n_lineages, samples_sweep, repeats):
     }
 
 
+def _percentile(samples, q):
+    """The q-th percentile of a non-empty sample list (nearest rank)."""
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))]
+
+
+def bench_overload(max_inflight, clients, requests_per_client):
+    """Offer 2x the admitted capacity; measure accepted vs shed latency.
+
+    ``clients`` closed-loop HTTP clients (each always has exactly one
+    request outstanding) pound a server capped at ``max_inflight``
+    concurrent requests.  With ``clients = 2 * max_inflight`` the
+    offered load is twice what admission lets through, so a steady
+    fraction of requests is shed with 503 + ``Retry-After``.  The two
+    claims measured: the cap bounds accepted-request p99 (no unbounded
+    queueing behind the front), and shedding is fast — a rejected
+    request costs a header parse and one small write, never a pool
+    round-trip.
+
+    Every accepted (200) body is also checked against a fresh router
+    to 1e-9: overload must never change answers, only refuse some.
+    """
+    n_shapes = 4
+    db = build_db(n_shapes, 6)
+    texts = [BOOLEAN_SHAPE.format(i=i) for i in range(n_shapes)]
+    router = RouterEngine(exact_fallback=True)
+    truth = {t: router.probability(parse(t), db) for t in texts}
+    pool = ServerPool(
+        db.copy(), workers=2,
+        config=SessionConfig(exact_fallback=True), request_timeout=60,
+    )
+    outcomes = []
+    with BackgroundServer(pool, max_inflight=max_inflight) as server:
+        for text in texts:  # warm every shape outside the timed run
+            pool.evaluate(text)
+
+        def client(index):
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=60
+            )
+            rows = []
+            for r in range(requests_per_client):
+                text = texts[(index + r) % n_shapes]
+                body = json.dumps({"query": text}).encode()
+                began = time.perf_counter()
+                conn.request(
+                    "POST", "/evaluate", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                reply = conn.getresponse()
+                payload = reply.read()
+                took = time.perf_counter() - began
+                retry_after = reply.getheader("Retry-After")
+                rows.append((reply.status, took, text, payload, retry_after))
+            conn.close()
+            return rows
+
+        with ThreadPoolExecutor(max_workers=clients) as executor:
+            for rows in executor.map(client, range(clients)):
+                outcomes.extend(rows)
+    pool.close()
+
+    accepted = [row for row in outcomes if row[0] == 200]
+    shed = [row for row in outcomes if row[0] == 503]
+    unexpected = sorted({row[0] for row in outcomes} - {200, 503})
+    worst = 0.0
+    for _status, _took, text, payload, _retry in accepted:
+        got = json.loads(payload)["probability"]
+        worst = max(worst, abs(got - truth[text]))
+    accepted_p99 = _percentile([row[1] for row in accepted], 0.99)
+    shed_p99 = _percentile([row[1] for row in shed], 0.99) if shed else 0.0
+    return {
+        "max_inflight": max_inflight,
+        "clients": clients,
+        "requests": len(outcomes),
+        "accepted": len(accepted),
+        "shed": len(shed),
+        "unexpected_statuses": unexpected,
+        "sheds_carry_retry_after": all(row[4] == "1" for row in shed),
+        "accepted_p50_ms": round(
+            _percentile([row[1] for row in accepted], 0.50) * 1000, 3
+        ),
+        "accepted_p99_ms": round(accepted_p99 * 1000, 3),
+        "shed_p50_ms": round(
+            (_percentile([row[1] for row in shed], 0.50) if shed else 0.0)
+            * 1000, 3
+        ),
+        "shed_p99_ms": round(shed_p99 * 1000, 3),
+        "max_abs_diff": worst,
+        "note": (
+            "closed-loop clients at 2x the admission cap; sheds are "
+            "503 + Retry-After and never touch the pool"
+        ),
+    }
+
+
+def bench_chaos_replay(n_shapes, domain, rounds, kill_every, seed=20260807):
+    """The issue's acceptance drill: SIGKILL a worker every N requests.
+
+    Replays the mixed workload (updates + Boolean + ranked queries)
+    through a 4-worker pool, killing a seeded-random live worker every
+    ``kill_every`` accepted requests.  The supervisor must respawn each
+    shard from snapshot + update log; the retry path must absorb the
+    swept in-flight work.  Outcome contract: zero client-visible
+    errors other than honest admission sheds (none are expected here —
+    no queue bound is set — but they are the only tolerated failure),
+    and every accepted answer identical to a fresh exact router at
+    1e-9.
+    """
+    db = build_db(n_shapes, domain)
+    plan = build_workload(n_shapes, rounds, db)
+    expected = replay_expected(db, plan)
+    rng = random.Random(seed)
+    pool = ServerPool(
+        db.copy(), workers=4,
+        config=SessionConfig(exact_fallback=True),
+        request_timeout=120, request_retries=1,
+        respawn_limit=10_000, respawn_window=1e9,
+    )
+    responses = []
+    requests = kills = sheds = 0
+    try:
+        start = time.perf_counter()
+        for ops in plan:
+            for op in ops:
+                if op[0] == "update":
+                    pool.update(op[1], op[2], op[3])
+                    continue
+                requests += 1
+                if requests % kill_every == 0:
+                    health = pool.health()
+                    alive = [
+                        entry["pid"] for entry in health["shards"]
+                        if entry["alive"] and not entry["degraded"]
+                    ]
+                    if alive:
+                        os.kill(rng.choice(alive), signal.SIGKILL)
+                        kills += 1
+                try:
+                    if op[0] == "evaluate":
+                        responses.append(pool.evaluate(op[1]))
+                    else:
+                        responses.append(pool.answers(op[1], op[2]))
+                except PoolOverloadError:
+                    sheds += 1
+                    responses.append(None)
+        seconds = time.perf_counter() - start
+        # The last kill may still be mid-respawn; give the supervisor
+        # a moment so the final health report reflects every recovery.
+        waited = time.monotonic() + 15.0
+        while time.monotonic() < waited:
+            health = pool.health()
+            recovered = health["respawns"] + len(health["degraded"])
+            if recovered >= kills and all(
+                entry["alive"] or entry["degraded"]
+                for entry in health["shards"]
+            ):
+                break
+            time.sleep(0.1)
+        stats = pool.stats()
+    finally:
+        pool.close()
+
+    worst, checked = 0.0, 0
+    assert len(expected) == len(responses), "workloads diverged in length"
+    for want, have in zip(expected, responses):
+        if have is None:  # an honest shed — excluded from agreement
+            continue
+        checked += 1
+        worst = max(worst, max_abs_diff([want], [have]))
+    return {
+        "n_shapes": n_shapes,
+        "rounds": rounds,
+        "requests": requests,
+        "kill_every": kill_every,
+        "kills": kills,
+        "respawns": health.get("respawns", 0),
+        "degraded": health.get("degraded", []),
+        "sheds": sheds,
+        "timeouts": stats.timeouts,
+        "checked": checked,
+        "seconds": round(seconds, 6),
+        "max_abs_diff": worst,
+        "note": (
+            "a seeded RNG SIGKILLs a live worker every "
+            f"{kill_every} requests; every accepted answer is checked "
+            "against a fresh exact router"
+        ),
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -338,9 +551,13 @@ def main(argv=None):
     if args.smoke:
         n_shapes, domain, rounds, max_prepared = 6, 5, 2, 2
         mc_lineages, mc_sweep, mc_repeats = 3, (500, 2_000), 2
+        overload_cap, overload_clients, overload_requests = 2, 4, 40
+        chaos_rounds, kill_every = 15, 40     # ~120 requests, ~3 kills
     else:
         n_shapes, domain, rounds, max_prepared = 32, 18, 6, 12
         mc_lineages, mc_sweep, mc_repeats = 8, (5_000, 20_000, 80_000), 5
+        overload_cap, overload_clients, overload_requests = 4, 8, 200
+        chaos_rounds, kill_every = 25, 50     # ~1000 requests, ~20 kills
     rounds = args.rounds if args.rounds is not None else rounds
 
     throughput = bench_throughput(n_shapes, domain, rounds, max_prepared)
@@ -371,11 +588,36 @@ def main(argv=None):
         f"max |diff| {scatter['max_abs_diff_vs_inline']:.2e}"
     )
 
+    overload = bench_overload(
+        overload_cap, overload_clients, overload_requests
+    )
+    print(
+        f"overload (cap {overload['max_inflight']}, "
+        f"{overload['clients']} clients, {overload['requests']} requests): "
+        f"{overload['accepted']} accepted "
+        f"(p99 {overload['accepted_p99_ms']:.1f}ms), "
+        f"{overload['shed']} shed "
+        f"(p99 {overload['shed_p99_ms']:.1f}ms), "
+        f"max |diff| {overload['max_abs_diff']:.2e}"
+    )
+
+    chaos = bench_chaos_replay(n_shapes, domain, chaos_rounds, kill_every)
+    print(
+        f"chaos replay ({chaos['requests']} requests, kill every "
+        f"{chaos['kill_every']}): {chaos['kills']} kills, "
+        f"{chaos['respawns']} respawns, {chaos['sheds']} sheds, "
+        f"degraded {chaos['degraded']}, "
+        f"max |diff| {chaos['max_abs_diff']:.2e} "
+        f"({chaos['seconds']:.2f}s)"
+    )
+
     report = {
         "benchmark": "server",
         "smoke": args.smoke,
         "throughput": throughput,
         "mc_scatter": scatter,
+        "overload": overload,
+        "chaos_replay": chaos,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -395,9 +637,44 @@ def main(argv=None):
         f"pool estimate slower than inline at the largest point: "
         f"{scatter['seconds_4_workers']}s vs {scatter['seconds_inline']}s"
     )
+    # Overload: only 200s and honest 503s, answers unchanged, sheds
+    # carry Retry-After, and the shed path never queues behind work.
+    assert not overload["unexpected_statuses"], (
+        f"overload produced non-200/503 statuses: "
+        f"{overload['unexpected_statuses']}"
+    )
+    assert overload["accepted"] > 0 and overload["shed"] > 0, (
+        f"overload scenario vacuous: {overload['accepted']} accepted, "
+        f"{overload['shed']} shed"
+    )
+    assert overload["sheds_carry_retry_after"], (
+        "shed responses missing Retry-After"
+    )
+    assert overload["max_abs_diff"] <= 1e-9, (
+        f"overload changed answers: {overload['max_abs_diff']}"
+    )
+    # Chaos replay: kills happened, shards recovered, and nothing the
+    # client saw was wrong — sheds are the only tolerated non-answer.
+    assert chaos["kills"] > 0, "chaos replay never killed a worker"
+    assert chaos["respawns"] >= chaos["kills"] - len(chaos["degraded"]), (
+        f"supervisor lost kills: {chaos['kills']} kills but only "
+        f"{chaos['respawns']} respawns"
+    )
+    assert chaos["max_abs_diff"] <= 1e-9, (
+        f"chaos replay answers disagree: {chaos['max_abs_diff']}"
+    )
     if not args.smoke:
         assert throughput["speedup"] >= 3.0, (
             f"4-worker speedup {throughput['speedup']}x < 3x"
+        )
+        # Timing gates only off CI-smoke: rejection must be cheap
+        # (sub-10ms p99) and the admission cap must bound accepted
+        # latency rather than letting a queue build.
+        assert overload["shed_p99_ms"] < 10.0, (
+            f"shed p99 {overload['shed_p99_ms']}ms >= 10ms"
+        )
+        assert overload["accepted_p99_ms"] < 1000.0, (
+            f"accepted p99 {overload['accepted_p99_ms']}ms unbounded"
         )
     return 0
 

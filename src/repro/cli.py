@@ -199,6 +199,47 @@ def _build_parser() -> argparse.ArgumentParser:
              "adaptive)",
     )
     p_serve.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="HTTP mode only: default per-request deadline; expired "
+             "requests are purged and return 504 (clients override "
+             "per-request via the X-Deadline-Ms header; default none)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="HTTP mode only: times a timed-out request is re-dispatched "
+             "with capped backoff before 504 (default 1)",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=1024, metavar="N",
+        help="HTTP mode only: global in-flight request cap; over-limit "
+             "requests are shed fast with 503 + Retry-After (default "
+             "1024; 0 sheds everything, for drills)",
+    )
+    p_serve.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="HTTP mode only: per-shard admission bound in the pool; "
+             "requests beyond it are shed with 503 instead of queued "
+             "(default unbounded)",
+    )
+    p_serve.add_argument(
+        "--idle-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="HTTP mode only: close keep-alive connections idle this "
+             "long (default 300; <= 0 disables)",
+    )
+    p_serve.add_argument(
+        "--overload-threshold", type=float, default=None, metavar="SECONDS",
+        help="HTTP mode only: queue-wait EWMA above which the pool "
+             "clamps Monte Carlo sample budgets until load drains "
+             "(default off)",
+    )
+    p_serve.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="HTTP mode only: arm deterministic worker fault injection, "
+             "e.g. 'seed=7,kill=0.01,stall=0.02,stall_ms=500' — chaos "
+             "drills against the supervision layer (see "
+             "repro.serve.faults)",
+    )
+    p_serve.add_argument(
         "--trace", metavar="FILE",
         help="replay mode only: record a span tree per request "
              "(prepare/ground/compile/sweep stages) and write the JSON "
@@ -478,15 +519,30 @@ def _run_serve_http(args, db) -> int:
             exact_fallback=args.exact,
             mc_samples=args.samples,
             compile_budget=args.compile_budget,
+            faults=args.faults,
         ),
         scatter_policy=args.scatter_policy,
+        request_timeout=args.request_timeout,
+        request_retries=args.retries,
+        max_queue_depth=args.max_queue_depth,
+        overload_threshold=args.overload_threshold,
     )
     access_log = None
     if args.verbose:
         def access_log(line: str) -> None:
             print(line, flush=True)
 
-    serve_forever(pool, host, port, access_log=access_log)
+    idle_timeout = args.idle_timeout
+    if idle_timeout is not None and idle_timeout <= 0:
+        idle_timeout = None
+    serve_forever(
+        pool,
+        host,
+        port,
+        access_log=access_log,
+        max_inflight=args.max_inflight,
+        idle_timeout=idle_timeout,
+    )
     return 0
 
 

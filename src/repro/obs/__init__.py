@@ -20,6 +20,7 @@ never needs conditional code at call sites.
 
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
+    Ewma,
     MetricsRegistry,
     NULL_REGISTRY,
     merge_snapshots,
@@ -30,6 +31,7 @@ from .trace import NULL_TRACER, Span, Tracer
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "Ewma",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_TRACER",

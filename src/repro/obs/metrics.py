@@ -45,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "Ewma",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -61,6 +62,46 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
+
+
+class Ewma:
+    """An exponentially weighted moving average, optionally seeded.
+
+    The serving stack's smoothing primitive: the pool's adaptive
+    scatter cost model and the overload detector both track noisy
+    per-batch measurements through one of these.  ``observe`` folds a
+    sample in and returns the new level; an unseeded average snaps to
+    its first sample instead of warming up from zero (a queue-wait
+    average that spent its first hundred batches climbing from 0.0
+    would mask a cold-start overload).
+
+    Not a registry metric (it has no labels and doesn't render); gauge
+    the ``.value`` if it should be scraped.
+
+    >>> average = Ewma(alpha=0.5)
+    >>> average.observe(1.0)
+    1.0
+    >>> average.observe(0.0)
+    0.5
+    """
+
+    __slots__ = ("alpha", "value", "_seeded")
+
+    def __init__(self, alpha: float = 0.2,
+                 initial: Optional[float] = None) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.value = 0.0 if initial is None else float(initial)
+        self._seeded = initial is not None
+
+    def observe(self, sample: float) -> float:
+        if self._seeded:
+            self.value += self.alpha * (sample - self.value)
+        else:
+            self.value = float(sample)
+            self._seeded = True
+        return self.value
 
 
 class Counter:

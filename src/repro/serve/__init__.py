@@ -27,14 +27,28 @@ Quickstart (in-process session)::
     0.36
 """
 
-from .pool import PoolStats, ServerPool, SessionConfig, WorkerError, shard_of
+from .faults import FaultInjector, FaultPlan
+from .pool import (
+    PoolOverloadError,
+    PoolStats,
+    PoolTimeoutError,
+    ServerPool,
+    SessionConfig,
+    WorkerDiedError,
+    WorkerError,
+    shard_of,
+)
 from .server import BackgroundServer, RequestServer, serve_forever
 from .session import PreparedQuery, QuerySession, SessionStats
 from .transfer import ScatterCache
 
 __all__ = [
     "BackgroundServer",
+    "FaultInjector",
+    "FaultPlan",
+    "PoolOverloadError",
     "PoolStats",
+    "PoolTimeoutError",
     "PreparedQuery",
     "QuerySession",
     "RequestServer",
@@ -42,6 +56,7 @@ __all__ = [
     "ServerPool",
     "SessionConfig",
     "SessionStats",
+    "WorkerDiedError",
     "WorkerError",
     "serve_forever",
     "shard_of",

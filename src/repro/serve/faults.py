@@ -1,0 +1,224 @@
+"""Deterministic fault injection for the serving stack.
+
+Fault tolerance that is only exercised by real crashes is fault
+tolerance that rots.  This module is the chaos hook the worker loop
+(:func:`repro.serve.pool._worker_main`) consults before handling each
+message; it can
+
+* **kill** the worker process hard (``os._exit`` — indistinguishable
+  from a ``SIGKILL`` / OOM kill to the supervisor watching the process
+  sentinel),
+* **stall** it (sleep long enough that front-side deadlines expire —
+  models a worker wedged on a lock or a cold page),
+* **drop** the reply (the work happens but the result never reaches
+  the front — models a lost message / broken pipe),
+* run **slow** (a small sleep per message — models CPU contention).
+
+Everything is *seeded*: the decision stream is a
+:class:`random.Random` derived from ``(seed, worker_index)``, so a
+chaos test replays the exact same fault schedule on every run, and
+two workers with the same spec fault independently.
+
+The hook is armed either through
+:attr:`repro.serve.pool.SessionConfig.faults` or the ``REPRO_FAULTS``
+environment variable (config wins); production deployments leave both
+unset and the worker loop skips the hook entirely (``None`` — not a
+no-op object — so the steady-state cost is one ``is None`` test).
+
+Spec syntax — comma-separated ``key=value`` pairs::
+
+    "seed=7,kill=0.01"                       # 1% of messages kill the worker
+    "seed=7,stall=0.02,stall_ms=500"         # 2% stall for 500ms
+    "seed=7,drop=0.01,slow=0.1,slow_ms=20"   # lost replies + jitter
+
+Probabilities are per *request* message (fire-and-forget broadcasts —
+updates, syncs, configure — are never faulted: faulting an update
+would silently diverge a replica, which is a data bug, not a process
+fault, and the supervisor could not detect it).
+
+>>> plan = FaultPlan.parse("seed=7,kill=0.5")
+>>> a, b = plan.injector(worker_index=0), plan.injector(worker_index=0)
+>>> [a.decide() for _ in range(6)] == [b.decide() for _ in range(6)]
+True
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "FaultInjector", "FaultPlan", "active_fault_spec", "build_injector",
+]
+
+#: Environment switch: set ``REPRO_FAULTS="seed=7,kill=0.01"`` to arm
+#: fault injection in every worker of every pool in the process tree.
+ENV_VAR = "REPRO_FAULTS"
+
+#: The hard-exit status used by the ``kill`` fault.  Chosen non-zero
+#: and distinctive so a post-mortem can tell an injected kill from a
+#: genuine crash in worker logs.
+KILL_EXIT_STATUS = 137  # == 128 + SIGKILL, what an OOM kill reports
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed, picklable fault specification.
+
+    Travels inside :class:`~repro.serve.pool.SessionConfig` to worker
+    processes; each worker derives its own :class:`FaultInjector` from
+    the plan plus its shard index.
+    """
+
+    seed: int = 0
+    #: Probability a message hard-kills the worker (``os._exit``).
+    kill: float = 0.0
+    #: Probability a message stalls for ``stall_ms`` before running.
+    stall: float = 0.0
+    stall_ms: float = 1000.0
+    #: Probability the reply to a message is dropped after computing.
+    drop: float = 0.0
+    #: Probability a message runs ``slow_ms`` slower than normal.
+    slow: float = 0.0
+    slow_ms: float = 20.0
+
+    _FIELDS = ("seed", "kill", "stall", "stall_ms", "drop", "slow", "slow_ms")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``"seed=7,kill=0.01,stall=0.02,stall_ms=500"``.
+
+        Unknown keys, malformed numbers and out-of-range probabilities
+        are rejected loudly — a typo in a chaos spec must not silently
+        run a no-fault experiment.
+        """
+        values = {}
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            name, eq, text = token.partition("=")
+            name = name.strip()
+            if not eq or name not in cls._FIELDS:
+                raise ValueError(
+                    f"bad fault spec token {token!r}; expected "
+                    f"key=value with key in {cls._FIELDS}"
+                )
+            try:
+                value = int(text) if name == "seed" else float(text)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec value for {name!r}: {text!r}"
+                ) from None
+            values[name] = value
+        plan = cls(**values)
+        for name in ("kill", "stall", "drop", "slow"):
+            probability = getattr(plan, name)
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"fault probability {name}={probability} outside [0, 1]"
+                )
+        for name in ("stall_ms", "slow_ms"):
+            if getattr(plan, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+        return plan
+
+    @property
+    def enabled(self) -> bool:
+        return any((self.kill, self.stall, self.drop, self.slow))
+
+    def injector(self, worker_index: int) -> "FaultInjector":
+        """The per-worker instance with its independent decision stream."""
+        return FaultInjector(self, worker_index)
+
+    def spec(self) -> str:
+        """The canonical spec string (``parse`` round-trips it)."""
+        return ",".join(
+            f"{name}={getattr(self, name)}" for name in self._FIELDS
+        )
+
+
+class FaultInjector:
+    """The per-worker chaos hook: one seeded decision per message.
+
+    ``before(op)`` is called as a message is dequeued — it may never
+    return (kill) or sleep (stall / slow); its return value says
+    whether the reply should be suppressed (``"drop"``).  Fire-and-
+    forget ops are exempt (see module docstring).
+    """
+
+    #: Ops whose loss would corrupt replica state rather than model a
+    #: process fault — never faulted.
+    EXEMPT_OPS = frozenset({"update", "sync", "configure", "stop"})
+
+    def __init__(self, plan: FaultPlan, worker_index: int) -> None:
+        self.plan = plan
+        self.worker_index = worker_index
+        self._rng = random.Random((plan.seed << 16) ^ (worker_index + 1))
+        #: Messages seen / faults fired, for post-mortem assertions.
+        self.messages = 0
+        self.fired = {"kill": 0, "stall": 0, "drop": 0, "slow": 0}
+
+    def decide(self) -> Optional[str]:
+        """The next fault decision, without side effects (testable)."""
+        roll = self._rng.random()
+        plan = self.plan
+        threshold = plan.kill
+        if roll < threshold:
+            return "kill"
+        threshold += plan.stall
+        if roll < threshold:
+            return "stall"
+        threshold += plan.drop
+        if roll < threshold:
+            return "drop"
+        threshold += plan.slow
+        if roll < threshold:
+            return "slow"
+        return None
+
+    def before(self, op: str) -> Optional[str]:
+        """Apply the next fault to this message; returns ``"drop"``
+        when the caller must suppress its reply."""
+        if op in self.EXEMPT_OPS:
+            return None
+        self.messages += 1
+        fault = self.decide()
+        if fault is None:
+            return None
+        self.fired[fault] += 1
+        if fault == "kill":
+            # os._exit, not sys.exit: no finally blocks, no queue
+            # flushing — the front must cope with a worker that
+            # vanished mid-everything, exactly like SIGKILL.
+            os._exit(KILL_EXIT_STATUS)
+        if fault == "stall":
+            time.sleep(self.plan.stall_ms / 1000.0)
+            return None
+        if fault == "slow":
+            time.sleep(self.plan.slow_ms / 1000.0)
+            return None
+        return "drop"
+
+
+def active_fault_spec(config_spec: Optional[str]) -> Optional[str]:
+    """The effective fault spec: config first, environment second."""
+    if config_spec:
+        return config_spec
+    return os.environ.get(ENV_VAR) or None
+
+
+def build_injector(
+    config_spec: Optional[str], worker_index: int
+) -> Optional[FaultInjector]:
+    """The worker-side entry point: ``None`` when chaos is off."""
+    spec = active_fault_spec(config_spec)
+    if spec is None:
+        return None
+    plan = FaultPlan.parse(spec)
+    if not plan.enabled:
+        return None
+    return plan.injector(worker_index)

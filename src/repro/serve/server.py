@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import functools
 import json
 import threading
 import time
@@ -56,7 +57,7 @@ from typing import Callable, Optional, Tuple, Union
 
 from ..core.parser import QueryParseError
 from ..obs.metrics import render_prometheus
-from .pool import ServerPool
+from .pool import PoolOverloadError, PoolTimeoutError, ServerPool
 
 __all__ = ["BackgroundServer", "RequestServer", "serve_forever"]
 
@@ -70,6 +71,16 @@ _ROUTES = frozenset({
     "/evaluate", "/answers", "/batch", "/update",
     "/stats", "/healthz", "/metrics",
 })
+
+#: Routes exempt from the global in-flight cap: operators must be able
+#: to see *into* an overloaded server, and sheds themselves must never
+#: block the probes that diagnose them.
+_UNSHEDDABLE = frozenset({"/healthz", "/stats", "/metrics"})
+
+#: Deadline request header, milliseconds of budget granted by the
+#: client.  Forwarded to the pool as a per-request timeout; expiry
+#: returns 504 instead of keeping the client waiting past its budget.
+DEADLINE_HEADER = "x-deadline-ms"
 
 
 class _Raw:
@@ -107,6 +118,17 @@ class RequestServer:
         access_log: optional callable receiving one line per completed
             request (``METHOD path status duration-ms``); the CLI wires
             this to stdout under ``repro serve --listen ... --verbose``.
+        max_inflight: global admission cap — requests arriving while
+            this many are already being handled are shed immediately
+            with ``503`` + ``Retry-After`` (never queued, sub-
+            millisecond), keeping the event loop and executor
+            responsive under overload.  ``/healthz``, ``/stats`` and
+            ``/metrics`` are exempt so operators can observe an
+            overloaded server.  ``None`` disables the cap.
+        idle_timeout: seconds a keep-alive connection may sit idle
+            between requests before the server closes it, so camping
+            clients cannot hold connection slots forever.  ``None``
+            waits indefinitely (the pre-existing behaviour).
 
     HTTP metrics (request counts by route and status, in-flight gauge,
     end-to-end latency histograms) land in ``pool.metrics``, so a
@@ -124,16 +146,27 @@ class RequestServer:
         port: int = 0,
         *,
         access_log: Optional[Callable[[str], None]] = None,
+        max_inflight: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
     ) -> None:
+        if max_inflight is not None and max_inflight < 0:
+            raise ValueError(
+                f"max_inflight must be >= 0, got {max_inflight}"
+            )
         self.pool = pool
         self.host = host
         self.port = port
         self.access_log = access_log
+        self.max_inflight = max_inflight
+        self.idle_timeout = idle_timeout
         self._server: Optional[asyncio.AbstractServer] = None
         self._handlers: set = set()
         self._writers: dict = {}
         self._busy: set = set()
         self._closing = False
+        #: Cheap admission counter (single event loop thread, no lock);
+        #: the gauge below is the observable mirror of it.
+        self._inflight = 0
         self._metric_requests = pool.metrics.counter(
             "repro_http_requests_total",
             "HTTP requests served, by method, route and status",
@@ -147,6 +180,15 @@ class RequestServer:
             "repro_http_request_seconds",
             "End-to-end HTTP request latency, by route",
             ("path",),
+        )
+        self._metric_shed = pool.metrics.counter(
+            "repro_http_shed_total",
+            "HTTP requests shed with 503, by reason",
+            ("reason",),
+        )
+        self._metric_idle_closed = pool.metrics.counter(
+            "repro_http_idle_closed_total",
+            "Keep-alive connections closed by the idle timeout",
         )
 
     async def start(self) -> None:
@@ -199,12 +241,14 @@ class RequestServer:
                 try:
                     method, path, headers, body = request
                     start = time.perf_counter()
+                    self._inflight += 1
                     self._metric_inflight.inc()
                     try:
-                        status, payload = await self._respond(
-                            method, path, body
+                        status, payload, extra = await self._respond(
+                            method, path, headers, body
                         )
                     finally:
+                        self._inflight -= 1
                         self._metric_inflight.dec()
                     elapsed = time.perf_counter() - start
                     route = path if path in _ROUTES else "other"
@@ -222,7 +266,7 @@ class RequestServer:
                         != "close"
                     )
                     await self._write_response(
-                        writer, status, payload, keep_alive
+                        writer, status, payload, keep_alive, extra
                     )
                 finally:
                     self._busy.discard(task)
@@ -243,7 +287,19 @@ class RequestServer:
         self, reader
     ) -> Optional[Tuple[str, str, dict, bytes]]:
         try:
-            head = await reader.readuntil(b"\r\n\r\n")
+            # The idle timeout bounds only the wait for the *next*
+            # request head — a camping keep-alive client.  Body bytes
+            # (below) follow the head immediately, so they stay on the
+            # plain read path.
+            if self.idle_timeout is not None:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), self.idle_timeout
+                )
+            else:
+                head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.TimeoutError:
+            self._metric_idle_closed.inc()
+            return None
         except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
             return None
         request_line, *header_lines = head.decode("latin-1").split("\r\n")
@@ -266,20 +322,63 @@ class RequestServer:
         return method, path, headers, body
 
     async def _respond(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Union[dict, _Raw]]:
+        self, method: str, path: str, headers: dict, body: bytes
+    ) -> Tuple[int, Union[dict, _Raw], Optional[dict]]:
+        if (
+            self.max_inflight is not None
+            and path not in _UNSHEDDABLE
+            and self._inflight > self.max_inflight
+        ):
+            # Shed before any parsing or executor hop: the whole point
+            # is that refusing work stays cheap when accepting it
+            # would not be.  (_inflight already counts this request.)
+            self._metric_shed.labels("max_inflight").inc()
+            return (
+                503,
+                {"error": "server is at its in-flight request limit; "
+                          "retry later"},
+                {"Retry-After": "1"},
+            )
         try:
-            return 200, await self._dispatch(method, path, body)
+            timeout = self._deadline(headers)
+            return 200, await self._dispatch(method, path, body, timeout), None
         except _BadRequest as error:
-            return 400, {"error": str(error)}
+            return 400, {"error": str(error)}, None
         except _NotFound:
-            return 404, {"error": f"no route {method} {path}"}
+            return 404, {"error": f"no route {method} {path}"}, None
+        except PoolTimeoutError as error:
+            return 504, {"error": f"deadline exceeded: {error}"}, None
+        except PoolOverloadError as error:
+            self._metric_shed.labels("pool_queue").inc()
+            return 503, {"error": str(error)}, {"Retry-After": "1"}
         except (QueryParseError, ValueError, TypeError) as error:
-            return 400, {"error": str(error)}
+            return 400, {"error": str(error)}, None
         except Exception as error:  # noqa: BLE001 - 500, keep serving
-            return 500, {"error": f"{type(error).__name__}: {error}"}
+            return 500, {"error": f"{type(error).__name__}: {error}"}, None
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> dict:
+    @staticmethod
+    def _deadline(headers: dict) -> Optional[float]:
+        """Per-request timeout (seconds) from the deadline header."""
+        raw = headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            millis = float(raw)
+        except ValueError:
+            raise _BadRequest(
+                f"{DEADLINE_HEADER} must be a number of milliseconds, "
+                f"got {raw!r}"
+            ) from None
+        if millis <= 0:
+            raise _BadRequest(
+                f"{DEADLINE_HEADER} must be positive, got {raw!r}"
+            )
+        return millis / 1000.0
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes,
+        timeout: Optional[float] = None,
+    ) -> dict:
         pool = self.pool
         loop = asyncio.get_running_loop()
         if method == "GET":
@@ -307,7 +406,9 @@ class RequestServer:
         request = self._json_body(body)
         if path == "/evaluate":
             query = self._field(request, "query", str)
-            value = await loop.run_in_executor(None, pool.evaluate, query)
+            value = await loop.run_in_executor(
+                None, functools.partial(pool.evaluate, query, timeout=timeout)
+            )
             return {"probability": value}
         if path == "/answers":
             query = self._field(request, "query", str)
@@ -319,7 +420,10 @@ class RequestServer:
                 raise _BadRequest(
                     f"top must be a non-negative integer, got {top!r}"
                 )
-            ranked = await loop.run_in_executor(None, pool.answers, query, top)
+            ranked = await loop.run_in_executor(
+                None,
+                functools.partial(pool.answers, query, top, timeout=timeout),
+            )
             return {
                 "answers": [
                     {"answer": list(answer), "probability": probability}
@@ -331,7 +435,10 @@ class RequestServer:
             if not all(isinstance(text, str) for text in queries):
                 raise _BadRequest("queries must be an array of strings")
             values = await loop.run_in_executor(
-                None, pool.evaluate_many, queries
+                None,
+                functools.partial(
+                    pool.evaluate_many, queries, timeout=timeout
+                ),
             )
             return {"probabilities": values}
         if path == "/update":
@@ -378,9 +485,12 @@ class RequestServer:
         status: int,
         payload: Union[dict, _Raw],
         keep_alive: bool,
+        extra_headers: Optional[dict] = None,
     ) -> None:
         text = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                500: "Internal Server Error"}.get(status, "OK")
+                500: "Internal Server Error",
+                503: "Service Unavailable",
+                504: "Gateway Timeout"}.get(status, "OK")
         if isinstance(payload, _Raw):
             body = payload.body
             content_type = payload.content_type
@@ -388,10 +498,15 @@ class RequestServer:
             body = (json.dumps(payload) + "\n").encode("utf-8")
             content_type = "application/json"
         connection = "keep-alive" if keep_alive else "close"
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {text}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extras}"
             f"Connection: {connection}\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -411,6 +526,8 @@ def serve_forever(
     *,
     announce=_announce,
     access_log: Optional[Callable[[str], None]] = None,
+    max_inflight: Optional[int] = None,
+    idle_timeout: Optional[float] = None,
 ) -> None:
     """Run the HTTP server until SIGINT/SIGTERM; used by the CLI.
 
@@ -424,7 +541,10 @@ def serve_forever(
     async def _run() -> None:
         import signal
 
-        server = RequestServer(pool, host, port, access_log=access_log)
+        server = RequestServer(
+            pool, host, port, access_log=access_log,
+            max_inflight=max_inflight, idle_timeout=idle_timeout,
+        )
         await server.start()
         announce(f"serving on http://{server.host}:{server.port} "
                  f"({pool.workers} workers; Ctrl-C to stop)")
@@ -461,9 +581,14 @@ class BackgroundServer:
         port: int = 0,
         *,
         access_log: Optional[Callable[[str], None]] = None,
+        max_inflight: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
     ) -> None:
         self.pool = pool
-        self.server = RequestServer(pool, host, port, access_log=access_log)
+        self.server = RequestServer(
+            pool, host, port, access_log=access_log,
+            max_inflight=max_inflight, idle_timeout=idle_timeout,
+        )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
         self._error: Optional[BaseException] = None

@@ -413,6 +413,23 @@ class QuerySession:
         """
         self.db.add(relation, tuple(row), probability)
 
+    def set_sample_budget(self, samples: int) -> None:
+        """Swap the Monte Carlo tier's per-query sample cap in place.
+
+        The pool's overload mode calls this (through the ``configure``
+        worker op) to degrade gracefully under load: fewer samples per
+        unsafe query means wider intervals, not errors.  Uses
+        :meth:`~repro.engines.montecarlo.MonteCarloEngine.reconfigured`
+        so the method, seed, backend and metrics registry all survive
+        the swap.  Cached results are untouched — only fresh Monte
+        Carlo work runs at the new budget.
+        """
+        monte_carlo = self.router.monte_carlo
+        if samples != monte_carlo.samples:
+            self.router.monte_carlo = monte_carlo.reconfigured(
+                samples=samples
+            )
+
     # ------------------------------------------------------------------
     # Boolean evaluation
     # ------------------------------------------------------------------

@@ -7,6 +7,13 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running analyses (heavy zoo queries)"
     )
+    # pytest-timeout provides this marker in CI; register it here so the
+    # chaos tests also run (without enforcement) where the plugin is
+    # absent, e.g. bare local checkouts.
+    config.addinivalue_line(
+        "markers", "timeout(seconds): per-test wall-clock limit "
+        "(enforced only when pytest-timeout is installed)"
+    )
 
 
 @pytest.fixture

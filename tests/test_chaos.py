@@ -1,0 +1,374 @@
+"""Chaos drills for the fault-tolerant serving stack.
+
+The headline test is the kill loop the issue demands: SIGKILL a live
+worker mid-batch, over and over, and require that every accepted
+answer still agrees with a fresh :class:`RouterEngine` to 1e-9 — the
+supervisor respawns the shard from snapshot + update log, the retry
+path re-dispatches swept futures, and post-crash updates prove the
+log replay actually happened.
+
+The rest exercises each fault mode of :mod:`repro.serve.faults`
+(stall → deadline timeout with the pending table purged, drop → lost
+reply, kill at probability 1 → crash-loop degrade to inline serving)
+plus the admission paths: per-shard queue-depth shedding in the pool
+and ``max_inflight`` / idle-timeout shedding at the HTTP front.
+"""
+
+import os
+import random
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import parse
+from repro.db import ProbabilisticDatabase
+from repro.engines import RouterEngine
+from repro.serve import (
+    BackgroundServer,
+    FaultInjector,
+    FaultPlan,
+    PoolOverloadError,
+    PoolTimeoutError,
+    ServerPool,
+    SessionConfig,
+)
+from repro.serve.faults import active_fault_spec, build_injector
+
+EXACT = SessionConfig(exact_fallback=True, mc_seed=4242)
+
+
+def chaos_db():
+    return ProbabilisticDatabase.from_dict({
+        "R": {(1,): 0.5, (2,): 0.6, (3,): 0.25},
+        "S": {(1, 10): 0.7, (2, 10): 0.4, (2, 11): 0.3, (3, 11): 0.9},
+        "T": {(10,): 0.8, (11,): 0.2},
+    })
+
+
+QUERIES = [
+    "R(x)",
+    "R(x), S(x,y)",
+    "R(x), S(x,y), T(y)",
+    "S(x,y), T(y)",
+    "T(y)",
+]
+
+
+def expected(text, db):
+    return RouterEngine(exact_fallback=True).probability(parse(text), db)
+
+
+class TestFaultPlan:
+    def test_parse_round_trips(self):
+        plan = FaultPlan.parse("seed=7,kill=0.01,stall=0.02,stall_ms=500")
+        assert plan.seed == 7
+        assert plan.kill == pytest.approx(0.01)
+        assert plan.stall == pytest.approx(0.02)
+        assert plan.stall_ms == pytest.approx(500.0)
+        assert FaultPlan.parse(plan.spec()) == plan
+
+    @pytest.mark.parametrize("spec", [
+        "seed=7,oops=0.5",          # unknown key
+        "kill",                     # no value
+        "kill=lots",                # not a number
+        "kill=1.5",                 # probability out of range
+        "drop=-0.1",                # probability out of range
+        "stall_ms=-5",              # negative duration
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_decision_stream_is_deterministic(self):
+        plan = FaultPlan.parse("seed=11,kill=0.2,stall=0.2,drop=0.2")
+        a = plan.injector(worker_index=3)
+        b = plan.injector(worker_index=3)
+        assert [a.decide() for _ in range(64)] == [
+            b.decide() for _ in range(64)
+        ]
+
+    def test_workers_fault_independently(self):
+        plan = FaultPlan.parse("seed=11,kill=0.3,stall=0.3,drop=0.3")
+        a = plan.injector(worker_index=0)
+        b = plan.injector(worker_index=1)
+        assert [a.decide() for _ in range(64)] != [
+            b.decide() for _ in range(64)
+        ]
+
+    def test_broadcast_ops_exempt(self):
+        injector = FaultPlan.parse("seed=1,drop=1.0").injector(0)
+        for op in sorted(FaultInjector.EXEMPT_OPS):
+            assert injector.before(op) is None
+        assert injector.messages == 0
+        assert injector.before("evaluate_many") == "drop"
+
+    def test_config_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=1,kill=1.0")
+        assert active_fault_spec("seed=2,drop=1.0") == "seed=2,drop=1.0"
+        assert active_fault_spec(None) == "seed=1,kill=1.0"
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert active_fault_spec(None) is None
+
+    def test_build_injector_off_when_unarmed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert build_injector(None, 0) is None
+        # A spec with all probabilities zero is also off.
+        assert build_injector("seed=3", 0) is None
+        assert build_injector("seed=3,slow=0.5", 0) is not None
+
+
+@pytest.mark.timeout(600)
+class TestKillLoop:
+    """The issue's acceptance drill: repeated SIGKILL, zero wrong answers."""
+
+    ITERATIONS = 25
+
+    def test_sigkill_respawn_replay_agreement(self):
+        db = chaos_db()
+        shadow = chaos_db()
+        rng = random.Random(20260807)
+        pool = ServerPool(
+            db, workers=2, config=EXACT,
+            request_timeout=60, request_retries=1,
+            respawn_limit=10_000, respawn_window=1e9,
+        )
+        try:
+            probability = 0.5
+            for iteration in range(self.ITERATIONS):
+                health = pool.health()
+                alive = [
+                    entry["pid"] for entry in health["shards"]
+                    if entry["alive"] and not entry["degraded"]
+                ]
+                assert alive, f"no live workers at iteration {iteration}"
+                os.kill(rng.choice(alive), signal.SIGKILL)
+
+                # Batch submitted while the shard is down (or dying):
+                # the sweep/retry path must still produce exact answers.
+                results = pool.evaluate_many(QUERIES)
+                for text, got in zip(QUERIES, results):
+                    assert got == pytest.approx(
+                        expected(text, shadow), abs=1e-9
+                    ), f"iteration {iteration}: {text}"
+
+                # Update after the crash: proves the respawned worker
+                # replayed the log / rehydrated a current snapshot.
+                probability = 0.1 + 0.8 * rng.random()
+                pool.update("R", (1,), probability)
+                shadow.add("R", (1,), probability)
+                text = QUERIES[iteration % len(QUERIES)]
+                assert pool.evaluate(text) == pytest.approx(
+                    expected(text, shadow), abs=1e-9
+                ), f"iteration {iteration} post-update: {text}"
+
+            health = pool.health()
+            assert health["ok"]
+            assert health["respawns"] >= self.ITERATIONS - 1
+            assert not health["degraded"]
+        finally:
+            pool.close()
+
+
+@pytest.mark.timeout(120)
+class TestStallAndDrop:
+    def test_stall_times_out_and_purges(self):
+        pool = ServerPool(
+            chaos_db(), workers=1,
+            config=SessionConfig(
+                exact_fallback=True,
+                faults="seed=5,stall=1.0,stall_ms=5000",
+            ),
+            request_timeout=0.4, request_retries=0,
+        )
+        try:
+            began = time.monotonic()
+            with pytest.raises(PoolTimeoutError):
+                pool.evaluate("R(x)")
+            assert time.monotonic() - began < 10.0
+            # The timed-out entry must not leak in the pending table.
+            deadline = time.monotonic() + 5.0
+            while pool._pending and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert not pool._pending
+            assert pool.stats().timeouts >= 1
+        finally:
+            pool.close(timeout=5.0)
+
+    def test_dropped_replies_time_out_despite_retry(self):
+        pool = ServerPool(
+            chaos_db(), workers=1,
+            config=SessionConfig(
+                exact_fallback=True, faults="seed=5,drop=1.0",
+            ),
+            request_timeout=0.3, request_retries=1, retry_backoff=0.01,
+        )
+        try:
+            with pytest.raises(PoolTimeoutError):
+                pool.evaluate("R(x)")
+            assert pool.stats().timeouts >= 2  # original + retry
+        finally:
+            pool.close(timeout=5.0)
+
+    def test_per_request_timeout_overrides_default(self):
+        pool = ServerPool(
+            chaos_db(), workers=1,
+            config=SessionConfig(
+                exact_fallback=True,
+                faults="seed=5,stall=1.0,stall_ms=5000",
+            ),
+            request_retries=0,  # no default request_timeout
+        )
+        try:
+            began = time.monotonic()
+            with pytest.raises(PoolTimeoutError):
+                pool.evaluate("R(x)", timeout=0.3)
+            assert time.monotonic() - began < 10.0
+        finally:
+            pool.close(timeout=5.0)
+
+
+@pytest.mark.timeout(120)
+class TestCrashLoopDegrade:
+    def test_kill_storm_degrades_but_stays_correct(self):
+        """kill=1.0: every request murders the worker; after the crash
+        loop trips, the shard serves inline and answers stay exact."""
+        db = chaos_db()
+        shadow = chaos_db()
+        pool = ServerPool(
+            db, workers=1,
+            config=SessionConfig(
+                exact_fallback=True, faults="seed=9,kill=1.0",
+            ),
+            request_timeout=30, request_retries=1,
+            respawn_limit=2, respawn_window=60.0,
+        )
+        try:
+            for text in QUERIES:
+                assert pool.evaluate(text) == pytest.approx(
+                    expected(text, shadow), abs=1e-9
+                )
+            deadline = time.monotonic() + 30.0
+            while not pool.health()["degraded"]:
+                pool.evaluate("R(x)")
+                assert time.monotonic() < deadline
+            health = pool.health()
+            assert health["ok"] and health["degraded"] == [0]
+            # Updates and queries keep flowing through the fallback.
+            pool.update("R", (2,), 0.33)
+            shadow.add("R", (2,), 0.33)
+            for text in QUERIES:
+                assert pool.evaluate(text) == pytest.approx(
+                    expected(text, shadow), abs=1e-9
+                )
+        finally:
+            pool.close(timeout=5.0)
+
+
+@pytest.mark.timeout(120)
+class TestAdmission:
+    def test_queue_depth_sheds_fast(self):
+        pool = ServerPool(
+            chaos_db(), workers=1,
+            config=SessionConfig(
+                exact_fallback=True,
+                faults="seed=5,stall=1.0,stall_ms=5000",
+            ),
+            request_timeout=2.0, request_retries=0, max_queue_depth=1,
+        )
+        try:
+            parked = threading.Thread(
+                target=lambda: pytest.raises(
+                    PoolTimeoutError, pool.evaluate, "R(x)"
+                ),
+                daemon=True,
+            )
+            parked.start()
+            # Wait until the first request occupies the shard.
+            deadline = time.monotonic() + 5.0
+            while not pool._pending and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pool._pending
+            began = time.monotonic()
+            with pytest.raises(PoolOverloadError):
+                pool.evaluate("R(x)")
+            assert time.monotonic() - began < 0.5  # shed, never queued
+            assert pool.stats().sheds >= 1
+            parked.join(timeout=30)
+        finally:
+            pool.close(timeout=5.0)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ServerPool(chaos_db(), workers=1, max_queue_depth=0)
+
+
+@pytest.mark.timeout(120)
+class TestHttpShedding:
+    def test_max_inflight_zero_sheds_with_retry_after(self):
+        pool = ServerPool(chaos_db(), workers=0, config=EXACT)
+        with BackgroundServer(pool, max_inflight=0) as server:
+            import http.client
+
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=30
+            )
+            conn.request(
+                "POST", "/evaluate", body=b'{"query": "R(x)"}',
+                headers={"Content-Type": "application/json"},
+            )
+            reply = conn.getresponse()
+            assert reply.status == 503
+            assert reply.getheader("Retry-After") == "1"
+            reply.read()
+            # Health stays reachable for probes even while shedding.
+            conn.request("GET", "/healthz")
+            probe = conn.getresponse()
+            assert probe.status == 200
+            probe.read()
+            conn.close()
+        pool.close()
+
+    def test_idle_timeout_closes_connection(self):
+        pool = ServerPool(chaos_db(), workers=0, config=EXACT)
+        with BackgroundServer(pool, idle_timeout=0.3) as server:
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            )
+            try:
+                sock.settimeout(10)
+                time.sleep(1.0)
+                assert sock.recv(1024) == b""  # server hung up on us
+            finally:
+                sock.close()
+        pool.close()
+
+    def test_deadline_header_maps_to_504(self):
+        pool = ServerPool(
+            chaos_db(), workers=1,
+            config=SessionConfig(
+                exact_fallback=True,
+                faults="seed=5,stall=1.0,stall_ms=5000",
+            ),
+            request_retries=0,
+        )
+        with BackgroundServer(pool) as server:
+            import http.client
+
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=30
+            )
+            conn.request(
+                "POST", "/evaluate", body=b'{"query": "R(x)"}',
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Deadline-Ms": "300",
+                },
+            )
+            reply = conn.getresponse()
+            assert reply.status == 504
+            reply.read()
+            conn.close()
+        pool.close(timeout=5.0)

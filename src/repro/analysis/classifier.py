@@ -20,7 +20,7 @@ variable pair, the inversion path, or the eraser-free join query.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 from ..core.hierarchy import (
@@ -29,6 +29,7 @@ from ..core.hierarchy import (
 )
 from ..core.homomorphism import minimize
 from ..core.query import ConjunctiveQuery
+from ..core.union import AnyQuery, UnionQuery, minimize_ucq_in_dnf
 from ..coverage.closure import (
     HierarchicalUnifier,
     hierarchical_closure,
@@ -60,14 +61,18 @@ class Reason(enum.Enum):
     INVERSION_FREE = "hierarchical and inversion-free (Theorem 1.6)"
     ERASABLE = "all inversions have erasers (Theorem 3.17)"
     ERASER_FREE_INVERSION = "inversion without eraser (Theorem 4.4)"
+    UCQ_SAFE = "union fully decomposes by the lifted rules (PTIME)"
+    UCQ_UNSAFE = (
+        "union has no safe decomposition (#P-hard by the UCQ dichotomy)"
+    )
 
 
 @dataclass
 class Classification:
     """Full output of the dichotomy decision."""
 
-    query: ConjunctiveQuery
-    minimized: ConjunctiveQuery
+    query: AnyQuery
+    minimized: AnyQuery
     verdict: Verdict
     reason: Reason
     hierarchy_witness: Optional[NonHierarchicalWitness] = None
@@ -82,6 +87,9 @@ class Classification:
     #: Set when the hierarchical closure hit its size cap: a HARD
     #: verdict may then be due to a missing eraser candidate.
     closure_truncated: bool = False
+    #: For HARD union verdicts: the sub-query on which the lifted
+    #: decomposition got stuck.
+    stuck_on: Optional[str] = None
 
     @property
     def is_safe(self) -> bool:
@@ -99,15 +107,24 @@ class Classification:
         for join, eraser in self.erased_joins:
             members = "; ".join(str(e) for e in eraser)
             lines.append(f"erased join: {join}  by  {members}")
+        if self.stuck_on:
+            lines.append(f"stuck on: {self.stuck_on}")
         return "\n".join(lines)
 
 
-def classify(query: ConjunctiveQuery) -> Classification:
+def classify(query: AnyQuery) -> Classification:
     """Decide the evaluation complexity of ``query`` (Theorem 1.8).
 
     Negated sub-goals are handled per Definition 3.9: the analysis runs
-    on the positive part.
+    on the positive part.  A :class:`~repro.core.union.UnionQuery` is
+    DNF-minimized first — a union that collapses to one disjunct gets
+    the full CQ pipeline (hierarchy, inversions, erasers); a genuine
+    multi-disjunct union is decided by running the lifted decomposition
+    symbolically (the executable side of the UCQ dichotomy), and a HARD
+    verdict records the sub-query it got stuck on.
     """
+    if isinstance(query, UnionQuery):
+        return _classify_union(query)
     positive = query.positive_part()
     if not positive.is_satisfiable():
         return Classification(
@@ -163,6 +180,41 @@ def classify(query: ConjunctiveQuery) -> Classification:
     # Eraser phase runs on the lean base coverage (Section 4 applies to
     # any strict coverage; the lean one keeps H small).
     return _eraser_phase(query, minimized, base_coverage, inversion)
+
+
+def _classify_union(query: UnionQuery) -> Classification:
+    """The union side of :func:`classify`."""
+    boolean = query.boolean()
+    disjuncts = minimize_ucq_in_dnf(list(boolean.disjuncts))
+    if not disjuncts:
+        return Classification(
+            query=query,
+            minimized=boolean,
+            verdict=Verdict.PTIME,
+            reason=Reason.UNSATISFIABLE,
+        )
+    if len(disjuncts) == 1:
+        # Redundancy pruning left a single CQ: the full CQ pipeline
+        # (with its richer witnesses) applies.
+        return replace(classify(disjuncts[0]), query=query)
+    minimized = UnionQuery(disjuncts)
+    from ..engines.lifted import is_safe_query  # lazy: avoid module cycle
+
+    report = is_safe_query(minimized)
+    if report.safe:
+        return Classification(
+            query=query,
+            minimized=minimized,
+            verdict=Verdict.PTIME,
+            reason=Reason.UCQ_SAFE,
+        )
+    return Classification(
+        query=query,
+        minimized=minimized,
+        verdict=Verdict.SHARP_P_HARD,
+        reason=Reason.UCQ_UNSAFE,
+        stuck_on=report.stuck_on,
+    )
 
 
 #: Guard for the exponential signature enumeration of the eraser check.
@@ -304,6 +356,6 @@ def classify_with_coverage(
     return _eraser_phase(query, minimized, coverage, inversion)
 
 
-def is_ptime(query: ConjunctiveQuery) -> bool:
+def is_ptime(query: AnyQuery) -> bool:
     """Shorthand: True iff the dichotomy puts ``query`` in PTIME."""
     return classify(query).is_safe

@@ -11,6 +11,13 @@ Commands:
 * ``answers "Q(x) :- R(x), S(x,y)" data.json --top 5`` — rank the
   answer tuples of a non-Boolean query by probability, one routing
   decision per answer.
+
+Every query argument accepts unions of conjunctive queries: Boolean
+disjuncts separated by ``|`` (``"R(x) | S(x,y), T(y)"``), or several
+datalog rules for one answer relation separated by ``;`` or newlines
+(``"Q(x) :- R(x); Q(y) :- S(y,y)"``).  Safe unions — self-joins
+included — evaluate exactly through the lifted tier; unsafe ones fall
+through to the compiled / Monte Carlo tiers like any #P-hard query.
 * ``compile "R(x), S(x,y), T(y)" data.json`` — compile the query's
   lineage into an OBDD or d-DNNF circuit and report circuit size, the
   variable ordering used, and the exact probability.
@@ -630,9 +637,15 @@ def _run_compile(args) -> int:
     from .lineage.grounding import ground_lineage
     from .lineage.wmc import shannon_expansion_count
 
+    from .core.query import ConjunctiveQuery
+
     query = parse(args.query, constants=_constants(args.constants))
     db = _load_db(args)
     lineage = ground_lineage(query, db)
+    if not isinstance(query, ConjunctiveQuery):
+        # Unions compile order-free from their DNF lineage; the query
+        # argument only guides the CQ ordering heuristics.
+        query = None
     print(f"lineage: {lineage.clause_count()} clauses over "
           f"{lineage.variable_count} tuple events")
     if lineage.certainly_true or lineage.is_false:

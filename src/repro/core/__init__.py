@@ -34,6 +34,17 @@ from .predicates import Comparison, comparison, trichotomy
 from .query import ConjunctiveQuery, query
 from .substitution import IDENTITY, Substitution, fresh_renaming
 from .terms import Constant, Term, Variable, const, is_constant, is_variable, var
+from .union import (
+    AnyQuery,
+    UnionQuery,
+    disjuncts_of,
+    minimize_ucq_in_cnf,
+    minimize_ucq_in_dnf,
+    shatter_constants,
+    ucq_cnf,
+    union_contained_in,
+    union_equivalent,
+)
 from .unification import (
     Unification,
     all_unifications,
@@ -43,6 +54,7 @@ from .unification import (
 )
 
 __all__ = [
+    "AnyQuery",
     "Atom",
     "Comparison",
     "ConjunctiveQuery",
@@ -56,6 +68,7 @@ __all__ = [
     "Substitution",
     "Term",
     "Unification",
+    "UnionQuery",
     "Variable",
     "all_unifications",
     "atom",
@@ -63,6 +76,7 @@ __all__ = [
     "comparison",
     "const",
     "contained_in",
+    "disjuncts_of",
     "equivalent",
     "equivalent_vars",
     "find_homomorphism",
@@ -76,15 +90,21 @@ __all__ = [
     "is_variable",
     "maximal_variables",
     "minimize",
+    "minimize_ucq_in_cnf",
+    "minimize_ucq_in_dnf",
     "order_type",
     "parse",
     "query",
     "root_variables",
     "self_unifications",
+    "shatter_constants",
     "strictly_below",
     "trichotomy",
+    "ucq_cnf",
     "unify_atoms",
     "unify_subgoals",
+    "union_contained_in",
+    "union_equivalent",
     "var",
     "variable_classes",
 ]

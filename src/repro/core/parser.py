@@ -1,8 +1,11 @@
-"""A small text parser for conjunctive queries.
+"""A small text parser for conjunctive queries and unions (UCQs).
 
-Grammar (comma-separated items, with an optional datalog-style head)::
+Grammar (comma-separated items, with an optional datalog-style head;
+rules separated by ``;`` or newlines, alternative bodies by ``|``)::
 
-    query      ::= [head ":-"] item ("," item)*
+    query      ::= rule ((";" | NEWLINE) rule)*
+    rule       ::= [head ":-"] body ("|" body)*
+    body       ::= item ("," item)*
     head       ::= NAME "(" [term ("," term)*] ")"
     item       ::= ["not"] NAME "(" term ("," term)* ")"   -- sub-goal
                  | term OP term                            -- predicate
@@ -11,10 +14,14 @@ Grammar (comma-separated items, with an optional datalog-style head)::
 
 A plain body (``R(x), S(x,y)``) is a Boolean query, so all existing
 call sites keep working; ``Q(x) :- R(x), S(x,y)`` is an answer-tuple
-query whose head variables must occur in the body.  By default
-identifiers are variables and numbers / quoted tokens are constants;
-names listed in ``constants`` are parsed as string constants, matching
-the paper's habit of writing constants ``a, b, c`` unquoted.
+query whose head variables must occur in the body.  A query with
+several bodies — ``R(x) | S(x,y)``, or several rules with one head
+relation — parses to a :class:`~repro.core.union.UnionQuery`; a single
+body still parses to a plain :class:`~repro.core.query.ConjunctiveQuery`.
+By default identifiers are variables and numbers / quoted tokens are
+constants; names listed in ``constants`` are parsed as string
+constants, matching the paper's habit of writing constants ``a, b, c``
+unquoted.
 
 >>> parse("R(x), S(x,y)")
 ConjunctiveQuery(R(x), S(x, y))
@@ -22,6 +29,30 @@ ConjunctiveQuery(R(x), S(x, y))
 ConjunctiveQuery(Q(x) :- R(x), S(x, y))
 >>> parse("R(a,x), x < y, S(x,y)", constants=("a",))
 ConjunctiveQuery(R('a', x), S(x, y), x < y)
+
+Unions — alternative bodies with ``|`` (Boolean)::
+
+>>> parse("R(x) | S(x,y)")
+UnionQuery(R(x) | S(x, y))
+
+Several rules defining one answer relation (``;`` or newlines)::
+
+>>> parse("Q(x) :- R(x); Q(y) :- S(y,y)")
+UnionQuery(Q(x) :- R(x) ; Q(y) :- S(y, y))
+
+A rule head distributes over its ``|``-bodies, and a union round-trips
+through ``str``::
+
+>>> u = parse("Q(x) :- R(x) | S(x,x)")
+>>> parse(str(u)) == u
+True
+
+Rules must agree on the head relation:
+
+>>> parse("Q(x) :- R(x); P(y) :- S(y,y)")
+Traceback (most recent call last):
+    ...
+repro.core.parser.QueryParseError: rules define different head relations: 'Q' and 'P'
 """
 
 from __future__ import annotations
@@ -33,6 +64,7 @@ from .atoms import Atom
 from .predicates import Comparison
 from .query import ConjunctiveQuery
 from .terms import Constant, Term, Variable
+from .union import AnyQuery, UnionQuery
 
 _SUBGOAL_RE = re.compile(
     r"^(?P<neg>not\s+)?(?P<rel>[A-Za-z_][A-Za-z0-9_]*)\s*\((?P<args>[^()]*)\)$"
@@ -52,23 +84,94 @@ _HEAD_RE = re.compile(
 )
 
 
-def parse(text: str, constants: Iterable[str] = ()) -> ConjunctiveQuery:
-    """Parse ``text`` into a :class:`ConjunctiveQuery`.
+def parse(text: str, constants: Iterable[str] = ()) -> AnyQuery:
+    """Parse ``text`` into a :class:`ConjunctiveQuery` or, when it has
+    several rules / ``|``-separated bodies, a :class:`UnionQuery`.
 
     Args:
-        text: the query, e.g. ``"R(x), S(x,y), x != y"`` (Boolean) or
-            ``"Q(x) :- R(x), S(x,y)"`` (answer-tuple).
+        text: the query, e.g. ``"R(x), S(x,y), x != y"`` (Boolean),
+            ``"Q(x) :- R(x), S(x,y)"`` (answer-tuple), or a union such
+            as ``"R(x) | S(x,y)"`` / ``"Q(x) :- R(x); Q(y) :- S(y,y)"``.
         constants: identifier names to treat as string constants.
     """
     constant_names = set(constants)
+    rules = _split_top(text, ";\n")
+    if not rules:
+        # Empty text is the trivially-true Boolean query (atomless CQ),
+        # matching the seed parser's behaviour.
+        return ConjunctiveQuery((), ())
+    disjuncts: List[ConjunctiveQuery] = []
+    first_head: Optional[Tuple[Optional[str], Optional[int]]] = None
+    for rule in rules:
+        head_name, head, bodies = _parse_rule(rule, constant_names)
+        shape = (head_name, None if head is None else len(head))
+        if first_head is None:
+            first_head = shape
+        else:
+            _check_head_shape(first_head, shape)
+        for body in bodies:
+            disjuncts.append(_parse_body(body, head, constant_names))
+    if len(disjuncts) == 1:
+        return disjuncts[0]
+    try:
+        return UnionQuery.of(disjuncts)
+    except ValueError as error:
+        raise QueryParseError(str(error)) from error
+
+
+def _check_head_shape(
+    first: Tuple[Optional[str], Optional[int]],
+    current: Tuple[Optional[str], Optional[int]],
+) -> None:
+    first_name, first_arity = first
+    name, arity = current
+    if (first_arity is None) != (arity is None):
+        boolean, headed = (
+            ("the first rule", f"{name}/{arity}")
+            if first_arity is None
+            else ("a later rule", f"{first_name}/{first_arity}")
+        )
+        raise QueryParseError(
+            f"rules mix Boolean and answer-tuple forms: {boolean} is "
+            f"Boolean but another defines the head {headed}"
+        )
+    if first_name != name:
+        raise QueryParseError(
+            f"rules define different head relations: "
+            f"{first_name!r} and {name!r}"
+        )
+    if first_arity != arity:
+        raise QueryParseError(
+            f"rules disagree on head arity: "
+            f"{first_name}/{first_arity} vs {name}/{arity}"
+        )
+
+
+def _parse_rule(
+    text: str, constant_names: set
+) -> Tuple[Optional[str], Optional[Tuple[Term, ...]], List[str]]:
+    """One rule → (head relation name, head terms, ``|``-split bodies)."""
+    head_name: Optional[str] = None
     head: Optional[Tuple[Term, ...]] = None
     head_text, body_text = _split_on_neck(text)
     if head_text is not None:
-        head = _parse_head(head_text.strip(), constant_names)
+        head_name, head = _parse_head(head_text.strip(), constant_names)
         text = body_text
+    bodies = _split_top(text, "|")
+    if not bodies:
+        raise QueryParseError(f"rule with an empty body: {text!r}")
+    return head_name, head, bodies
+
+
+def _parse_body(
+    text: str, head: Optional[Tuple[Term, ...]], constant_names: set
+) -> ConjunctiveQuery:
     atoms: List[Atom] = []
     predicates: List[Comparison] = []
-    for item in _split_items(text):
+    items = _split_items(text)
+    if not items:
+        raise QueryParseError(f"empty disjunct in {text!r}")
+    for item in items:
         subgoal = _SUBGOAL_RE.match(item)
         if subgoal:
             args = subgoal.group("args").strip()
@@ -124,7 +227,43 @@ def _split_on_neck(text: str) -> Tuple[Optional[str], str]:
     return text[:split], text[split + 2:]
 
 
-def _parse_head(text: str, constant_names: set) -> Tuple[Term, ...]:
+def _split_top(text: str, separators: str) -> List[str]:
+    """Split on any of ``separators`` outside quotes and parentheses.
+
+    Empty segments (a trailing ``;``, blank lines) are dropped.
+    """
+    parts: List[str] = []
+    current: List[str] = []
+    depth = 0
+    quote = None
+    for char in text:
+        if quote is not None:
+            if char == quote:
+                quote = None
+            current.append(char)
+            continue
+        if char in ("'", '"'):
+            quote = char
+            current.append(char)
+            continue
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryParseError(f"unbalanced parentheses in {text!r}")
+        if char in separators and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current).strip())
+    return [part for part in parts if part]
+
+
+def _parse_head(
+    text: str, constant_names: set
+) -> Tuple[str, Tuple[Term, ...]]:
     match = _HEAD_RE.match(text)
     if not match:
         raise QueryParseError(
@@ -132,8 +271,8 @@ def _parse_head(text: str, constant_names: set) -> Tuple[Term, ...]:
         )
     args = match.group("args").strip()
     if not args:
-        return ()
-    return tuple(
+        return match.group("rel"), ()
+    return match.group("rel"), tuple(
         _parse_term(token.strip(), constant_names) for token in args.split(",")
     )
 

@@ -399,7 +399,7 @@ def _canonical_predicates(predicates: Iterable[Comparison]) -> Tuple[Comparison,
     return tuple(sorted(unique, key=str))
 
 
-def canonical_string(query: ConjunctiveQuery) -> str:
+def canonical_string(query) -> str:
     """A renaming-invariant (best effort) textual form.
 
     Variables are renamed ``v0, v1, ...`` following the canonical atom
@@ -407,10 +407,19 @@ def canonical_string(query: ConjunctiveQuery) -> str:
     for cycle detection; it is a faithful rendering, so distinct
     queries never collide — at worst two isomorphic queries may render
     differently (harmless for its callers).
+
+    A :class:`~repro.core.union.UnionQuery` renders as its disjuncts'
+    canonical strings, sorted and ``" | "``-joined — invariant under
+    disjunct order and per-disjunct renaming, so union shapes key the
+    serving layer's prepared-query cache and shard hashing exactly like
+    conjunctive shapes.
     """
     from .substitution import Substitution  # local import: avoid cycle
     from .terms import Variable as _Variable
 
+    disjuncts = getattr(query, "disjuncts", None)
+    if disjuncts is not None:  # UnionQuery, without an import cycle
+        return " | ".join(sorted(canonical_string(d) for d in disjuncts))
     current = query
     previous = None
     for _ in range(5):

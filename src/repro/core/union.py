@@ -1,0 +1,497 @@
+"""Unions of conjunctive queries (UCQs) and their transforms.
+
+A :class:`UnionQuery` is a disjunction ``q = d1 ∨ ... ∨ dn`` of
+:class:`~repro.core.query.ConjunctiveQuery` disjuncts sharing one head
+shape: either every disjunct is Boolean, or every disjunct carries a
+head of the same arity (datalog rules for one answer relation).  The
+constructor canonicalizes — disjuncts are deduplicated *up to variable
+renaming* (via :func:`~repro.core.query.canonical_string`) and stored
+in canonical order — so syntactic equality of two ``UnionQuery``
+objects is insensitive to disjunct order and renaming.
+
+The module also provides the reusable UCQ transforms the lifted engine
+and classifier build on (mirroring NeuroLang's ``dalvi_suciu_lift``):
+
+* :func:`minimize_ucq_in_dnf` — containment-based minimization of a
+  disjunct list (drop unsatisfiable, core-minimize, drop disjuncts
+  implied by another — Sagiv–Yannakakis);
+* :func:`ucq_cnf` / :func:`minimize_ucq_in_cnf` — the CNF view
+  (conjunction of unions of factors) obtained by distributing
+  connected components, with clause-level containment pruning;
+* :func:`shatter_constants` — split variable/constant positions of
+  self-joined relation symbols (``q ≡ q[x:=c] ∨ (q, x≠c)``) so that
+  downstream independence tests see syntactically disjoint atoms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .homomorphism import contained_in, minimize
+from .predicates import Comparison
+from .query import ConjunctiveQuery, canonical_string
+from .substitution import Substitution
+from .terms import Constant, Term, Variable
+
+
+class UnionQuery:
+    """A union (disjunction) of conjunctive queries with a shared head.
+
+    Attributes:
+        disjuncts: the member conjunctive queries, deduplicated up to
+            renaming and stored in canonical order.  Either all Boolean
+            or all carrying heads of one arity.
+    """
+
+    __slots__ = ("disjuncts", "__dict__")
+
+    def __init__(self, disjuncts: Iterable[ConjunctiveQuery]) -> None:
+        self.disjuncts: Tuple[ConjunctiveQuery, ...] = _canonical_disjuncts(
+            disjuncts
+        )
+
+    @classmethod
+    def of(
+        cls, disjuncts: Iterable[ConjunctiveQuery]
+    ) -> "AnyQuery":
+        """A :class:`UnionQuery`, collapsed to the single disjunct when
+        canonical deduplication leaves only one."""
+        union = cls(disjuncts)
+        if len(union.disjuncts) == 1:
+            return union.disjuncts[0]
+        return union
+
+    # ------------------------------------------------------------------
+    # Head (mirrors ConjunctiveQuery)
+    # ------------------------------------------------------------------
+
+    @property
+    def head(self) -> Optional[Tuple[Term, ...]]:
+        """The first disjunct's head terms (all disjuncts agree on
+        Boolean-ness and arity; variable names may differ)."""
+        return self.disjuncts[0].head
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.head is None
+
+    @property
+    def head_variables(self) -> Tuple[Variable, ...]:
+        """The first disjunct's distinct head variables (see ``head``)."""
+        return self.disjuncts[0].head_variables
+
+    def boolean(self) -> "UnionQuery":
+        """The union of the disjuncts' existential closures."""
+        if self.is_boolean:
+            return self
+        return UnionQuery(d.boolean() for d in self.disjuncts)
+
+    def bind_head(self, values: Sequence) -> "UnionQuery":
+        """The residual Boolean union for one answer tuple.
+
+        Each disjunct's head is bound positionally; disjuncts whose
+        head constants (or repeated head variables) are inconsistent
+        with ``values`` contribute *false* and are dropped.
+        """
+        if self.is_boolean:
+            raise ValueError("bind_head on a Boolean query")
+        bound: List[ConjunctiveQuery] = []
+        for disjunct in self.disjuncts:
+            try:
+                bound.append(disjunct.bind_head(values))
+            except ValueError:
+                continue
+        if not bound:
+            raise ValueError(
+                f"no disjunct of {self} admits the answer tuple {values!r}"
+            )
+        return UnionQuery(bound)
+
+    # ------------------------------------------------------------------
+    # Basic structure (mirrors ConjunctiveQuery where engines need it)
+    # ------------------------------------------------------------------
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: Dict[Variable, None] = {}
+        for disjunct in self.disjuncts:
+            for variable in disjunct.variables:
+                seen.setdefault(variable, None)
+        return tuple(seen)
+
+    @property
+    def constants(self) -> Tuple[Constant, ...]:
+        seen: Dict[Constant, None] = {}
+        for disjunct in self.disjuncts:
+            for constant in disjunct.constants:
+                seen.setdefault(constant, None)
+        return tuple(seen)
+
+    @property
+    def relations(self) -> Tuple[str, ...]:
+        """Distinct relation symbols across all disjuncts, sorted."""
+        symbols: Set[str] = set()
+        for disjunct in self.disjuncts:
+            symbols.update(disjunct.relations)
+        return tuple(sorted(symbols))
+
+    def has_self_join(self) -> bool:
+        """True iff some relation symbol occurs in two or more sub-goals
+        — within one disjunct or across different disjuncts."""
+        seen: Set[str] = set()
+        for disjunct in self.disjuncts:
+            for atom in disjunct.atoms:
+                if atom.relation in seen:
+                    return True
+                seen.add(atom.relation)
+        return False
+
+    def is_range_restricted(self) -> bool:
+        return all(d.is_range_restricted() for d in self.disjuncts)
+
+    def is_satisfiable(self) -> bool:
+        """A union is satisfiable when any disjunct is."""
+        return any(d.is_satisfiable() for d in self.disjuncts)
+
+    def apply(self, substitution: Substitution) -> "UnionQuery":
+        return UnionQuery(d.apply(substitution) for d in self.disjuncts)
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionQuery):
+            return NotImplemented
+        return self.disjuncts == other.disjuncts
+
+    def __hash__(self) -> int:
+        return hash(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __iter__(self):
+        return iter(self.disjuncts)
+
+    def __str__(self) -> str:
+        if self.is_boolean:
+            return " | ".join(str(d) for d in self.disjuncts)
+        return " ; ".join(str(d) for d in self.disjuncts)
+
+    def __repr__(self) -> str:
+        return f"UnionQuery({self})"
+
+
+#: Either query IR type — what the parser returns and engines accept.
+AnyQuery = Union[ConjunctiveQuery, UnionQuery]
+
+
+def disjuncts_of(query: AnyQuery) -> Tuple[ConjunctiveQuery, ...]:
+    """The disjunct view of either IR type (a CQ is its own disjunct)."""
+    if isinstance(query, UnionQuery):
+        return query.disjuncts
+    if isinstance(query, ConjunctiveQuery):
+        return (query,)
+    raise TypeError(
+        f"expected ConjunctiveQuery or UnionQuery, got {query!r}"
+    )
+
+
+def _canonical_disjuncts(
+    disjuncts: Iterable[ConjunctiveQuery],
+) -> Tuple[ConjunctiveQuery, ...]:
+    keyed: Dict[str, ConjunctiveQuery] = {}
+    for disjunct in disjuncts:
+        if not isinstance(disjunct, ConjunctiveQuery):
+            raise TypeError(
+                f"expected ConjunctiveQuery disjunct, got {disjunct!r}"
+            )
+        keyed.setdefault(canonical_string(disjunct), disjunct)
+    if not keyed:
+        raise ValueError("a union query needs at least one disjunct")
+    ordered = tuple(keyed[key] for key in sorted(keyed))
+    heads = {
+        (d.head is None, len(d.head) if d.head is not None else 0)
+        for d in ordered
+    }
+    if len(heads) > 1:
+        shapes = sorted(
+            "Boolean" if boolean else f"arity {arity}"
+            for boolean, arity in heads
+        )
+        raise ValueError(
+            f"disjuncts disagree on the head shape ({', '.join(shapes)}): "
+            f"all rules of a union must be Boolean or share one head arity"
+        )
+    return ordered
+
+
+# ----------------------------------------------------------------------
+# DNF minimization (containment-based, Sagiv–Yannakakis)
+# ----------------------------------------------------------------------
+
+
+def minimize_ucq_in_dnf(
+    disjuncts: Sequence[ConjunctiveQuery], minimize_each: bool = True
+) -> List[ConjunctiveQuery]:
+    """A containment-minimal disjunct list equivalent to ``∨ disjuncts``.
+
+    Unsatisfiable disjuncts are dropped, each remaining disjunct is
+    core-minimized (positive-only disjuncts, when ``minimize_each``),
+    and a disjunct contained in another is redundant (``d ⊑ d'`` means
+    ``d ⇒ d'``).  The result may be empty (the union is false) or
+    contain a single atomless disjunct (the union is trivially true).
+    For answer-tuple disjuncts the containment test runs on the generic
+    residuals (heads frozen positionally), so only head-compatible
+    redundancy is pruned.
+    """
+    cleaned: List[ConjunctiveQuery] = []
+    for disjunct in disjuncts:
+        candidate = disjunct.drop_trivial_predicates()
+        if not candidate.is_satisfiable():
+            continue
+        if (
+            minimize_each
+            and candidate.head is None
+            and not candidate.negative_atoms
+        ):
+            candidate = minimize(candidate)
+        if not candidate.atoms:
+            return [candidate]
+        if candidate not in cleaned:
+            cleaned.append(candidate)
+    kept: List[ConjunctiveQuery] = []
+    residuals = [_containment_view(d) for d in cleaned]
+    for i, candidate in enumerate(cleaned):
+        redundant = False
+        for j in range(len(cleaned)):
+            if i == j:
+                continue
+            if contained_in(residuals[i], residuals[j]):
+                # Keep the earlier one when they are equivalent.
+                if not contained_in(residuals[j], residuals[i]) or j < i:
+                    redundant = True
+                    break
+        if not redundant:
+            kept.append(candidate)
+    return kept
+
+
+def _containment_view(disjunct: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The Boolean query whose containment order is the disjunct's.
+
+    Boolean disjuncts are their own view; answer-tuple disjuncts freeze
+    head variables positionally to shared placeholder constants, so
+    ``d ⊑ d'`` respects the head alignment of the union.
+    """
+    if disjunct.head is None:
+        return disjunct
+    mapping: Dict[Variable, Term] = {}
+    for position, term in enumerate(disjunct.head):
+        if isinstance(term, Variable) and term not in mapping:
+            mapping[term] = Constant(f"@answer{position}")
+    bound = disjunct.apply(Substitution(mapping))
+    return ConjunctiveQuery(bound.atoms, bound.predicates)
+
+
+def union_contained_in(q1: AnyQuery, q2: AnyQuery) -> bool:
+    """UCQ containment ``q1 ⊑ q2``: every satisfiable disjunct of
+    ``q1`` is contained in some disjunct of ``q2`` (Sagiv–Yannakakis;
+    sound and complete for positive UCQs, best-effort with predicates
+    exactly like :func:`~repro.core.homomorphism.contained_in`)."""
+    rights = [_containment_view(d) for d in disjuncts_of(q2)]
+    for left in disjuncts_of(q1):
+        if not left.is_satisfiable():
+            continue
+        view = _containment_view(left)
+        if not any(contained_in(view, right) for right in rights):
+            return False
+    return True
+
+
+def union_equivalent(q1: AnyQuery, q2: AnyQuery) -> bool:
+    """Semantic equivalence of two UCQs (mutual containment)."""
+    return union_contained_in(q1, q2) and union_contained_in(q2, q1)
+
+
+# ----------------------------------------------------------------------
+# CNF view
+# ----------------------------------------------------------------------
+
+#: Distribution guard: a CNF with more clauses than this is refused.
+MAX_CNF_CLAUSES = 256
+
+
+def ucq_cnf(
+    query: AnyQuery, max_clauses: int = MAX_CNF_CLAUSES
+) -> List[UnionQuery]:
+    """The CNF view of a Boolean UCQ: a list of clauses (unions of
+    factors) whose conjunction is equivalent to the union.
+
+    Distributes over the disjuncts' connected components (the paper's
+    factors): ``∨_i ∧_j c_ij  ≡  ∧_f ∨_i c_{i,f(i)}`` for every choice
+    ``f`` of one component per disjunct.
+
+    Raises:
+        ValueError: the query is not Boolean, or distribution would
+            produce more than ``max_clauses`` clauses.
+    """
+    disjuncts = disjuncts_of(query)
+    if any(d.head is not None for d in disjuncts):
+        raise ValueError("ucq_cnf applies to Boolean unions only")
+    factor_lists: List[List[ConjunctiveQuery]] = []
+    for disjunct in disjuncts:
+        components = disjunct.connected_components()
+        factor_lists.append(components if components else [disjunct])
+    total = 1
+    for factors in factor_lists:
+        total *= len(factors)
+        if total > max_clauses:
+            raise ValueError(
+                f"CNF distribution would exceed {max_clauses} clauses"
+            )
+    return [
+        UnionQuery(choice) for choice in itertools.product(*factor_lists)
+    ]
+
+
+def minimize_ucq_in_cnf(
+    clauses: Sequence[AnyQuery], minimize_each: bool = True
+) -> List[UnionQuery]:
+    """Minimize a CNF (conjunction of unions) by containment.
+
+    Each clause's disjunct list is DNF-minimized, then a clause implied
+    by another kept clause is dropped (``C' ⊑ C`` as unions means
+    ``C' ⇒ C``, so ``C`` is redundant in the conjunction).  A trivially
+    true clause disappears; a clause with no satisfiable disjunct makes
+    the whole conjunction false and is returned alone.
+    """
+    reduced: List[UnionQuery] = []
+    for clause in clauses:
+        disjuncts = minimize_ucq_in_dnf(
+            list(disjuncts_of(clause)), minimize_each=minimize_each
+        )
+        if not disjuncts:
+            # An unsatisfiable clause falsifies the conjunction.
+            return [UnionQuery(disjuncts_of(clause))]
+        if any(not d.atoms for d in disjuncts):
+            continue  # trivially true clause
+        reduced.append(UnionQuery(disjuncts))
+    kept: List[UnionQuery] = []
+    for i, clause in enumerate(reduced):
+        redundant = False
+        for j, other in enumerate(reduced):
+            if i == j:
+                continue
+            if union_contained_in(other, clause):
+                if not union_contained_in(clause, other) or j < i:
+                    redundant = True
+                    break
+        if not redundant:
+            kept.append(clause)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Shattering of constants
+# ----------------------------------------------------------------------
+
+#: Guard against pathological blow-up: shattering stops splitting once
+#: the disjunct list reaches this size (the transform stays equivalence-
+#: preserving — it just leaves some positions unshattered).
+MAX_SHATTER_DISJUNCTS = 64
+
+
+def shatter_constants(
+    query_or_disjuncts: Union[AnyQuery, Sequence[ConjunctiveQuery]],
+    max_disjuncts: int = MAX_SHATTER_DISJUNCTS,
+) -> List[ConjunctiveQuery]:
+    """Split variable/constant positions of self-joined relations.
+
+    Wherever a relation symbol occurs in several sub-goals (of one
+    disjunct or across disjuncts) with a constant ``c`` at position
+    ``p`` in one occurrence and a variable ``x`` at position ``p`` in
+    another, the variable occurrence is split by the equivalence
+    ``q ≡ q[x:=c] ∨ (q, x ≠ c)``, iterated to a fixpoint.  Afterwards
+    every such pair is *determined* (equal or distinct), so the tuple-
+    sharing tests of the lifted engine see syntactically disjoint
+    atoms instead of having to refine on demand.
+
+    Accepts a query (CQ or union) or a raw disjunct list; returns the
+    shattered disjunct list (equivalent as a union to the input).
+    """
+    if isinstance(query_or_disjuncts, (ConjunctiveQuery, UnionQuery)):
+        pending = list(disjuncts_of(query_or_disjuncts))
+    else:
+        pending = list(query_or_disjuncts)
+    result: List[ConjunctiveQuery] = list(pending)
+    changed = True
+    while changed and len(result) < max_disjuncts:
+        changed = False
+        constants_at = _constant_positions(result)
+        for index, disjunct in enumerate(result):
+            split = _shatter_step(disjunct, constants_at)
+            if split is not None:
+                result[index:index + 1] = split
+                changed = True
+                break
+    return result
+
+
+def _constant_positions(
+    disjuncts: Sequence[ConjunctiveQuery],
+) -> Dict[Tuple[str, int], Set[Constant]]:
+    """Constants by (relation, position) across all sub-goals of all
+    disjuncts — but only for relation symbols occurring more than once
+    (shattering single-occurrence symbols cannot enable independence)."""
+    occurrence_count: Dict[str, int] = {}
+    for disjunct in disjuncts:
+        for atom in disjunct.atoms:
+            occurrence_count[atom.relation] = (
+                occurrence_count.get(atom.relation, 0) + 1
+            )
+    positions: Dict[Tuple[str, int], Set[Constant]] = {}
+    for disjunct in disjuncts:
+        for atom in disjunct.atoms:
+            if occurrence_count[atom.relation] < 2:
+                continue
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    positions.setdefault(
+                        (atom.relation, position), set()
+                    ).add(term)
+    return positions
+
+
+def _shatter_step(
+    disjunct: ConjunctiveQuery,
+    constants_at: Dict[Tuple[str, int], Set[Constant]],
+) -> Optional[List[ConjunctiveQuery]]:
+    """One split ``d → [d[x:=c], (d, x≠c)]``, or None at fixpoint."""
+    constraints = disjunct.order_constraints
+    for atom in disjunct.atoms:
+        for position, term in enumerate(atom.terms):
+            if not isinstance(term, Variable):
+                continue
+            for constant in sorted(
+                constants_at.get((atom.relation, position), ()),
+                key=str,
+            ):
+                determined = constraints.entails(
+                    Comparison("=", term, constant)
+                ) or constraints.entails(
+                    Comparison("!=", term, constant)
+                )
+                if determined:
+                    continue
+                equal = disjunct.substitute(term, constant)
+                distinct = ConjunctiveQuery(
+                    disjunct.atoms,
+                    disjunct.predicates
+                    + (Comparison("!=", term, constant),),
+                    head=disjunct.head,
+                )
+                return [equal, distinct]
+    return None

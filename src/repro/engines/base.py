@@ -6,6 +6,7 @@ import abc
 from typing import List, Optional, Tuple
 
 from ..core.query import ConjunctiveQuery
+from ..core.union import AnyQuery
 from ..db.database import GroundTuple, ProbabilisticDatabase
 from ..db.relation import canonical_row_key
 
@@ -31,8 +32,13 @@ class EngineError(Exception):
 class UnsupportedQueryError(EngineError):
     """The engine's preconditions exclude this query.
 
-    E.g. the safe-plan engine refuses self-joins; the brute-force engine
-    refuses instances with too many uncertain tuples.
+    The message names the *precise* cause — a union handed to a
+    CQ-only engine, the self-joined relation symbol, the
+    non-hierarchical variable pair, a blown compilation budget — so
+    :class:`~repro.engines.router.RoutingDecision.fallback_reason` and
+    serving-layer errors explain the routing instead of reporting a
+    generic "unsupported query".  Engines whose admission is syntactic
+    produce the message through :meth:`Engine.supports`.
     """
 
 
@@ -44,7 +50,7 @@ class UnsafeQueryError(EngineError):
     fall back to the exact-but-exponential oracle or to Monte Carlo.
     """
 
-    def __init__(self, message: str, query: Optional[ConjunctiveQuery] = None):
+    def __init__(self, message: str, query: Optional[AnyQuery] = None):
         super().__init__(message)
         self.query = query
 
@@ -57,15 +63,30 @@ class Engine(abc.ABC):
 
     @abc.abstractmethod
     def probability(
-        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+        self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> float:
         """The probability that ``query`` is true on ``db``.
 
-        An answer-tuple query is read as its Boolean existential
-        closure (the head does not add sub-goals).
+        ``query`` is a :class:`~repro.core.query.ConjunctiveQuery` or a
+        :class:`~repro.core.union.UnionQuery` (engines that only handle
+        CQs say so through :meth:`supports`).  An answer-tuple query is
+        read as its Boolean existential closure (the head does not add
+        sub-goals).
         """
 
-    def prepare(self, query: ConjunctiveQuery) -> None:
+    def supports(self, query: AnyQuery) -> Optional[str]:
+        """``None`` when the engine's *syntactic* preconditions admit
+        ``query``; otherwise a precise human-readable reason.
+
+        The reason names the exact cause — union vs self-join vs
+        predicate vs hierarchy — and becomes the message of the
+        :class:`UnsupportedQueryError` that :meth:`prepare` raises, and
+        (via the router) the ``fallback_reason`` users see.  The
+        default accepts everything.
+        """
+        return None
+
+    def prepare(self, query: AnyQuery) -> None:
         """Database-independent admission check, run once per query.
 
         The serving layer (and the router's :meth:`plan_query
@@ -73,15 +94,18 @@ class Engine(abc.ABC):
         a query is *prepared*: an engine whose preconditions are purely
         syntactic raises :class:`UnsupportedQueryError` /
         :class:`UnsafeQueryError` here, so routing is decided once
-        instead of per evaluation.  The default accepts everything —
-        engines whose admission depends on the database (e.g. the
-        compiled engine's node budget) decide at evaluation time.
+        instead of per evaluation.  The default raises exactly when
+        :meth:`supports` reports a reason — engines whose admission
+        depends on the database (e.g. the compiled engine's node
+        budget) decide at evaluation time.
         """
-        return None
+        reason = self.supports(query)
+        if reason is not None:
+            raise UnsupportedQueryError(f"{reason}: {query}")
 
     def answers(
         self,
-        query: ConjunctiveQuery,
+        query: AnyQuery,
         db: ProbabilisticDatabase,
         k: Optional[int] = None,
     ) -> List[Answer]:

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..core.query import ConjunctiveQuery
+from ..core.union import AnyQuery
 from ..db.database import GroundTuple, ProbabilisticDatabase
 from ..db.worlds import iterate_worlds, world_database
 from ..lineage.grounding import answers_holding, query_holds
@@ -21,7 +21,7 @@ class BruteForceEngine(Engine):
     name = "brute-force"
 
     def probability(
-        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+        self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> float:
         if not query.is_satisfiable():
             return 0.0
@@ -33,7 +33,7 @@ class BruteForceEngine(Engine):
 
     def answers(
         self,
-        query: ConjunctiveQuery,
+        query: AnyQuery,
         db: ProbabilisticDatabase,
         k: Optional[int] = None,
     ) -> List[Answer]:

@@ -32,6 +32,7 @@ from ..compile.dnnf import CompiledDNNF, compile_dnnf
 from ..compile.evaluate import reweighted_probabilities
 from ..compile.obdd import CompiledOBDD, compile_obdd
 from ..core.query import ConjunctiveQuery
+from ..core.union import AnyQuery
 from ..db.database import ProbabilisticDatabase, TupleKey
 from ..db.relation import canonical_row_key
 from ..lineage.boolean import Lineage
@@ -85,10 +86,14 @@ class CompiledEngine(Engine):
         self.last_report: Optional[CompilationReport] = None
 
     def probability(
-        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+        self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> float:
         lineage = ground_lineage(query, db)
-        return self.probability_of_lineage(lineage, query)
+        # The query only guides the OBDD variable order, and the order
+        # heuristics read CQ structure — a union compiles order-free
+        # from its (already DNF) lineage.
+        hint = query if isinstance(query, ConjunctiveQuery) else None
+        return self.probability_of_lineage(lineage, hint)
 
     def probability_of_lineage(
         self, lineage: Lineage, query: Optional[ConjunctiveQuery] = None
@@ -105,7 +110,7 @@ class CompiledEngine(Engine):
 
     def answers(
         self,
-        query: ConjunctiveQuery,
+        query: AnyQuery,
         db: ProbabilisticDatabase,
         k: Optional[int] = None,
     ) -> List[Answer]:

@@ -36,12 +36,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom
-from ..core.homomorphism import contained_in, minimize
 from ..core.orders import OrderConstraints
 from ..core.predicates import Comparison
 from ..core.query import ConjunctiveQuery
 from ..core.substitution import Substitution, fresh_renaming
 from ..core.terms import Constant, Term, Variable
+from ..core.union import (
+    AnyQuery,
+    disjuncts_of,
+    minimize_ucq_in_dnf,
+    shatter_constants,
+)
 from ..db.database import ProbabilisticDatabase
 from .base import Engine, UnsafeQueryError, UnsupportedQueryError
 
@@ -51,21 +56,58 @@ MAX_DEPTH = 200
 
 
 class LiftedEngine(Engine):
-    """Exact PTIME evaluation of safe queries (self-joins included)."""
+    """Exact PTIME evaluation of safe queries — self-joins and unions.
+
+    A :class:`~repro.core.union.UnionQuery` enters the solver's union
+    recursion directly (its inclusion–exclusion path was built for
+    exactly this), so safe UCQs with self-joins evaluate exactly in
+    PTIME.  ``shatter`` pre-splits variable/constant positions of
+    self-joined relations (:func:`~repro.core.union.shatter_constants`)
+    so the safety decision and the evaluation see the same shattered
+    disjunct list; ``minimize_queries`` controls the containment-based
+    DNF minimization inside the recursion.
+    """
 
     name = "lifted"
 
-    def __init__(self, minimize_queries: bool = True) -> None:
+    def __init__(
+        self, minimize_queries: bool = True, shatter: bool = True
+    ) -> None:
         self.minimize_queries = minimize_queries
+        self.shatter = shatter
 
-    def prepare(self, query: ConjunctiveQuery) -> None:
+    def supports(self, query: AnyQuery) -> Optional[str]:
+        """Syntactic precondition: every disjunct range-restricted.
+
+        Safety itself is decided by :meth:`prepare` (it raises
+        :class:`UnsafeQueryError`, a different failure class: the query
+        is *beyond PTIME*, not merely outside this engine's syntax).
+        """
+        for disjunct in disjuncts_of(query):
+            boolean = disjunct.boolean()
+            if not boolean.is_range_restricted():
+                loose = [
+                    v.name for v in boolean.variables
+                    if all(v not in a.variables for a in boolean.positive_atoms)
+                ]
+                return (
+                    f"not range-restricted: variables {loose} occur only "
+                    f"in negated sub-goals or predicates"
+                )
+        return None
+
+    def prepare(self, query: AnyQuery) -> None:
         """Admission = the syntactic safety decision (database-free).
 
         For an answer-tuple query pass the generic residual, exactly
         as :meth:`answers` would check it.
         """
-        _check_query(query.boolean())
-        report = is_safe_query(query.boolean(), self.minimize_queries)
+        reason = self.supports(query)
+        if reason is not None:
+            raise UnsupportedQueryError(f"{reason}: {query}")
+        report = is_safe_query(
+            query, self.minimize_queries, shatter=self.shatter
+        )
         if not report.safe:
             raise UnsafeQueryError(
                 f"no PTIME decomposition for {query} "
@@ -73,12 +115,22 @@ class LiftedEngine(Engine):
                 query=query,
             )
 
+    def _boolean_disjuncts(self, query: AnyQuery) -> List[ConjunctiveQuery]:
+        """The checked (and, when enabled, shattered) disjunct list the
+        solver evaluates — identical to what the safety decision saw."""
+        reason = self.supports(query)
+        if reason is not None:
+            raise UnsupportedQueryError(f"{reason}: {query}")
+        disjuncts = [d.boolean() for d in disjuncts_of(query)]
+        if self.shatter:
+            disjuncts = shatter_constants(disjuncts)
+        return disjuncts
+
     def probability(
-        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+        self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> float:
-        _check_query(query)
         solver = _Solver(db, minimize_queries=self.minimize_queries)
-        return solver.union([query.boolean()], 0)
+        return solver.union(self._boolean_disjuncts(query), 0)
 
     def answers(self, query, db, k=None, assume_safe=False):
         """Residual-query evaluation with the decomposition shared.
@@ -90,16 +142,21 @@ class LiftedEngine(Engine):
         (b) a single solver with a canonical-form memo table evaluates
         all residuals — sub-unions that do not depend on the head
         constants (shared components, common separator instances) are
-        computed once and reused across answers.
+        computed once and reused across answers.  Unions bind each
+        disjunct's own head per answer; disjuncts inconsistent with an
+        answer's constants drop out of that answer's residual union.
         """
         if query.head is None:
             return super().answers(query, db, k)
-        _check_query(query.boolean())
+        reason = self.supports(query)
+        if reason is not None:
+            raise UnsupportedQueryError(f"{reason}: {query}")
         if not assume_safe:
             from .safe_plan import generic_residual
 
             report = is_safe_query(
-                generic_residual(query), self.minimize_queries
+                generic_residual(query), self.minimize_queries,
+                shatter=self.shatter,
             )
             if not report.safe:
                 raise UnsafeQueryError(
@@ -113,10 +170,12 @@ class LiftedEngine(Engine):
         solver = _Solver(
             db, minimize_queries=self.minimize_queries, memoize=True
         )
-        results = [
-            (answer, solver.union([query.bind_head(answer)], 0))
-            for answer in answer_tuples(query, db)
-        ]
+        results = []
+        for answer in answer_tuples(query, db):
+            bound = [d for d in disjuncts_of(query.bind_head(answer))]
+            if self.shatter:
+                bound = shatter_constants(bound)
+            results.append((answer, solver.union(bound, 0)))
         return rank_answers(results, k)
 
 
@@ -132,18 +191,25 @@ class SafetyReport:
 
 
 def is_safe_query(
-    query: ConjunctiveQuery, minimize_queries: bool = True
+    query: AnyQuery, minimize_queries: bool = True, shatter: bool = True
 ) -> SafetyReport:
     """Decide whether the lifted rules fully decompose ``query``.
 
-    Runs the evaluation recursion with a symbolic one-constant domain;
-    success means the query admits a PTIME plan, failure (by the
-    dichotomy) that it is #P-hard.
+    Accepts a single CQ or a union; a union enters the solver's union
+    recursion directly.  Runs the evaluation recursion with a symbolic
+    one-constant domain; success means the query admits a PTIME plan,
+    failure (by the dichotomy) that it is #P-hard.  ``shatter``
+    pre-splits variable/constant positions exactly as the engine's
+    evaluation does, so the decision and the evaluation agree.
     """
-    _check_query(query)
+    disjuncts = [d.boolean() for d in disjuncts_of(query)]
+    for disjunct in disjuncts:
+        _check_query(disjunct)
+    if shatter:
+        disjuncts = shatter_constants(disjuncts)
     solver = _Solver(None, minimize_queries=minimize_queries)
     try:
-        solver.union([query], 0)
+        solver.union(disjuncts, 0)
     except UnsafeQueryError as err:
         return SafetyReport(
             safe=False,
@@ -390,32 +456,15 @@ class _Solver:
     ) -> Optional[List[ConjunctiveQuery]]:
         """Minimize, drop unsatisfiable and redundant disjuncts.
 
-        Returns None when some disjunct is trivially true.
+        Delegates to the shared UCQ transform
+        :func:`~repro.core.union.minimize_ucq_in_dnf`.  Returns None
+        when some disjunct is trivially true.
         """
-        cleaned: List[ConjunctiveQuery] = []
-        for disjunct in disjuncts:
-            candidate = disjunct.drop_trivial_predicates()
-            if not candidate.is_satisfiable():
-                continue
-            if self.minimize_queries and not candidate.negative_atoms:
-                candidate = minimize(candidate)
-            if not candidate.atoms:
-                return None
-            if candidate not in cleaned:
-                cleaned.append(candidate)
-        kept: List[ConjunctiveQuery] = []
-        for i, candidate in enumerate(cleaned):
-            redundant = False
-            for j, other in enumerate(cleaned):
-                if i == j:
-                    continue
-                if contained_in(candidate, other):
-                    # Keep the earlier one when they are equivalent.
-                    if not contained_in(other, candidate) or j < i:
-                        redundant = True
-                        break
-            if not redundant:
-                kept.append(candidate)
+        kept = minimize_ucq_in_dnf(
+            disjuncts, minimize_each=self.minimize_queries
+        )
+        if any(not d.atoms for d in kept):
+            return None
         return kept
 
     # -- separators -------------------------------------------------------

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..core.query import ConjunctiveQuery
+from ..core.union import AnyQuery
 from ..db.database import ProbabilisticDatabase
 from ..lineage.grounding import ground_answer_lineages, ground_lineage
 from ..lineage.wmc import exact_probability
@@ -23,13 +23,13 @@ class LineageEngine(Engine):
     name = "lineage-wmc"
 
     def probability(
-        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+        self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> float:
         return exact_probability(ground_lineage(query, db))
 
     def answers(
         self,
-        query: ConjunctiveQuery,
+        query: AnyQuery,
         db: ProbabilisticDatabase,
         k: Optional[int] = None,
     ) -> List[Answer]:

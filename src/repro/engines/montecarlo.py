@@ -53,7 +53,7 @@ try:  # pragma: no cover - exercised by whichever env runs the suite
 except ImportError:  # pragma: no cover
     np = None
 
-from ..core.query import ConjunctiveQuery
+from ..core.union import AnyQuery
 from ..db.database import GroundTuple, ProbabilisticDatabase, TupleKey
 from ..lineage.boolean import Clause, Lineage
 from ..lineage.grounding import ground_answer_lineages, ground_lineage
@@ -165,7 +165,7 @@ class MonteCarloEngine(Engine):
         )
 
     def probability(
-        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+        self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> float:
         lineage = ground_lineage(query, db)
         if lineage.certainly_true:
@@ -191,7 +191,7 @@ class MonteCarloEngine(Engine):
             self._metric_half_width.set(half_width)
 
     def estimate_with_interval(
-        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+        self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> Tuple[float, float]:
         """Karp–Luby estimate and its 95% confidence half-width."""
         estimate, half_width = estimate_with_error(
@@ -267,7 +267,7 @@ class MonteCarloEngine(Engine):
 
     def answers(
         self,
-        query: ConjunctiveQuery,
+        query: AnyQuery,
         db: ProbabilisticDatabase,
         k: Optional[int] = None,
     ) -> List[Answer]:
@@ -630,7 +630,7 @@ class KarpLubySampler:
 
 
 def estimate_with_error(
-    query: ConjunctiveQuery,
+    query: AnyQuery,
     db: ProbabilisticDatabase,
     samples: int,
     seed: Optional[int] = None,

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..compile.cache import CircuitCache
-from ..core.query import ConjunctiveQuery
+from ..core.union import AnyQuery, UnionQuery
 from ..db.database import GroundTuple, ProbabilisticDatabase
 from ..lineage.boolean import Lineage
 from ..lineage.grounding import ground_answer_lineages
@@ -36,7 +36,7 @@ from .compiled import CompiledEngine
 from .lifted import LiftedEngine
 from .lineage_engine import LineageEngine
 from .montecarlo import MonteCarloEngine
-from .safe_plan import SafePlanEngine, generic_residual
+from .safe_plan import SafePlanEngine, generic_residual, unsupported_reason
 
 #: Cap on cached safety verdicts — like ``history_limit``, an
 #: unbounded per-query cache is a slow leak under sustained serving
@@ -84,12 +84,20 @@ class RouterEngine(Engine):
 
     Order of preference:
 
-    1. the Equation-(3) safe plan (hierarchical, self-join-free);
-    2. the lifted engine (safe queries with self-joins);
+    1. the Equation-(3) safe plan (hierarchical, self-join-free CQs);
+    2. the lifted engine (safe CQs with self-joins, and safe unions of
+       conjunctive queries — inclusion–exclusion with cancellation);
     3. the compiled engine — exact answers for #P-hard queries whose
        lineage compiles into a circuit within ``compile_budget`` nodes;
     4. the fallback — Monte Carlo by default, or the exact lineage
        oracle when ``exact_fallback`` is set.
+
+    All four tiers accept :class:`~repro.core.union.UnionQuery` inputs
+    (the exact-PTIME union tier is the lifted engine; the lower tiers
+    ride on the shared DNF lineage).  One admission rule —
+    :meth:`_admit_exact` — decides the exact PTIME tier for
+    :meth:`plan_query`, :meth:`probability` and :meth:`answers` alike,
+    so the three paths cannot drift apart.
 
     Set ``compile_budget=None`` to disable tier 3 (the pre-compilation
     MystiQ architecture, kept for the paper-artifact benchmarks); a
@@ -135,7 +143,11 @@ class RouterEngine(Engine):
         >>> router.history[-1].engine            # exact despite #P-hardness
         'compiled'
         >>> router.history[-1].fallback_reason
-        'no safe plan (non-hierarchical)'
+        'no safe plan (non-hierarchical: sg(x) and sg(y) cross, hence #P-hard (Theorem 1.4))'
+        >>> round(router.probability(parse("R(x), S(x,y) | S(u,v), T(v)"), db), 6)
+        0.36
+        >>> router.history[-1].engine            # unsafe UCQ, still exact
+        'compiled'
     """
 
     name = "router"
@@ -148,7 +160,7 @@ class RouterEngine(Engine):
         compile_budget: Optional[int] = 10_000,
         mc_backend: str = "auto",
         circuit_cache: Optional[CircuitCache] = None,
-        safety_cache: Optional[Dict[ConjunctiveQuery, bool]] = None,
+        safety_cache: Optional[Dict[AnyQuery, bool]] = None,
         history_limit: Optional[int] = 10_000,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
@@ -180,7 +192,7 @@ class RouterEngine(Engine):
         )
         self.exact_fallback = exact_fallback
         self.history: Deque[RoutingDecision] = deque(maxlen=history_limit)
-        self._safety_cache: Dict[ConjunctiveQuery, bool] = (
+        self._safety_cache: Dict[AnyQuery, bool] = (
             safety_cache if safety_cache is not None else {}
         )
         self._metric_decisions = self.metrics.counter(
@@ -199,7 +211,7 @@ class RouterEngine(Engine):
             ("reason",),
         )
 
-    def is_safe(self, query: ConjunctiveQuery) -> bool:
+    def is_safe(self, query: AnyQuery) -> bool:
         """Cached safety decision for the routing choice.
 
         Delegates to the lifted engine's :meth:`prepare
@@ -219,7 +231,54 @@ class RouterEngine(Engine):
             self._safety_cache[query] = cached
         return cached
 
-    def plan_query(self, query: ConjunctiveQuery) -> str:
+    def _admit_exact(
+        self, residual: AnyQuery
+    ) -> Tuple[Optional[Engine], str, str]:
+        """The one tier-admission rule for the exact PTIME ladder.
+
+        Shared by :meth:`plan_query`, :meth:`_route` and
+        :meth:`_route_answers` (formerly three near-identical blocks
+        that could — and did — drift in wording), so every path answers
+        "which exact tier, and if none, precisely why" identically.
+
+        * a union of CQs goes to the lifted tier when safe, else falls
+          through (label ``unsafe_union``);
+        * a self-join-free CQ goes to the safe plan when Equation (3)
+          applies, else falls through with the precise cause from
+          :func:`~repro.engines.safe_plan.unsupported_reason`
+          (label ``non_hierarchical``);
+        * a CQ with a self-join goes to the lifted tier when safe,
+          else falls through (label ``unsafe_self_join``).
+
+        Returns ``(engine, fallback_reason, metric_label)`` — engine is
+        ``None`` exactly when no PTIME tier admits the residual, and
+        only then are the reason/label non-empty.  The caller records
+        the fallback metric (``plan_query`` merely *predicts* and must
+        not count a fallback).
+        """
+        if isinstance(residual, UnionQuery):
+            if self.is_safe(residual):
+                return self.lifted, "", ""
+            return (
+                None,
+                f"union of {len(residual.disjuncts)} CQs with no safe "
+                f"decomposition (#P-hard by the UCQ dichotomy)",
+                "unsafe_union",
+            )
+        if not residual.has_self_join():
+            message = unsupported_reason(residual)
+            if message is None:
+                return self.safe_plan, "", ""
+            return None, f"no safe plan ({message})", "non_hierarchical"
+        if self.is_safe(residual):
+            return self.lifted, "", ""
+        return (
+            None,
+            "self-join without a safe decomposition (#P-hard by the dichotomy)",
+            "unsafe_self_join",
+        )
+
+    def plan_query(self, query: AnyQuery) -> str:
         """The database-independent part of routing, decided once.
 
         Returns the engine name that will serve ``query`` when its
@@ -231,21 +290,14 @@ class RouterEngine(Engine):
         prepared-query cache, so per-request routing skips the
         classification entirely.  Mirrors :meth:`probability` /
         :meth:`answers` tier order exactly (safety of an answer-tuple
-        query is safety of its generic residual).
+        query is safety of its generic residual) because all three go
+        through :meth:`_admit_exact`.
         """
-        residual = generic_residual(query)
-        if not query.has_self_join():
-            try:
-                self.safe_plan.prepare(residual)
-                return self.safe_plan.name
-            except UnsupportedQueryError:
-                return "unsafe"
-        if self.is_safe(residual):
-            return self.lifted.name
-        return "unsafe"
+        engine, _reason, _label = self._admit_exact(generic_residual(query))
+        return engine.name if engine is not None else "unsafe"
 
     def probability(
-        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+        self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> float:
         start = time.perf_counter()
         engine, value, safe, reason, interval = self._route(query, db)
@@ -267,7 +319,7 @@ class RouterEngine(Engine):
 
     def answers(
         self,
-        query: ConjunctiveQuery,
+        query: AnyQuery,
         db: ProbabilisticDatabase,
         k: Optional[int] = None,
     ) -> List[Answer]:
@@ -308,34 +360,22 @@ class RouterEngine(Engine):
     # ------------------------------------------------------------------
 
     def _route(
-        self, query: ConjunctiveQuery, db: ProbabilisticDatabase
+        self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> Tuple[str, float, bool, str, Optional[float]]:
         reasons = []
-        if not query.has_self_join():
+        engine, reason, label = self._admit_exact(query.boolean())
+        if engine is not None:
             try:
                 return (
-                    self.safe_plan.name,
-                    self.safe_plan.probability(query, db),
-                    True, "", None,
+                    engine.name, engine.probability(query, db), True, "", None,
                 )
-            except UnsupportedQueryError:
-                reasons.append("no safe plan (non-hierarchical)")
-                self._metric_fallbacks.labels("non_hierarchical").inc()
-        elif self.is_safe(query.boolean()):
-            try:
-                return (
-                    self.lifted.name,
-                    self.lifted.probability(query, db),
-                    True, "", None,
-                )
-            except UnsafeQueryError:  # pragma: no cover - safety said yes
-                reasons.append("lifted decomposition failed")
+            except (UnsafeQueryError, UnsupportedQueryError):
+                # pragma: no cover - admission said yes
+                reasons.append(f"{engine.name} tier failed after admission")
                 self._metric_fallbacks.labels("lifted_failed").inc()
         else:
-            reasons.append(
-                "self-join without a safe decomposition (#P-hard by the dichotomy)"
-            )
-            self._metric_fallbacks.labels("unsafe_self_join").inc()
+            reasons.append(reason)
+            self._metric_fallbacks.labels(label).inc()
         if self.compiled is not None:
             try:
                 value = self.compiled.probability(query, db)
@@ -361,39 +401,30 @@ class RouterEngine(Engine):
         )
 
     def _route_answers(
-        self, query: ConjunctiveQuery, db: ProbabilisticDatabase,
+        self, query: AnyQuery, db: ProbabilisticDatabase,
         k: Optional[int],
     ) -> List[Tuple]:
         """(answer, p, engine, seconds, safe, reason, interval) rows."""
         reasons: List[str] = []
-        residual = generic_residual(query)
-        if not query.has_self_join():
+        engine, reason, label = self._admit_exact(generic_residual(query))
+        if engine is not None:
             try:
                 start = time.perf_counter()
-                results = self.safe_plan.answers(query, db)
+                if engine is self.lifted:
+                    results = self.lifted.answers(query, db, assume_safe=True)
+                else:
+                    results = engine.answers(query, db)
                 return _tier_rows(
-                    results, self.safe_plan.name,
-                    time.perf_counter() - start, True, "",
-                )
-            except UnsupportedQueryError:
-                reasons.append("no safe plan (residual non-hierarchical)")
-                self._metric_fallbacks.labels("non_hierarchical").inc()
-        elif self.is_safe(residual):
-            try:
-                start = time.perf_counter()
-                results = self.lifted.answers(query, db, assume_safe=True)
-                return _tier_rows(
-                    results, self.lifted.name,
+                    results, engine.name,
                     time.perf_counter() - start, True, "",
                 )
             except (UnsafeQueryError, UnsupportedQueryError):
-                reasons.append("lifted decomposition failed")  # pragma: no cover
+                # pragma: no cover - admission said yes
+                reasons.append(f"{engine.name} tier failed after admission")
                 self._metric_fallbacks.labels("lifted_failed").inc()
         else:
-            reasons.append(
-                "residual has no safe decomposition (#P-hard by the dichotomy)"
-            )
-            self._metric_fallbacks.labels("unsafe_self_join").inc()
+            reasons.append(reason)
+            self._metric_fallbacks.labels(label).inc()
         reason = "; ".join(reasons)
         lineages = ground_answer_lineages(query, db)
         rows: List[Tuple] = []

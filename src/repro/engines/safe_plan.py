@@ -22,11 +22,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom
-from ..core.hierarchy import is_hierarchical, maximal_variables
+from ..core.hierarchy import (
+    find_non_hierarchical_witness,
+    is_hierarchical,
+    maximal_variables,
+)
 from ..core.predicates import Comparison
 from ..core.query import ConjunctiveQuery
 from ..core.substitution import Substitution
 from ..core.terms import Constant, Variable
+from ..core.union import AnyQuery, UnionQuery
 from ..db.database import GroundTuple, ProbabilisticDatabase
 from .base import Answer, Engine, UnsupportedQueryError, rank_answers
 
@@ -39,13 +44,18 @@ class SafePlanEngine(Engine):
 
     name = "safe-plan"
 
-    def prepare(self, query: ConjunctiveQuery) -> None:
-        """Admission is purely syntactic: hierarchical, self-join free.
+    def supports(self, query: AnyQuery) -> Optional[str]:
+        """Admission is purely syntactic: one CQ, hierarchical,
+        self-join free.  The reason names the precise cause.
 
         For an answer-tuple query pass the *generic residual* (head
         variables frozen to placeholder constants) — the same query
         :meth:`answers` checks internally.
         """
+        return unsupported_reason(query)
+
+    def prepare(self, query: AnyQuery) -> None:
+        """Raise with the precise cause when :meth:`supports` says no."""
         check_supported(query)
 
     def probability(
@@ -91,36 +101,84 @@ class SafePlanEngine(Engine):
         return rank_answers(results, k)
 
 
-def check_supported(query: ConjunctiveQuery) -> None:
-    """Raise unless the query is hierarchical and self-join free.
+def unsupported_reason(query: AnyQuery) -> Optional[str]:
+    """The precise reason Equation (3) does not apply, or ``None``.
 
     The hierarchy test runs on the positive part (Definition 3.9).
+    Causes, most specific first: a union of CQs (safe plans cover a
+    single rule), a self-join (named relation symbol), a
+    non-hierarchical variable pair (named witness).
     """
-    if query.has_self_join():
-        raise UnsupportedQueryError(
-            f"safe-plan engine requires a self-join-free query: {query}"
+    if isinstance(query, UnionQuery):
+        return (
+            f"union of {len(query.disjuncts)} conjunctive queries "
+            f"(the safe plan covers a single self-join-free CQ; unions "
+            f"go to the lifted tier)"
+        )
+    repeated = _repeated_relation(query)
+    if repeated is not None:
+        relation, count = repeated
+        return (
+            f"self-join: relation {relation} occurs in {count} sub-goals "
+            f"(Equation (3) requires a self-join-free query)"
         )
     positive = query.positive_part()
     if not is_hierarchical(positive):
-        raise UnsupportedQueryError(
-            f"query is not hierarchical, hence #P-hard (Theorem 1.4): {query}"
+        witness = find_non_hierarchical_witness(positive)
+        detail = (
+            f"sg({witness.x}) and sg({witness.y}) cross"
+            if witness is not None
+            else "no hierarchy between variable sub-goal sets"
         )
+        return f"non-hierarchical: {detail}, hence #P-hard (Theorem 1.4)"
+    return None
 
 
-def generic_residual(query: ConjunctiveQuery) -> ConjunctiveQuery:
+def _repeated_relation(query: ConjunctiveQuery) -> Optional[Tuple[str, int]]:
+    counts: Dict[str, int] = {}
+    for atom in query.atoms:
+        counts[atom.relation] = counts.get(atom.relation, 0) + 1
+    for relation in sorted(counts):
+        if counts[relation] > 1:
+            return relation, counts[relation]
+    return None
+
+
+def check_supported(query: AnyQuery) -> None:
+    """Raise (naming the precise cause) unless the query is a single
+    hierarchical, self-join-free conjunctive query."""
+    reason = unsupported_reason(query)
+    if reason is not None:
+        raise UnsupportedQueryError(f"{reason}: {query}")
+
+
+def generic_residual(query: AnyQuery) -> AnyQuery:
     """The Boolean residual with head variables frozen to placeholder
     constants — the query every answer's residual is an instance of.
 
     Safety of an answer query is safety of this residual: head
     variables are never projected away, so they act as constants in
-    the extensional plan.
+    the extensional plan.  For a union, each disjunct's head variables
+    are frozen *positionally* (``@answer0, @answer1, ...`` by head
+    position), so all disjuncts agree on the constants an answer tuple
+    would bind.
     """
+    if isinstance(query, UnionQuery):
+        if query.is_boolean:
+            return query
+        return UnionQuery(
+            _generic_cq_residual(d) for d in query.disjuncts
+        )
+    return _generic_cq_residual(query)
+
+
+def _generic_cq_residual(query: ConjunctiveQuery) -> ConjunctiveQuery:
     if query.head is None:
         return query
-    mapping = {
-        variable: Constant(f"@answer{index}")
-        for index, variable in enumerate(query.head_variables)
-    }
+    mapping: Dict[Variable, Constant] = {}
+    for position, term in enumerate(query.head):
+        if isinstance(term, Variable) and term not in mapping:
+            mapping[term] = Constant(f"@answer{position}")
     bound = query.apply(Substitution(mapping))
     return ConjunctiveQuery(bound.atoms, bound.predicates)
 

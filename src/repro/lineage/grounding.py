@@ -1,12 +1,19 @@
-"""Grounding: matching a conjunctive query against a database.
+"""Grounding: matching a query (CQ or union) against a database.
 
-``find_matches`` enumerates all satisfying assignments of the query's
-variables by backtracking joins over the stored tuples (with per-column
-indexes); ``ground_lineage`` turns the matches into a DNF
-:class:`~repro.lineage.boolean.Lineage`.  For answer-tuple queries,
-``ground_answer_lineages`` runs the *same single matching pass* and
-groups the clauses by head valuation — one lineage per answer tuple,
-instead of re-running ``find_matches`` once per answer.
+``find_matches`` enumerates all satisfying assignments of one
+conjunctive query's variables by backtracking joins over the stored
+tuples (with per-column indexes); ``ground_lineage`` turns the matches
+into a DNF :class:`~repro.lineage.boolean.Lineage`.  For answer-tuple
+queries, ``ground_answer_lineages`` runs the *same single matching
+pass* and groups the clauses by head valuation — one lineage per
+answer tuple, instead of re-running ``find_matches`` once per answer.
+
+The lineage-level entry points (`ground_lineage`,
+`ground_answer_lineages`, `answer_tuples`, `answers_holding`,
+`query_holds`) also accept a :class:`~repro.core.union.UnionQuery`: a
+UCQ lineage is still a DNF, so each disjunct is matched independently
+and the clauses merge into one lineage (per answer), which is why the
+compiled, Monte Carlo and brute-force tiers ride on unions unchanged.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from ..core.atoms import Atom
 from ..core.predicates import Comparison
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Constant, Variable
+from ..core.union import AnyQuery, UnionQuery, disjuncts_of
 from ..db.database import GroundTuple, ProbabilisticDatabase, TupleKey
 from ..db.relation import canonical_row_key
 from .boolean import Lineage, Literal, make_lineage
@@ -35,6 +43,11 @@ def find_matches(
     Variables occurring only in negated sub-goals are rejected — the
     query would not be range-restricted.
     """
+    if isinstance(query, UnionQuery):
+        raise TypeError(
+            "find_matches works per disjunct; iterate UnionQuery.disjuncts "
+            "or use the lineage-level entry points"
+        )
     positive = [a for a in query.atoms if not a.negated]
     restricted = set()
     for atom in positive:
@@ -66,8 +79,15 @@ def find_matches(
     return matches
 
 
-def query_holds(query: ConjunctiveQuery, db: ProbabilisticDatabase) -> bool:
-    """True iff the query has at least one match (deterministic check)."""
+def query_holds(query: AnyQuery, db: ProbabilisticDatabase) -> bool:
+    """True iff the query has at least one match (deterministic check).
+
+    A union holds when any disjunct holds.
+    """
+    return any(_cq_holds(d, db) for d in disjuncts_of(query))
+
+
+def _cq_holds(query: ConjunctiveQuery, db: ProbabilisticDatabase) -> bool:
     positive = [a for a in query.atoms if not a.negated]
     order = _plan(positive)
     lookups = _build_lookups(order, db)
@@ -93,7 +113,7 @@ def query_holds(query: ConjunctiveQuery, db: ProbabilisticDatabase) -> bool:
 
 
 def ground_lineage(
-    query: ConjunctiveQuery, db: ProbabilisticDatabase
+    query: AnyQuery, db: ProbabilisticDatabase
 ) -> Lineage:
     """The DNF lineage of ``query`` over ``db``.
 
@@ -102,42 +122,50 @@ def ground_lineage(
     absent tuple is vacuously true, over a certain tuple it kills the
     match, otherwise it contributes a negative literal.
 
+    A union contributes the clauses of every disjunct into one shared
+    DNF (`make_lineage` dedupes and absorbs across disjuncts), so a
+    UCQ lineage is indistinguishable from a CQ lineage downstream.
+
     ``query`` is treated as Boolean (an explicit head is ignored); use
     :func:`ground_answer_lineages` for per-answer lineages.
     """
     weights: Dict[TupleKey, float] = {}
     clauses: List[List[Literal]] = []
-    for assignment in find_matches(query, db):
-        clause = _match_clause(query, db, assignment, weights)
-        if clause is not None:
-            clauses.append(clause)
+    for disjunct in disjuncts_of(query):
+        for assignment in find_matches(disjunct, db):
+            clause = _match_clause(disjunct, db, assignment, weights)
+            if clause is not None:
+                clauses.append(clause)
     return make_lineage(clauses, weights)
 
 
 def ground_answer_lineages(
-    query: ConjunctiveQuery, db: ProbabilisticDatabase
+    query: AnyQuery, db: ProbabilisticDatabase
 ) -> Dict[GroundTuple, Lineage]:
     """Per-answer lineages from one shared matching pass.
 
-    Runs ``find_matches`` exactly once, groups the matches by head
-    valuation, and builds one DNF lineage per answer tuple.  Answers
-    whose every match is dead (impossible tuples) get a false lineage.
-    The result is ordered canonically by answer tuple.
+    Runs ``find_matches`` exactly once per disjunct, groups the matches
+    by head valuation — for a union, *across* disjuncts, each bound
+    through its own head — and builds one DNF lineage per answer tuple
+    over one shared weight map.  Answers whose every match is dead
+    (impossible tuples) get a false lineage.  The result is ordered
+    canonically by answer tuple.
     """
-    head = query.head
-    if head is None:
+    if query.head is None:
         raise ValueError(f"query has no head variables: {query}")
     weights: Dict[TupleKey, float] = {}
     grouped: Dict[GroundTuple, List[List[Literal]]] = {}
-    for assignment in find_matches(query, db):
-        answer = tuple(
-            term.value if isinstance(term, Constant) else assignment[term]
-            for term in head
-        )
-        clauses = grouped.setdefault(answer, [])
-        clause = _match_clause(query, db, assignment, weights)
-        if clause is not None:
-            clauses.append(clause)
+    for disjunct in disjuncts_of(query):
+        head = disjunct.head
+        for assignment in find_matches(disjunct, db):
+            answer = tuple(
+                term.value if isinstance(term, Constant) else assignment[term]
+                for term in head
+            )
+            clauses = grouped.setdefault(answer, [])
+            clause = _match_clause(disjunct, db, assignment, weights)
+            if clause is not None:
+                clauses.append(clause)
     return {
         answer: make_lineage(grouped[answer], weights)
         for answer in sorted(grouped, key=canonical_row_key)
@@ -145,7 +173,7 @@ def ground_answer_lineages(
 
 
 def answer_tuples(
-    query: ConjunctiveQuery, db: ProbabilisticDatabase
+    query: AnyQuery, db: ProbabilisticDatabase
 ) -> List[GroundTuple]:
     """Candidate answer tuples: head valuations with at least one
     match whose lineage is not identically false."""
@@ -157,21 +185,23 @@ def answer_tuples(
 
 
 def answers_holding(
-    query: ConjunctiveQuery, db: ProbabilisticDatabase
+    query: AnyQuery, db: ProbabilisticDatabase
 ) -> Set[GroundTuple]:
     """Answer tuples true on ``db`` read as a *deterministic* instance
-    (negated sub-goals must be absent).  Used by world enumeration."""
-    head = query.head
-    if head is None:
+    (negated sub-goals must be absent).  A union's answers are the
+    union of its disjuncts' answers.  Used by world enumeration."""
+    if query.head is None:
         raise ValueError(f"query has no head variables: {query}")
     answers: Set[GroundTuple] = set()
-    for assignment in find_matches(query, db):
-        if not _negatives_absent(query, db, assignment):
-            continue
-        answers.add(tuple(
-            term.value if isinstance(term, Constant) else assignment[term]
-            for term in head
-        ))
+    for disjunct in disjuncts_of(query):
+        head = disjunct.head
+        for assignment in find_matches(disjunct, db):
+            if not _negatives_absent(disjunct, db, assignment):
+                continue
+            answers.add(tuple(
+                term.value if isinstance(term, Constant) else assignment[term]
+                for term in head
+            ))
     return answers
 
 

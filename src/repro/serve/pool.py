@@ -90,6 +90,7 @@ from typing import (
 
 from ..core.parser import parse
 from ..core.query import ConjunctiveQuery, canonical_string
+from ..core.union import AnyQuery, UnionQuery
 from ..db.database import ProbabilisticDatabase
 from ..db.relation import Probability, Value
 from ..engines.base import Answer
@@ -452,7 +453,7 @@ def _worker_estimate_packed(
 @dataclass
 class _PendingItem:
     kind: str  # "evaluate" | "answers"
-    query: ConjunctiveQuery
+    query: AnyQuery
     k: Optional[int]
     future: Future
     #: ``perf_counter`` at buffer entry — dispatch observes the wait.
@@ -1522,12 +1523,13 @@ class ServerPool:
     # Batching front internals
     # ------------------------------------------------------------------
 
-    def _parse(self, query: QueryLike) -> ConjunctiveQuery:
+    def _parse(self, query: QueryLike) -> AnyQuery:
         if isinstance(query, str):
             return parse(query)
-        if not isinstance(query, ConjunctiveQuery):
+        if not isinstance(query, (ConjunctiveQuery, UnionQuery)):
             raise TypeError(
-                f"expected query text or ConjunctiveQuery, got {query!r}"
+                f"expected query text, ConjunctiveQuery or UnionQuery, "
+                f"got {query!r}"
             )
         return query
 
@@ -1561,7 +1563,7 @@ class ServerPool:
                 futures.append(future)
             return futures
         to_drive = []
-        inline: List[Tuple[str, ConjunctiveQuery, Optional[int], Future]] = []
+        inline: List[Tuple[str, AnyQuery, Optional[int], Future]] = []
         with self._lock:
             self._check_open()
             self._ensure_synced_locked()
@@ -1627,7 +1629,7 @@ class ServerPool:
             return self._fallback
 
     def _serve_fallback(
-        self, kind: str, query: ConjunctiveQuery, k: Optional[int],
+        self, kind: str, query: AnyQuery, k: Optional[int],
         future: Future,
     ) -> None:
         session = self._fallback_session()
@@ -1639,7 +1641,7 @@ class ServerPool:
         )
 
     def _serve_with_session(
-        self, session, lock, kind: str, query: ConjunctiveQuery,
+        self, session, lock, kind: str, query: AnyQuery,
         k: Optional[int], future: Future,
     ) -> None:
         """The inline (workers=0) request path."""
@@ -1654,7 +1656,7 @@ class ServerPool:
 
     @staticmethod
     def _execute_with_session(
-        session, lock, kind: str, query: ConjunctiveQuery,
+        session, lock, kind: str, query: AnyQuery,
         k: Optional[int], future: Future,
     ) -> None:
         try:

@@ -49,6 +49,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..core.parser import parse
 from ..core.query import ConjunctiveQuery, canonical_string
+from ..core.union import AnyQuery, UnionQuery
 from ..db.database import (
     GroundTuple,
     ProbabilisticDatabase,
@@ -63,8 +64,9 @@ from ..lineage.boolean import Lineage
 from ..lineage.grounding import ground_answer_lineages, ground_lineage
 from ..lineage.wmc import exact_probability
 
-#: A query as accepted by the session API: parsed or source text.
-QueryLike = Union[str, ConjunctiveQuery]
+#: A query as accepted by the session API: parsed (CQ or union of
+#: CQs) or source text.
+QueryLike = Union[str, ConjunctiveQuery, UnionQuery]
 
 #: Distinguishes "keyword not given" from every meaningful value
 #: (``compile_budget=None`` and ``mc_seed=None`` are both legitimate).
@@ -150,7 +152,7 @@ class PreparedQuery:
         "groups", "trivial", "leftovers",
     )
 
-    def __init__(self, query: ConjunctiveQuery, shape: str, tier: str) -> None:
+    def __init__(self, query: AnyQuery, shape: str, tier: str) -> None:
         self.query = query
         self.shape = shape
         self.relations: Tuple[str, ...] = query.relations
@@ -613,7 +615,7 @@ class QuerySession:
         unique: List[PreparedQuery] = []
         slot_of: Dict[str, int] = {}
         slots: List[int] = []
-        boolean_queries: List[ConjunctiveQuery] = []
+        boolean_queries: List[AnyQuery] = []
         for query in queries:
             parsed = self._parse(query)
             if parsed.head is None:
@@ -812,12 +814,13 @@ class QuerySession:
                 "seconds": seconds,
             })
 
-    def _parse(self, query: QueryLike) -> ConjunctiveQuery:
+    def _parse(self, query: QueryLike) -> AnyQuery:
         if isinstance(query, str):
             return parse(query)
-        if not isinstance(query, ConjunctiveQuery):
+        if not isinstance(query, (ConjunctiveQuery, UnionQuery)):
             raise TypeError(
-                f"expected query text or ConjunctiveQuery, got {query!r}"
+                f"expected query text, ConjunctiveQuery or UnionQuery, "
+                f"got {query!r}"
             )
         return query
 

@@ -1,0 +1,442 @@
+"""Unions of conjunctive queries, end to end.
+
+Parser round-trips and error messages, UnionQuery canonicalization,
+the reusable transforms (DNF/CNF minimization, shattering), the
+cross-engine parity sweep over safe UCQs with self-joins, routing of
+unsafe unions, and the serving cache on union shapes.
+"""
+
+import pytest
+
+from repro.analysis.classifier import Reason, Verdict, classify
+from repro.core import parse
+from repro.core.parser import QueryParseError
+from repro.core.query import ConjunctiveQuery, canonical_string
+from repro.core.terms import Constant
+from repro.core.union import (
+    UnionQuery,
+    disjuncts_of,
+    minimize_ucq_in_cnf,
+    minimize_ucq_in_dnf,
+    shatter_constants,
+    ucq_cnf,
+    union_equivalent,
+)
+from repro.db import (
+    ProbabilisticDatabase,
+    iterate_worlds,
+    random_database,
+    world_database,
+)
+from repro.lineage.grounding import query_holds
+from repro.engines import (
+    BruteForceEngine,
+    CompiledEngine,
+    LiftedEngine,
+    LineageEngine,
+    MonteCarloEngine,
+    RouterEngine,
+    SafePlanEngine,
+    UnsafeQueryError,
+    UnsupportedQueryError,
+)
+from repro.serve import QuerySession
+
+brute = BruteForceEngine()
+lifted = LiftedEngine()
+lineage = LineageEngine()
+compiled = CompiledEngine()
+
+#: Safe UCQs, several with self-joins; all decompose by the lifted rules.
+SAFE_UCQS = [
+    "R(x,x) | R(x,y), x < y",
+    "R(x,y), R(y,x) | S(z)",
+    "R(x,1) | R(x,2)",
+    "S(x) | T(x)",
+    "S(x), T(y) | S(u)",
+]
+
+#: An H1-like union: S is shared across disjuncts with no separator, so
+#: inclusion-exclusion cycles and the union is #P-hard.
+UNSAFE_UCQ = "R(x), S(x,y) | S(u,v), T(v)"
+
+
+def small_db():
+    return ProbabilisticDatabase.from_dict({
+        "R": {(1, 1): 0.5, (1, 2): 0.3, (2, 1): 0.7, (2, 2): 0.2},
+        "S": {(1,): 0.4, (3,): 0.9},
+        "T": {(2,): 0.8},
+    })
+
+
+def binary_db():
+    return ProbabilisticDatabase.from_dict({
+        "R": {(1,): 0.5},
+        "S": {(1, 2): 0.4},
+        "T": {(2,): 0.8},
+    })
+
+
+class TestParserRoundTrip:
+    def test_pipe_builds_a_boolean_union(self):
+        query = parse("R(x) | S(x,y)")
+        assert isinstance(query, UnionQuery)
+        assert len(query.disjuncts) == 2
+        assert query.head is None
+
+    def test_semicolon_rules_build_a_headed_union(self):
+        query = parse("Q(x) :- R(x); Q(y) :- S(y,y)")
+        assert isinstance(query, UnionQuery)
+        assert query.head is not None
+        assert all(d.head is not None for d in query.disjuncts)
+
+    def test_newline_separates_rules_like_semicolon(self):
+        assert parse("Q(x) :- R(x)\nQ(y) :- S(y,y)") == parse(
+            "Q(x) :- R(x); Q(y) :- S(y,y)"
+        )
+
+    def test_head_distributes_over_pipe_bodies(self):
+        query = parse("Q(x) :- R(x) | S(x,x)")
+        assert isinstance(query, UnionQuery)
+        assert len(query.disjuncts) == 2
+        assert all(d.head is not None for d in query.disjuncts)
+
+    def test_single_body_stays_a_plain_cq(self):
+        assert isinstance(parse("R(x), S(x,y)"), ConjunctiveQuery)
+        assert isinstance(parse("Q(x) :- R(x), S(x,y)"), ConjunctiveQuery)
+
+    def test_duplicate_disjuncts_collapse_to_a_cq(self):
+        # R(x) and R(y) are equal up to renaming; canonical dedup
+        # leaves one disjunct, which parse returns as a plain CQ.
+        assert isinstance(parse("R(x) | R(y)"), ConjunctiveQuery)
+
+    @pytest.mark.parametrize("text", SAFE_UCQS + [
+        UNSAFE_UCQ,
+        "Q(x) :- R(x,y), x < y; Q(z) :- S(z)",
+        "Q(x) :- R(x) | S(x,x)",
+    ])
+    def test_str_round_trips(self, text):
+        query = parse(text)
+        assert parse(str(query)) == query
+
+    def test_constants_apply_to_every_disjunct(self):
+        query = parse("R(a,x) | S(a)", constants=("a",))
+        for disjunct in disjuncts_of(query):
+            assert any(
+                isinstance(term, Constant)
+                for atom in disjunct.atoms
+                for term in atom.terms
+            )
+
+
+class TestParserErrors:
+    def test_different_head_relations(self):
+        with pytest.raises(
+            QueryParseError, match="rules define different head relations"
+        ):
+            parse("Q(x) :- R(x); P(y) :- S(y,y)")
+
+    def test_head_arity_mismatch(self):
+        with pytest.raises(
+            QueryParseError, match="rules disagree on head arity"
+        ):
+            parse("Q(x) :- R(x); Q(y,z) :- S(y,z)")
+
+    def test_mixed_boolean_and_headed_rules(self):
+        with pytest.raises(
+            QueryParseError, match="rules mix Boolean and answer-tuple forms"
+        ):
+            parse("R(x); Q(y) :- S(y,y)")
+
+    def test_pipe_inside_a_rule_mixes_with_head_too(self):
+        with pytest.raises(QueryParseError):
+            parse("Q(x) :- R(x) ; S(y,y)")
+
+    def test_all_empty_bodies_rejected(self):
+        with pytest.raises(QueryParseError, match="empty body"):
+            parse("|")
+
+    def test_stray_empty_disjuncts_are_dropped(self):
+        # Consistent with a trailing ';' or blank line between rules.
+        assert parse("R(x) | | S(y)") == parse("R(x) | S(y)")
+
+
+class TestUnionCanonicalization:
+    def test_disjunct_order_is_irrelevant(self):
+        assert parse("R(x) | S(x,y)") == parse("S(x,y) | R(x)")
+
+    def test_canonical_string_is_renaming_invariant(self):
+        # Like CQs, `==` is structural; renaming invariance is the job
+        # of canonical_string (and of the dedup inside UnionQuery).
+        left = parse("R(x), S(x,y) | T(z)")
+        right = parse("R(a), S(a,b) | T(c)")
+        assert canonical_string(left) == canonical_string(right)
+        merged = UnionQuery.of([*left.disjuncts, *right.disjuncts])
+        assert len(merged.disjuncts) == 2
+
+    def test_rule_order_is_irrelevant_for_headed_unions(self):
+        first = parse("Q(x) :- R(x,y), x < y; Q(z) :- S(z)")
+        second = parse("Q(z) :- S(z); Q(x) :- R(x,y), x < y")
+        assert first == second
+        assert canonical_string(first) == canonical_string(second)
+
+    def test_union_of_collapses_duplicates(self):
+        q = parse("R(x), S(x,y)")
+        assert UnionQuery.of([q, q]) == q
+
+    def test_canonical_string_differs_from_any_single_cq(self):
+        union = parse("R(x) | S(x)")
+        assert canonical_string(union) != canonical_string(parse("R(x)"))
+
+
+class TestTransforms:
+    def test_dnf_minimization_prunes_contained_disjuncts(self):
+        # S(x), T(y) implies S(u): the first disjunct is redundant.
+        union = parse("S(x), T(y) | S(u)")
+        minimized = minimize_ucq_in_dnf(list(union.disjuncts))
+        assert len(minimized) == 1
+        assert minimized[0] == parse("S(u)")
+
+    def test_dnf_minimization_preserves_probability(self):
+        # The unsafe union uses a different schema (R/1, S/2) than the
+        # safe zoo (R/2, S/1), hence its own database.
+        cases = [(text, small_db()) for text in SAFE_UCQS]
+        cases.append((UNSAFE_UCQ, binary_db()))
+        for text, db in cases:
+            union = parse(text)
+            minimized = UnionQuery.of(
+                minimize_ucq_in_dnf(list(disjuncts_of(union)))
+            )
+            assert brute.probability(minimized, db) == pytest.approx(
+                brute.probability(union, db), abs=1e-9
+            ), text
+
+    def test_unsatisfiable_union_minimizes_to_nothing(self):
+        union = parse("R(x,x), x < x | S(y), y != y")
+        assert minimize_ucq_in_dnf(list(union.disjuncts)) == []
+
+    def test_cnf_clauses_multiply_out_the_components(self):
+        # Both disjuncts split into two components, giving four clauses.
+        union = parse("R(x), S(y) | T(u), U(v)")
+        clauses = ucq_cnf(union)
+        assert len(clauses) == 4
+
+    def test_cnf_equivalence_by_brute_force(self):
+        db = small_db()
+        union = parse("R(x,x), S(y) | T(u)")
+        reference = brute.probability(union, db)
+        for clauses in (ucq_cnf(union), minimize_ucq_in_cnf(ucq_cnf(union))):
+            assert clauses
+            # Each clause is implied by the union...
+            for clause in clauses:
+                assert brute.probability(clause, db) >= reference - 1e-9
+            # ...and their conjunction holds in exactly the same worlds.
+            total = sum(
+                weight
+                for world, weight in iterate_worlds(db)
+                if all(
+                    query_holds(clause, world_database(db, world))
+                    for clause in clauses
+                )
+            )
+            assert total == pytest.approx(reference, abs=1e-9)
+
+    def test_cnf_minimization_drops_implied_clauses(self):
+        # T(u) appears in every clause of the distributed CNF of
+        # R(x), S(y) | T(u); the clause set minimizes by containment.
+        union = parse("R(x,x), S(y) | T(u)")
+        assert len(minimize_ucq_in_cnf(ucq_cnf(union))) <= len(
+            ucq_cnf(union)
+        )
+
+    def test_shattering_preserves_probability(self):
+        db = small_db()
+        union = parse("R(x,1) | R(x,2)")
+        shattered = UnionQuery.of(shatter_constants(union))
+        assert brute.probability(shattered, db) == pytest.approx(
+            brute.probability(union, db), abs=1e-9
+        )
+
+    def test_shattering_splits_self_joined_constant_positions(self):
+        # R(x,1), R(x,y): position 2 of R holds the constant 1 in one
+        # occurrence and the variable y in the other, so y splits into
+        # y = 1 and y != 1.
+        query = parse("R(x,1), R(x,y)")
+        shattered = shatter_constants(query)
+        assert len(shattered) == 2
+        assert union_equivalent(UnionQuery.of(shattered), query)
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("text", SAFE_UCQS)
+    def test_safe_ucqs_agree_across_exact_engines(self, text):
+        db = small_db()
+        query = parse(text)
+        reference = brute.probability(query, db)
+        assert lifted.probability(query, db) == pytest.approx(
+            reference, abs=1e-9
+        )
+        assert compiled.probability(query, db) == pytest.approx(
+            reference, abs=1e-9
+        )
+        assert lineage.probability(query, db) == pytest.approx(
+            reference, abs=1e-9
+        )
+
+    @pytest.mark.parametrize("text", SAFE_UCQS)
+    def test_router_admits_safe_ucqs_to_the_lifted_tier(self, text):
+        db = small_db()
+        router = RouterEngine()
+        value = router.probability(parse(text), db)
+        decision = router.history[-1]
+        assert decision.engine == "lifted"
+        assert decision.fallback_reason == ""
+        assert value == pytest.approx(
+            brute.probability(parse(text), db), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("text", SAFE_UCQS)
+    def test_monte_carlo_agrees_statistically(self, text):
+        db = small_db()
+        query = parse(text)
+        estimate = MonteCarloEngine(samples=4000, seed=7).probability(
+            query, db
+        )
+        assert estimate == pytest.approx(
+            brute.probability(query, db), abs=0.06
+        )
+
+    def test_unsafe_ucq_still_evaluates_exactly(self):
+        db = binary_db()
+        query = parse(UNSAFE_UCQ)
+        # S12 & (R1 | T2) = 0.4 * (1 - 0.5 * 0.2)
+        assert brute.probability(query, db) == pytest.approx(0.36, abs=1e-9)
+        assert compiled.probability(query, db) == pytest.approx(
+            0.36, abs=1e-9
+        )
+        assert lineage.probability(query, db) == pytest.approx(0.36, abs=1e-9)
+
+    def test_random_ucqs_brute_vs_lineage(self):
+        schema = {"R": 2, "S": 1, "T": 1}
+        texts = [
+            "R(x,y), S(y) | T(z)",
+            "R(x,x) | S(x), T(x)",
+            "R(x,y), R(y,z) | R(u,u)",
+            "S(x), x != 1 | T(y), R(y,y)",
+        ]
+        for seed, text in enumerate(texts):
+            db = random_database(schema, 3, density=0.6, seed=seed)
+            query = parse(text)
+            assert lineage.probability(query, db) == pytest.approx(
+                brute.probability(query, db), abs=1e-9
+            ), text
+
+    def test_answer_union_parity(self):
+        db = small_db()
+        query = parse("Q(x) :- R(x,y), x < y; Q(z) :- S(z)")
+        reference = {a: p for a, p in brute.answers(query, db)}
+        for engine in (lifted, lineage, RouterEngine()):
+            results = {a: p for a, p in engine.answers(query, db)}
+            assert set(results) == set(reference)
+            for answer, value in results.items():
+                assert value == pytest.approx(reference[answer], abs=1e-9)
+
+    def test_router_answers_union_uses_the_lifted_tier(self):
+        router = RouterEngine()
+        router.answers(parse("Q(x) :- R(x,y), x < y; Q(z) :- S(z)"),
+                       small_db())
+        assert router.history[-1].engine == "lifted"
+
+
+class TestUnsafeRouting:
+    def test_unsafe_union_falls_through_to_compiled(self):
+        db = binary_db()
+        router = RouterEngine()
+        value = router.probability(parse(UNSAFE_UCQ), db)
+        decision = router.history[-1]
+        assert decision.engine == "compiled"
+        assert "union of 2 CQs with no safe decomposition" in (
+            decision.fallback_reason
+        )
+        assert "#P-hard" in decision.fallback_reason
+        assert value == pytest.approx(0.36, abs=1e-9)
+
+    def test_plan_query_reports_unsafe_unions(self):
+        assert RouterEngine().plan_query(parse(UNSAFE_UCQ)) == "unsafe"
+
+    @pytest.mark.parametrize("text", SAFE_UCQS)
+    def test_plan_query_reports_lifted_for_safe_unions(self, text):
+        assert RouterEngine().plan_query(parse(text)) == "lifted"
+
+    def test_classifier_flags_safe_unions_ptime(self):
+        report = classify(parse("S(x) | T(x)"))
+        assert report.verdict is Verdict.PTIME
+        assert report.reason is Reason.UCQ_SAFE
+
+    def test_classifier_flags_unsafe_unions_sharp_p_hard(self):
+        report = classify(parse(UNSAFE_UCQ))
+        assert report.verdict is Verdict.SHARP_P_HARD
+        assert report.reason is Reason.UCQ_UNSAFE
+        assert report.stuck_on
+
+    def test_classifier_collapses_redundant_unions(self):
+        # The union minimizes to the single CQ S(u), which is safe and
+        # classified through the plain-CQ path.
+        report = classify(parse("S(x), T(y) | S(u)"))
+        assert report.verdict is Verdict.PTIME
+        assert report.reason is not Reason.UCQ_UNSAFE
+
+
+class TestPreciseErrors:
+    def test_safe_plan_names_the_union(self):
+        message = SafePlanEngine().supports(parse("R(x) | S(x)"))
+        assert message is not None
+        assert "union of 2 conjunctive queries" in message
+
+    def test_safe_plan_names_the_self_joined_relation(self):
+        message = SafePlanEngine().supports(parse("R(x,y), R(y,z)"))
+        assert message is not None
+        assert "self-join: relation R occurs in 2 sub-goals" in message
+
+    def test_safe_plan_prepare_raises_with_the_reason(self):
+        with pytest.raises(UnsupportedQueryError, match="union of 2"):
+            SafePlanEngine().prepare(parse("R(x) | S(x)"))
+
+    def test_lifted_prepare_rejects_unsafe_unions(self):
+        with pytest.raises(UnsafeQueryError):
+            lifted.prepare(parse(UNSAFE_UCQ))
+
+    def test_lifted_prepare_accepts_safe_self_join_unions(self):
+        lifted.prepare(parse("R(x,x) | R(x,y), x < y"))
+
+
+class TestServingUnions:
+    def test_prepared_cache_hits_on_renamed_union(self):
+        session = QuerySession(small_db())
+        first = session.evaluate("S(x) | T(x)")
+        assert session.stats.prepare_hits == 0
+        second = session.evaluate("S(a) | T(b)")
+        assert session.stats.prepare_hits == 1
+        assert session.stats.result_hits == 1
+        assert second == pytest.approx(first, abs=1e-12)
+
+    def test_result_cache_hits_on_reordered_rules(self):
+        session = QuerySession(small_db())
+        first = session.answers("Q(x) :- R(x,y), x < y; Q(z) :- S(z)")
+        second = session.answers("Q(z) :- S(z); Q(x) :- R(x,y), x < y")
+        assert session.stats.result_hits >= 1
+        assert first == second
+
+    def test_update_invalidates_union_results(self):
+        db = small_db()
+        session = QuerySession(db)
+        session.evaluate("S(x) | T(x)")
+        session.update("S", (1,), 0.9)
+        value = session.evaluate("S(x) | T(x)")
+        assert value == pytest.approx(
+            brute.probability(parse("S(x) | T(x)"), db), abs=1e-9
+        )
+
+    def test_unsafe_union_serves_through_the_fallback_tiers(self):
+        session = QuerySession(binary_db(), exact_fallback=True)
+        assert session.evaluate(UNSAFE_UCQ) == pytest.approx(0.36, abs=1e-9)

@@ -49,7 +49,7 @@ class Relation:
         tuples: optional initial ``{tuple: probability}`` mapping.
     """
 
-    __slots__ = ("name", "_arity", "_tuples", "_indexes",
+    __slots__ = ("name", "_arity", "_tuples", "_indexes", "_distinct",
                  "version", "structure_version")
 
     def __init__(
@@ -62,6 +62,7 @@ class Relation:
         self._arity = arity
         self._tuples: Dict[GroundTuple, Probability] = {}
         self._indexes: Dict[int, Dict[Value, list]] = {}
+        self._distinct: Dict[int, Tuple[int, int]] = {}
         self.version = 0
         self.structure_version = 0
         if tuples:
@@ -139,6 +140,38 @@ class Relation:
     def matching(self, position: int, value: Value) -> list:
         """Tuples whose ``position``-th column equals ``value`` (indexed)."""
         return self.index_on(position).get(value, [])
+
+    def indexed_positions(self) -> Tuple[int, ...]:
+        """Columns whose per-column index has already been built.
+
+        The grounding planner prefers probing through an existing
+        index on cost ties, so repeated queries over one relation
+        converge on the same (already paid-for) index instead of
+        building one per column.
+        """
+        return tuple(self._indexes)
+
+    def distinct_count(self, position: int) -> int:
+        """Number of distinct values in a column (cached statistic).
+
+        The grounding planner's selectivity estimate: an index probe
+        on this column is expected to return ``len(self) /
+        distinct_count(position)`` rows.  Cached per
+        ``structure_version`` — probability re-weights never change
+        column contents, inserts invalidate.  Reads the column index
+        when one exists (free), otherwise one set-building pass that
+        does *not* materialize per-value row lists.
+        """
+        cached = self._distinct.get(position)
+        if cached is not None and cached[0] == self.structure_version:
+            return cached[1]
+        index = self._indexes.get(position)
+        if index is not None:
+            count = len(index)
+        else:
+            count = len({row[position] for row in self._tuples})
+        self._distinct[position] = (self.structure_version, count)
+        return count
 
     def values_at(self, position: int) -> set:
         """The set of values in a column."""

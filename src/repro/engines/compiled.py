@@ -37,6 +37,7 @@ from ..db.database import ProbabilisticDatabase, TupleKey
 from ..db.relation import canonical_row_key
 from ..lineage.boolean import Lineage
 from ..lineage.grounding import ground_answer_lineages, ground_lineage
+from ..lineage.planner import GroundingPlanner
 from .base import Answer, Engine, UnsupportedQueryError, clamp01, rank_answers
 
 MODES = ("obdd", "dnnf", "auto")
@@ -76,6 +77,7 @@ class CompiledEngine(Engine):
         ordering: str = "auto",
         max_nodes: Optional[int] = None,
         cache: Optional[CircuitCache] = None,
+        planner: Optional[GroundingPlanner] = None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -83,12 +85,13 @@ class CompiledEngine(Engine):
         self.ordering = ordering
         self.max_nodes = max_nodes
         self.cache = cache if cache is not None else CircuitCache()
+        self.planner = planner
         self.last_report: Optional[CompilationReport] = None
 
     def probability(
         self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> float:
-        lineage = ground_lineage(query, db)
+        lineage = ground_lineage(query, db, planner=self.planner)
         # The query only guides the OBDD variable order, and the order
         # heuristics read CQ structure — a union compiles order-free
         # from its (already DNF) lineage.
@@ -131,7 +134,9 @@ class CompiledEngine(Engine):
         results: List[Answer] = []
         # cache key -> (artifact, canonical event order, [(answer, weights)])
         groups: Dict[Hashable, Tuple[Artifact, List, List]] = {}
-        for answer, lineage in ground_answer_lineages(query, db).items():
+        for answer, lineage in ground_answer_lineages(
+            query, db, planner=self.planner
+        ).items():
             if lineage.certainly_true:
                 results.append((answer, 1.0))
                 continue

@@ -13,19 +13,30 @@ from typing import List, Optional
 from ..core.union import AnyQuery
 from ..db.database import ProbabilisticDatabase
 from ..lineage.grounding import ground_answer_lineages, ground_lineage
+from ..lineage.planner import GroundingPlanner
 from ..lineage.wmc import exact_probability
 from .base import Answer, Engine, rank_answers
 
 
 class LineageEngine(Engine):
-    """Ground to DNF lineage, then exact weighted model counting."""
+    """Ground to DNF lineage, then exact weighted model counting.
+
+    Args:
+        planner: grounding planner to use (shared plan cache +
+            metrics); the module-wide default when None.
+    """
 
     name = "lineage-wmc"
+
+    def __init__(self, planner: Optional[GroundingPlanner] = None) -> None:
+        self.planner = planner
 
     def probability(
         self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> float:
-        return exact_probability(ground_lineage(query, db))
+        return exact_probability(
+            ground_lineage(query, db, planner=self.planner)
+        )
 
     def answers(
         self,
@@ -38,6 +49,8 @@ class LineageEngine(Engine):
             return super().answers(query, db, k)
         results = [
             (answer, exact_probability(lineage))
-            for answer, lineage in ground_answer_lineages(query, db).items()
+            for answer, lineage in ground_answer_lineages(
+                query, db, planner=self.planner
+            ).items()
         ]
         return rank_answers(results, k)

@@ -58,6 +58,7 @@ from ..db.database import GroundTuple, ProbabilisticDatabase, TupleKey
 from ..lineage.boolean import Clause, Lineage
 from ..lineage.grounding import ground_answer_lineages, ground_lineage
 from ..lineage.packed import PackedLineage, SampleArena, clause_sort_key
+from ..lineage.planner import GroundingPlanner
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 from ._native import HAVE_NUMBA, kl_coverage_hits
 from .base import Answer, Engine, clamp01, rank_answers
@@ -113,6 +114,7 @@ class MonteCarloEngine(Engine):
         seed: Optional[int] = None,
         backend: str = "auto",
         metrics: Optional[MetricsRegistry] = None,
+        planner: Optional[GroundingPlanner] = None,
     ) -> None:
         if method not in ("karp-luby", "naive"):
             raise ValueError(f"unknown Monte Carlo method {method!r}")
@@ -120,6 +122,7 @@ class MonteCarloEngine(Engine):
         self.method = method
         self.seed = seed
         self.backend = resolve_backend(backend)
+        self.planner = planner
         #: After ``answers``: per-answer (estimate, 95% half-width).
         self.last_intervals: Dict[GroundTuple, Tuple[float, float]] = {}
         #: After ``answers``: total samples drawn across all answers.
@@ -162,12 +165,13 @@ class MonteCarloEngine(Engine):
             seed=self.seed,
             backend=self.backend,
             metrics=self._registry,
+            planner=self.planner,
         )
 
     def probability(
         self, query: AnyQuery, db: ProbabilisticDatabase
     ) -> float:
-        lineage = ground_lineage(query, db)
+        lineage = ground_lineage(query, db, planner=self.planner)
         if lineage.certainly_true:
             return 1.0
         if lineage.is_false:
@@ -195,7 +199,8 @@ class MonteCarloEngine(Engine):
     ) -> Tuple[float, float]:
         """Karp–Luby estimate and its 95% confidence half-width."""
         estimate, half_width = estimate_with_error(
-            query, db, self.samples, self.seed, self.backend
+            query, db, self.samples, self.seed, self.backend,
+            planner=self.planner,
         )
         self._record_run(self.samples, half_width)
         return estimate, half_width
@@ -285,9 +290,11 @@ class MonteCarloEngine(Engine):
         ``last_intervals`` / ``last_samples_drawn``.
         """
         if query.head is None:
-            lineages = {(): ground_lineage(query, db)}
+            lineages = {(): ground_lineage(query, db, planner=self.planner)}
         else:
-            lineages = ground_answer_lineages(query, db)
+            lineages = ground_answer_lineages(
+                query, db, planner=self.planner
+            )
         return self.answers_from_lineages(lineages, k)
 
     def answers_from_lineages(
@@ -635,13 +642,16 @@ def estimate_with_error(
     samples: int,
     seed: Optional[int] = None,
     backend: str = "auto",
+    planner: Optional[GroundingPlanner] = None,
 ) -> Tuple[float, float]:
     """Karp–Luby estimate plus a 95% half-width from the binomial CLT.
 
     The estimate is clamped into [0, 1]; the half-width is the honest
     (unclamped) sampler width.
     """
-    return estimate_lineage(ground_lineage(query, db), samples, seed, backend)
+    return estimate_lineage(
+        ground_lineage(query, db, planner=planner), samples, seed, backend
+    )
 
 
 def estimate_lineage(

@@ -29,6 +29,7 @@ from ..core.union import AnyQuery, UnionQuery
 from ..db.database import GroundTuple, ProbabilisticDatabase
 from ..lineage.boolean import Lineage
 from ..lineage.grounding import ground_answer_lineages
+from ..lineage.planner import GroundingPlanner
 from ..lineage.wmc import exact_probability
 from ..obs.metrics import MetricsRegistry
 from .base import Answer, Engine, UnsafeQueryError, UnsupportedQueryError, clamp01, rank_answers
@@ -53,7 +54,11 @@ class RoutingDecision:
     the chosen one were skipped — empty when the top-preference engine
     answered.  For answer-tuple queries ``answer`` holds the answer
     tuple; ``interval`` is the Monte Carlo 95% confidence half-width
-    when sampling produced the number, else None.
+    when sampling produced the number, else None.  When a grounding
+    tier (compiled, Monte Carlo, or the exact oracle) answered,
+    ``grounding_plan`` records the join order the grounding planner
+    chose (see :meth:`~repro.lineage.planner.GroundingPlan.describe`);
+    it stays None for the PTIME tiers, which never ground.
     """
 
     query: str
@@ -64,6 +69,7 @@ class RoutingDecision:
     fallback_reason: str = ""
     answer: Optional[GroundTuple] = None
     interval: Optional[float] = None
+    grounding_plan: Optional[str] = None
 
     def describe(self) -> str:
         line = (
@@ -74,6 +80,8 @@ class RoutingDecision:
             line = f"{self.answer}: " + line
         if self.interval is not None:
             line += f" ±{self.interval:.6f}"
+        if self.grounding_plan:
+            line += f" [plan: {self.grounding_plan}]"
         if self.fallback_reason:
             line += f" — {self.fallback_reason}"
         return line
@@ -176,19 +184,24 @@ class RouterEngine(Engine):
         #: tier; a :class:`~repro.serve.session.QuerySession` injects
         #: its own so one scrape covers the whole ladder).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: One grounding planner (plan cache + plan/candidate metrics)
+        #: shared by every tier that grounds, so a plan built for the
+        #: compiled tier is reused verbatim by the Monte Carlo fallback.
+        self.grounding_planner = GroundingPlanner(metrics=self.metrics)
         self.safe_plan = SafePlanEngine()
         self.lifted = LiftedEngine()
-        self.lineage = LineageEngine()
+        self.lineage = LineageEngine(planner=self.grounding_planner)
         self.compiled: Optional[CompiledEngine] = (
             CompiledEngine(
-                mode="auto", max_nodes=compile_budget, cache=circuit_cache
+                mode="auto", max_nodes=compile_budget, cache=circuit_cache,
+                planner=self.grounding_planner,
             )
             if compile_budget is not None
             else None
         )
         self.monte_carlo = MonteCarloEngine(
             samples=mc_samples, seed=mc_seed, backend=mc_backend,
-            metrics=self.metrics,
+            metrics=self.metrics, planner=self.grounding_planner,
         )
         self.exact_fallback = exact_fallback
         self.history: Deque[RoutingDecision] = deque(maxlen=history_limit)
@@ -313,6 +326,7 @@ class RouterEngine(Engine):
                 safe=safe,
                 fallback_reason=reason,
                 interval=interval,
+                grounding_plan=self._plan_note(engine, query),
             )
         )
         return value
@@ -351,6 +365,7 @@ class RouterEngine(Engine):
                     fallback_reason=reason,
                     answer=answer,
                     interval=interval,
+                    grounding_plan=self._plan_note(engine, query),
                 )
             )
         return ranked
@@ -358,6 +373,21 @@ class RouterEngine(Engine):
     # ------------------------------------------------------------------
     # Routing internals
     # ------------------------------------------------------------------
+
+    def _plan_note(self, engine_name: str, query: AnyQuery) -> Optional[str]:
+        """The grounding plan behind a decision, when one exists.
+
+        Only the grounding tiers plan; for the PTIME tiers (and for
+        lineages served entirely from the serving layer's caches) the
+        planner has no cached plan and this stays None.
+        """
+        if engine_name in (
+            self.lineage.name,
+            self.monte_carlo.name,
+            self.compiled.name if self.compiled is not None else None,
+        ):
+            return self.grounding_planner.describe_cached(query)
+        return None
 
     def _route(
         self, query: AnyQuery, db: ProbabilisticDatabase
@@ -426,7 +456,9 @@ class RouterEngine(Engine):
             reasons.append(reason)
             self._metric_fallbacks.labels(label).inc()
         reason = "; ".join(reasons)
-        lineages = ground_answer_lineages(query, db)
+        lineages = ground_answer_lineages(
+            query, db, planner=self.grounding_planner
+        )
         rows: List[Tuple] = []
         leftovers: Dict[GroundTuple, Lineage] = {}
         if self.compiled is not None:

@@ -10,10 +10,20 @@ from .grounding import (
     query_holds,
 )
 from .packed import PackedLineage, clause_sort_key
+from .planner import (
+    DEFAULT_PLANNER,
+    GroundingError,
+    GroundingPlan,
+    GroundingPlanner,
+)
 from .wmc import exact_probability, shannon_expansion_count
 
 __all__ = [
     "Clause",
+    "DEFAULT_PLANNER",
+    "GroundingError",
+    "GroundingPlan",
+    "GroundingPlanner",
     "Lineage",
     "Literal",
     "PackedLineage",

@@ -8,6 +8,19 @@ queries, ``ground_answer_lineages`` runs the *same single matching
 pass* and groups the clauses by head valuation — one lineage per
 answer tuple, instead of re-running ``find_matches`` once per answer.
 
+The join order and per-atom lookup choices come from the cost-based
+planner in :mod:`repro.lineage.planner`: a join graph over the
+clause's positive sub-goals, selectivity estimates from relation
+cardinalities and per-column distinct counts, greedy ordering,
+semijoin filters and (for deterministic evaluation) early projections.
+The seed's syntactic left-to-right order survives behind
+``plan="legacy"`` — the differential harness in
+``tests/test_grounding_planner.py`` pins both modes to identical
+lineages.  Every entry point accepts an optional
+:class:`~repro.lineage.planner.GroundingPlanner` carrying the plan
+cache and the obs metrics; by default the shared
+:data:`~repro.lineage.planner.DEFAULT_PLANNER` is used.
+
 The lineage-level entry points (`ground_lineage`,
 `ground_answer_lineages`, `answer_tuples`, `answers_holding`,
 `query_holds`) also accept a :class:`~repro.core.union.UnionQuery`: a
@@ -18,7 +31,7 @@ compiled, Monte Carlo and brute-force tiers ride on unions unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.atoms import Atom
 from ..core.predicates import Comparison
@@ -28,12 +41,26 @@ from ..core.union import AnyQuery, UnionQuery, disjuncts_of
 from ..db.database import GroundTuple, ProbabilisticDatabase, TupleKey
 from ..db.relation import canonical_row_key
 from .boolean import Lineage, Literal, make_lineage
+from .planner import (
+    DEFAULT_PLANNER,
+    GroundingError,
+    GroundingPlan,
+    GroundingPlanner,
+    StepPlan,
+)
 
 Assignment = Dict[Variable, object]
 
+#: ``plan=`` argument: a mode name or a pre-built plan.
+PlanLike = Union[None, str, GroundingPlan]
+
 
 def find_matches(
-    query: ConjunctiveQuery, db: ProbabilisticDatabase
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    *,
+    plan: PlanLike = None,
+    planner: Optional[GroundingPlanner] = None,
 ) -> List[Assignment]:
     """All assignments making every *positive* sub-goal a stored tuple
     and satisfying all arithmetic predicates.
@@ -42,78 +69,83 @@ def find_matches(
     not exist); they are interpreted by the lineage construction.
     Variables occurring only in negated sub-goals are rejected — the
     query would not be range-restricted.
+
+    ``plan`` selects the join order: ``None`` defers to the planner
+    (cost-based by default), ``"legacy"`` forces the seed's syntactic
+    order, ``"cost"`` forces the join-graph planner, and a pre-built
+    :class:`~repro.lineage.planner.GroundingPlan` is executed as-is.
     """
     if isinstance(query, UnionQuery):
         raise TypeError(
             "find_matches works per disjunct; iterate UnionQuery.disjuncts "
             "or use the lineage-level entry points"
         )
-    positive = [a for a in query.atoms if not a.negated]
-    restricted = set()
-    for atom in positive:
-        restricted.update(atom.variables)
-    if any(v not in restricted for v in query.variables):
-        missing = [v.name for v in query.variables if v not in restricted]
-        raise ValueError(f"query is not range-restricted: {missing} "
-                         f"occur only in negated sub-goals or predicates")
-    order = _plan(positive)
-    lookups = _build_lookups(order, db)
-    matches: List[Assignment] = []
-    assignment: Assignment = {}
-
-    def backtrack(step: int) -> None:
-        if step == len(order):
-            if _predicates_hold(query.predicates, assignment):
-                matches.append(dict(assignment))
-            return
-        atom = order[step]
-        for row in lookups[step].candidates(assignment):
-            added = _bind(atom, row, assignment)
-            if added is None:
-                continue
-            backtrack(step + 1)
-            for variable in added:
-                del assignment[variable]
-
-    backtrack(0)
+    resolved, planner = _resolve_plan(query, db, plan, planner)
+    matches, candidates = _planned_matches(resolved, db)
+    planner.observe_candidates(candidates, resolved.mode)
     return matches
 
 
-def query_holds(query: AnyQuery, db: ProbabilisticDatabase) -> bool:
+def query_holds(
+    query: AnyQuery,
+    db: ProbabilisticDatabase,
+    *,
+    planner: Optional[GroundingPlanner] = None,
+) -> bool:
     """True iff the query has at least one match (deterministic check).
 
     A union holds when any disjunct holds.
     """
-    return any(_cq_holds(d, db) for d in disjuncts_of(query))
+    return any(_cq_holds(d, db, planner) for d in disjuncts_of(query))
 
 
-def _cq_holds(query: ConjunctiveQuery, db: ProbabilisticDatabase) -> bool:
-    positive = [a for a in query.atoms if not a.negated]
-    order = _plan(positive)
-    lookups = _build_lookups(order, db)
-    assignment: Assignment = {}
+def _cq_holds(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    planner: Optional[GroundingPlanner] = None,
+) -> bool:
+    resolved, planner = _resolve_plan(
+        query, db, None, planner, distinct=True
+    )
+    if resolved.unsatisfiable:
+        return False
+    lookups, assignment, counter = _prepare_execution(resolved, db)
+    if lookups is None:
+        return _predicates_hold(query.predicates, assignment) and \
+            _negatives_absent(query, db, assignment)
+    steps = resolved.steps
 
     def backtrack(step: int) -> bool:
-        if step == len(order):
-            if not _predicates_hold(query.predicates, assignment):
-                return False
+        if step == len(steps):
             return _negatives_absent(query, db, assignment)
-        atom = order[step]
-        for row in lookups[step].candidates(assignment):
+        lookup = lookups[step]
+        rows = lookup.candidates(assignment)
+        counter[0] += len(rows)
+        atom = steps[step].atom
+        predicates = steps[step].predicates
+        for row in rows:
             added = _bind(atom, row, assignment)
             if added is None:
                 continue
+            if predicates and not _predicates_hold(predicates, assignment):
+                _undo(assignment, added)
+                continue
             if backtrack(step + 1):
                 return True
-            for variable in added:
-                del assignment[variable]
+            _undo(assignment, added)
         return False
 
-    return backtrack(0)
+    try:
+        return backtrack(0)
+    finally:
+        planner.observe_candidates(counter[0], resolved.mode)
 
 
 def ground_lineage(
-    query: AnyQuery, db: ProbabilisticDatabase
+    query: AnyQuery,
+    db: ProbabilisticDatabase,
+    *,
+    planner: Optional[GroundingPlanner] = None,
 ) -> Lineage:
     """The DNF lineage of ``query`` over ``db``.
 
@@ -132,7 +164,7 @@ def ground_lineage(
     weights: Dict[TupleKey, float] = {}
     clauses: List[List[Literal]] = []
     for disjunct in disjuncts_of(query):
-        for assignment in find_matches(disjunct, db):
+        for assignment in find_matches(disjunct, db, planner=planner):
             clause = _match_clause(disjunct, db, assignment, weights)
             if clause is not None:
                 clauses.append(clause)
@@ -140,7 +172,10 @@ def ground_lineage(
 
 
 def ground_answer_lineages(
-    query: AnyQuery, db: ProbabilisticDatabase
+    query: AnyQuery,
+    db: ProbabilisticDatabase,
+    *,
+    planner: Optional[GroundingPlanner] = None,
 ) -> Dict[GroundTuple, Lineage]:
     """Per-answer lineages from one shared matching pass.
 
@@ -157,7 +192,7 @@ def ground_answer_lineages(
     grouped: Dict[GroundTuple, List[List[Literal]]] = {}
     for disjunct in disjuncts_of(query):
         head = disjunct.head
-        for assignment in find_matches(disjunct, db):
+        for assignment in find_matches(disjunct, db, planner=planner):
             answer = tuple(
                 term.value if isinstance(term, Constant) else assignment[term]
                 for term in head
@@ -173,29 +208,47 @@ def ground_answer_lineages(
 
 
 def answer_tuples(
-    query: AnyQuery, db: ProbabilisticDatabase
+    query: AnyQuery,
+    db: ProbabilisticDatabase,
+    *,
+    planner: Optional[GroundingPlanner] = None,
 ) -> List[GroundTuple]:
     """Candidate answer tuples: head valuations with at least one
     match whose lineage is not identically false."""
     return [
         answer
-        for answer, lineage in ground_answer_lineages(query, db).items()
+        for answer, lineage in ground_answer_lineages(
+            query, db, planner=planner
+        ).items()
         if not lineage.is_false
     ]
 
 
 def answers_holding(
-    query: AnyQuery, db: ProbabilisticDatabase
+    query: AnyQuery,
+    db: ProbabilisticDatabase,
+    *,
+    planner: Optional[GroundingPlanner] = None,
 ) -> Set[GroundTuple]:
     """Answer tuples true on ``db`` read as a *deterministic* instance
     (negated sub-goals must be absent).  A union's answers are the
-    union of its disjuncts' answers.  Used by world enumeration."""
+    union of its disjuncts' answers.  Used by world enumeration.
+
+    Runs in *distinct* mode: the planner may deduplicate candidate
+    rows on the columns that matter downstream (early projection) —
+    sound here because only the set of head valuations is returned.
+    """
     if query.head is None:
         raise ValueError(f"query has no head variables: {query}")
     answers: Set[GroundTuple] = set()
     for disjunct in disjuncts_of(query):
         head = disjunct.head
-        for assignment in find_matches(disjunct, db):
+        resolved, resolved_planner = _resolve_plan(
+            disjunct, db, None, planner, distinct=True
+        )
+        matches, candidates = _planned_matches(resolved, db)
+        resolved_planner.observe_candidates(candidates, resolved.mode)
+        for assignment in matches:
             if not _negatives_absent(disjunct, db, assignment):
                 continue
             answers.add(tuple(
@@ -235,82 +288,163 @@ def _match_clause(
 
 
 # ----------------------------------------------------------------------
-# Internals
+# Plan resolution and execution
 # ----------------------------------------------------------------------
 
 
-def _plan(atoms: Sequence[Atom]) -> List[Atom]:
-    """Greedy join order: start with the most-constant atom, then
-    always pick an atom sharing a bound variable when possible."""
-    remaining = list(atoms)
-    if not remaining:
-        return []
-    order: List[Atom] = []
-    bound: set = set()
-    remaining.sort(key=lambda a: (-len(a.constants), len(a.variables)))
-    while remaining:
-        connected = [a for a in remaining if bound & set(a.variables)]
-        chosen = connected[0] if connected else remaining[0]
-        remaining.remove(chosen)
-        order.append(chosen)
-        bound.update(chosen.variables)
-    return order
+def _resolve_plan(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    plan: PlanLike,
+    planner: Optional[GroundingPlanner],
+    distinct: bool = False,
+) -> Tuple[GroundingPlan, GroundingPlanner]:
+    planner = planner if planner is not None else DEFAULT_PLANNER
+    if isinstance(plan, GroundingPlan):
+        return plan, planner
+    if plan is not None and plan not in ("legacy", "cost"):
+        raise ValueError(
+            f"plan must be None, 'legacy', 'cost' or a GroundingPlan, "
+            f"got {plan!r}"
+        )
+    return (
+        planner.plan_clause(query, db, distinct=distinct, mode=plan),
+        planner,
+    )
+
+
+def _prepare_execution(
+    plan: GroundingPlan, db: ProbabilisticDatabase
+):
+    """Lookups, the seeded assignment and a candidate counter.
+
+    Returns ``(None, assignment, counter)`` for empty plans (no
+    positive sub-goals): the caller then evaluates the clause's
+    (necessarily ground) predicates against the empty assignment.
+    """
+    assignment: Assignment = dict(plan.prebound)
+    counter = [0]
+    if not plan.steps:
+        return None, assignment, counter
+    lookups = [_AtomLookup(step, db) for step in plan.steps]
+    return lookups, assignment, counter
+
+
+def _planned_matches(
+    plan: GroundingPlan, db: ProbabilisticDatabase
+) -> Tuple[List[Assignment], int]:
+    """Execute one plan, returning matches and the candidate count."""
+    if plan.unsatisfiable:
+        return [], 0
+    query = plan.clause
+    lookups, assignment, counter = _prepare_execution(plan, db)
+    if lookups is None:
+        if _predicates_hold(query.predicates, assignment):
+            return [dict(assignment)], 0
+        return [], 0
+    steps = plan.steps
+    matches: List[Assignment] = []
+
+    def backtrack(step: int) -> None:
+        if step == len(steps):
+            matches.append(dict(assignment))
+            return
+        lookup = lookups[step]
+        rows = lookup.candidates(assignment)
+        counter[0] += len(rows)
+        atom = steps[step].atom
+        predicates = steps[step].predicates
+        for row in rows:
+            added = _bind(atom, row, assignment)
+            if added is None:
+                continue
+            if predicates and not _predicates_hold(predicates, assignment):
+                _undo(assignment, added)
+                continue
+            backtrack(step + 1)
+            _undo(assignment, added)
+
+    backtrack(0)
+    return matches, counter[0]
 
 
 class _AtomLookup:
-    """Pre-resolved candidate source for one atom of the join order.
+    """Pre-resolved candidate source for one step of the join order.
 
-    The scalar backtracker used to re-scan the atom's terms (and rebuild
-    the relation's column index lookup) on *every* backtrack step; the
-    plan is fully determined before the search starts, because the set
-    of bound variables at each step is exactly the variables of the
-    earlier atoms in the order.  One of three shapes, resolved once:
+    The probe shape is decided by the planner (see
+    :class:`~repro.lineage.planner.StepPlan`); this class binds it to
+    the live database once per search:
 
-    * a constant column — the matching rows are prefetched outright;
-    * a variable bound by an earlier atom — the per-column index dict is
-      prefetched, so each step is ``index.get(assignment[var])``;
-    * neither — a full relation scan.
+    * ``constant`` — the matching rows are prefetched outright;
+    * ``index`` — the per-column index dict is prefetched, so each
+      step is ``index.get(assignment[var])``;
+    * ``scan`` — the full relation, materialized once.
 
-    Mirrors the old term-order preference: the first constant *or*
-    bound variable in term order wins.
+    Semijoin filters and (distinct mode) projections are applied when
+    the base list materializes; filtered index probes are cached per
+    probed value, so revisiting a join value during backtracking never
+    refilters.
     """
 
-    __slots__ = ("relation", "rows", "index", "variable")
+    __slots__ = ("relation", "rows", "index", "variable",
+                 "filters", "projection", "_filtered")
 
-    def __init__(self, atom: Atom, db: ProbabilisticDatabase, bound) -> None:
-        self.relation = db.relation(atom.relation)
+    def __init__(self, step: StepPlan, db: ProbabilisticDatabase) -> None:
+        self.relation = db.relation(step.atom.relation)
         self.rows: Optional[list] = None
         self.index: Optional[Dict] = None
         self.variable: Optional[Variable] = None
-        for position, term in enumerate(atom.terms):
-            if isinstance(term, Constant):
-                self.rows = self.relation.matching(position, term.value)
-                return
-            if term in bound:
-                self.index = self.relation.index_on(position)
-                self.variable = term
-                return
+        self.filters: Tuple[Tuple[int, Dict], ...] = tuple(
+            (position, db.relation(other).index_on(other_position))
+            for position, other, other_position in step.semijoins
+        )
+        self.projection = step.projection
+        self._filtered: Optional[Dict] = None
+        if step.probe == "constant":
+            base = self.relation.matching(step.probe_position, step.probe_value)
+            self.rows = self._reduce(base)
+        elif step.probe == "index":
+            self.index = self.relation.index_on(step.probe_position)
+            self.variable = step.probe_variable
+            if self.filters or self.projection is not None:
+                self._filtered = {}
+        else:
+            self.rows = self._reduce(list(self.relation.tuples()))
 
-    def candidates(self, assignment: Assignment):
+    def _reduce(self, rows: list) -> list:
+        """Apply semijoin filters, then projection-deduplication."""
+        if self.filters:
+            filters = self.filters
+            rows = [
+                row for row in rows
+                if all(row[position] in keys for position, keys in filters)
+            ]
+        if self.projection is not None and len(rows) > 1:
+            projection = self.projection
+            seen = set()
+            kept = []
+            for row in rows:
+                key = tuple(row[position] for position in projection)
+                if key not in seen:
+                    seen.add(key)
+                    kept.append(row)
+            rows = kept
+        return rows
+
+    def candidates(self, assignment: Assignment) -> list:
         if self.rows is not None:
             return self.rows
-        if self.index is not None:
-            return self.index.get(assignment[self.variable], _NO_ROWS)
-        return self.relation.tuples()
+        value = assignment[self.variable]
+        if self._filtered is None:
+            return self.index.get(value, _NO_ROWS)
+        cached = self._filtered.get(value)
+        if cached is None:
+            cached = self._reduce(self.index.get(value, _NO_ROWS))
+            self._filtered[value] = cached
+        return cached
 
 
-_NO_ROWS: Tuple = ()
-
-
-def _build_lookups(
-    order: Sequence[Atom], db: ProbabilisticDatabase
-) -> List[_AtomLookup]:
-    lookups: List[_AtomLookup] = []
-    bound: Set[Variable] = set()
-    for atom in order:
-        lookups.append(_AtomLookup(atom, db, bound))
-        bound.update(atom.variables)
-    return lookups
+_NO_ROWS: list = []
 
 
 def _bind(atom: Atom, row: Tuple, assignment: Assignment) -> Optional[List[Variable]]:

@@ -49,7 +49,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..core.parser import parse
 from ..core.query import ConjunctiveQuery, canonical_string
-from ..core.union import AnyQuery, UnionQuery
+from ..core.union import AnyQuery, UnionQuery, disjuncts_of
 from ..db.database import (
     GroundTuple,
     ProbabilisticDatabase,
@@ -62,6 +62,7 @@ from ..engines.compiled import Artifact, canonicalize_lineage
 from ..engines.router import RouterEngine
 from ..lineage.boolean import Lineage
 from ..lineage.grounding import ground_answer_lineages, ground_lineage
+from ..lineage.planner import GroundingError
 from ..lineage.wmc import exact_probability
 
 #: A query as accepted by the session API: parsed (CQ or union of
@@ -146,7 +147,7 @@ class PreparedQuery:
     """
 
     __slots__ = (
-        "query", "shape", "relations", "tier",
+        "query", "shape", "relations", "tier", "plan",
         "result", "result_versions",
         "structure", "lineage", "artifact", "events", "sources",
         "groups", "trivial", "leftovers",
@@ -157,6 +158,12 @@ class PreparedQuery:
         self.shape = shape
         self.relations: Tuple[str, ...] = query.relations
         self.tier = tier
+        #: Grounding-plan description for unsafe tiers (None for PTIME
+        #: tiers, which never ground).  Warmed at prepare time; the
+        #: plan itself lives in the router's planner cache, keyed on
+        #: structural versions, so reweights reuse it and structural
+        #: changes replan transparently.
+        self.plan: Optional[str] = None
         #: Cached result (float for Boolean, ranked answer list for
         #: answer-tuple queries) + the snapshot it was computed under.
         self.result = None
@@ -377,6 +384,13 @@ class QuerySession:
 
         Accepts query text or a parsed query; isomorphic queries
         (variable renamings) collapse onto one prepared entry.
+
+        For unsafe tiers the grounding plan is warmed here as well:
+        each disjunct is planned against the current database and the
+        plan lands in the router's shared planner cache, keyed on the
+        relations' structural versions — so every later evaluation and
+        every probability-only reweight reuses the plan, and only a
+        structural change (insert, 0/1 boundary crossing) replans.
         """
         query = self._parse(query)
         shape = canonical_string(query)
@@ -388,6 +402,18 @@ class QuerySession:
         with self.tracer.span("prepare", shape=shape):
             start = time.perf_counter()
             prepared = PreparedQuery(query, shape, self.router.plan_query(query))
+            if prepared.tier == "unsafe":
+                planner = self.router.grounding_planner
+                try:
+                    for disjunct in disjuncts_of(query):
+                        planner.plan_clause(disjunct, self.db)
+                except GroundingError:
+                    # Not groundable (e.g. predicate-only clause with
+                    # loose variables): surfaced when evaluated, not
+                    # at prepare time.
+                    pass
+                else:
+                    prepared.plan = planner.describe_cached(query)
             self._stage_seconds.labels("prepare").observe(
                 time.perf_counter() - start
             )
@@ -541,7 +567,13 @@ class QuerySession:
             return
         with self.tracer.span("ground", shape=prepared.shape):
             start = time.perf_counter()
-            lineage = ground_lineage(prepared.query, self.db)
+            lineage = ground_lineage(
+                prepared.query, self.db,
+                planner=self.router.grounding_planner,
+            )
+            prepared.plan = self.router.grounding_planner.describe_cached(
+                prepared.query
+            )
             self._stage_seconds.labels("ground").observe(
                 time.perf_counter() - start
             )
@@ -727,7 +759,13 @@ class QuerySession:
         positions: Dict[int, Dict[TupleKey, int]] = {}
         with self.tracer.span("ground", shape=prepared.shape):
             start = time.perf_counter()
-            lineages = ground_answer_lineages(prepared.query, self.db)
+            lineages = ground_answer_lineages(
+                prepared.query, self.db,
+                planner=self.router.grounding_planner,
+            )
+            prepared.plan = self.router.grounding_planner.describe_cached(
+                prepared.query
+            )
             self._stage_seconds.labels("ground").observe(
                 time.perf_counter() - start
             )
